@@ -1,0 +1,190 @@
+package phast
+
+import (
+	"phast/internal/arcflags"
+	"phast/internal/centrality"
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/diameter"
+	"phast/internal/partition"
+)
+
+// DiameterResult is a diameter estimate with a witness pair.
+type DiameterResult = diameter.Result
+
+// Diameter returns the longest shortest path found over trees from the
+// given sources (Section VII-B.a). With sources covering all vertices
+// the result is exact; nil means "all vertices".
+func (e *Engine) Diameter(sources []int32) DiameterResult {
+	if sources == nil {
+		sources = allVertices(e.NumVertices())
+	}
+	return diameter.CPU(e.core.Clone(), sources)
+}
+
+// Reaches computes per-vertex reach values over trees from the given
+// sources (Section VII-B.c); nil means "all vertices", which is exact
+// when shortest paths are unique.
+func (e *Engine) Reaches(sources []int32) []uint32 {
+	if sources == nil {
+		sources = allVertices(e.NumVertices())
+	}
+	return centrality.Reaches(e.g, e.core.Clone(), sources)
+}
+
+// Betweenness computes betweenness-centrality contributions of the given
+// sources using PHAST trees; exact when shortest paths are unique
+// (Section VII-B.c). nil means "all vertices".
+func (e *Engine) Betweenness(sources []int32) []float64 {
+	if sources == nil {
+		sources = allVertices(e.NumVertices())
+	}
+	return centrality.BetweennessPHAST(e.g, e.core.Clone(), sources)
+}
+
+// BetweennessApprox estimates full betweenness from `samples` uniformly
+// sampled pivot sources, scaling contributions by n/samples — the
+// sampling acceleration Section VII-B.c points at. samples is clamped
+// to [1, n]; with samples = n the estimate is exact (for unique
+// shortest paths).
+func (e *Engine) BetweennessApprox(samples int, seed int64) []float64 {
+	return centrality.BetweennessApprox(e.g, e.core.Clone(), samples, seed)
+}
+
+// BetweennessExact computes betweenness with Brandes' algorithm over
+// Dijkstra searches — exact even with non-unique shortest paths, but
+// orders of magnitude slower on large networks. nil means all vertices.
+func BetweennessExact(g *Graph, sources []int32) []float64 {
+	if sources == nil {
+		sources = allVertices(g.NumVertices())
+	}
+	return centrality.BetweennessDijkstra(g, sources)
+}
+
+// UniqueShortestPaths reports whether shortest paths from the given
+// sources are unique — the exactness condition for Reaches/Betweenness.
+// nil means "all vertices".
+func UniqueShortestPaths(g *Graph, sources []int32) bool {
+	if sources == nil {
+		sources = allVertices(g.NumVertices())
+	}
+	return centrality.UniqueShortestPaths(g, sources)
+}
+
+func allVertices(n int) []int32 {
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}
+
+// ArcFlags is a preprocessed arc-flags index answering exact
+// point-to-point queries with a flag-pruned Dijkstra (Section VII-B.b),
+// unidirectional or bidirectional.
+type ArcFlags struct {
+	f   *arcflags.ArcFlags
+	q   *arcflags.Query
+	biq *arcflags.BiQuery // nil unless built with Bidirectional
+}
+
+// ArcFlagsOptions configures BuildArcFlags.
+type ArcFlagsOptions struct {
+	// Cells is the number of partition cells (default 16).
+	Cells int
+	// Seed drives the partitioner (default 1).
+	Seed int64
+	// UseDijkstra computes the boundary trees with plain Dijkstra instead
+	// of PHAST — the slow baseline, kept for comparison.
+	UseDijkstra bool
+	// Bidirectional additionally computes backward flags on the
+	// transpose, enabling the two-sided query of the paper ("can easily
+	// be made bidirectional") at roughly double the preprocessing cost.
+	Bidirectional bool
+	// CHWorkers bounds preprocessing parallelism of the reverse
+	// hierarchy (0 = GOMAXPROCS).
+	CHWorkers int
+}
+
+// BuildArcFlags partitions g, builds one reverse shortest-path tree per
+// boundary vertex (with PHAST unless UseDijkstra is set), and assembles
+// the flags. opt may be nil.
+func BuildArcFlags(g *Graph, opt *ArcFlagsOptions) (*ArcFlags, error) {
+	if opt == nil {
+		opt = &ArcFlagsOptions{}
+	}
+	k := opt.Cells
+	if k == 0 {
+		k = 16
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cells, err := partition.Cells(g, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	var reverseTree, forwardTree arcflags.ReverseTreeFunc
+	if opt.UseDijkstra {
+		reverseTree = arcflags.DijkstraReverseTrees(g)
+		forwardTree = arcflags.DijkstraReverseTrees(g.Transpose())
+	} else {
+		rev, err := arcflags.NewReverseEngine(g, ch.Options{Workers: opt.CHWorkers}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		reverseTree = arcflags.PHASTReverseTrees(rev)
+		if opt.Bidirectional {
+			hFwd := ch.Build(g, ch.Options{Workers: opt.CHWorkers})
+			fwdEng, err := core.NewEngine(hFwd, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			forwardTree = arcflags.PHASTForwardTrees(fwdEng)
+		}
+	}
+	if opt.Bidirectional {
+		bi, err := arcflags.ComputeBidirectional(g, cells, k, reverseTree, forwardTree)
+		if err != nil {
+			return nil, err
+		}
+		return &ArcFlags{
+			f:   bi.Forward(),
+			q:   arcflags.NewQuery(bi.Forward()),
+			biq: arcflags.NewBiQuery(bi),
+		}, nil
+	}
+	f, err := arcflags.Compute(g, cells, k, reverseTree)
+	if err != nil {
+		return nil, err
+	}
+	return &ArcFlags{f: f, q: arcflags.NewQuery(f)}, nil
+}
+
+// Query returns the exact s→t distance: a bidirectional flag-pruned
+// search when the index was built with Bidirectional, the forward-only
+// search otherwise.
+func (a *ArcFlags) Query(s, t int32) uint32 {
+	if a.biq != nil {
+		return a.biq.Distance(s, t)
+	}
+	return a.q.Distance(s, t)
+}
+
+// Scanned returns the number of vertices the last Query scanned.
+func (a *ArcFlags) Scanned() int {
+	if a.biq != nil {
+		return a.biq.Scanned()
+	}
+	return a.q.Scanned()
+}
+
+// Cell returns the partition cell of vertex v.
+func (a *ArcFlags) Cell(v int32) int32 { return a.f.Cell(v) }
+
+// NumBoundary returns the number of boundary vertices preprocessed.
+func (a *ArcFlags) NumBoundary() int { return a.f.NumBoundary }
+
+// FlagDensity returns the fraction of set (arc, cell) flags.
+func (a *ArcFlags) FlagDensity() float64 { return a.f.FlagDensity() }

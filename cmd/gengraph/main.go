@@ -1,0 +1,89 @@
+// Command gengraph writes a synthetic road network as a DIMACS .gr file
+// (and optionally its coordinates as a .co file), so the instances used
+// by this reproduction can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	gengraph -preset europe-s -o europe-s.gr -co europe-s.co
+//	gengraph -width 256 -height 256 -seed 7 -metric distance -o g.gr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phast"
+	"phast/internal/dimacs"
+	"phast/internal/roadnet"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "instance preset (europe-xs..usa-l); overrides -width/-height")
+		width  = flag.Int("width", 128, "grid width")
+		height = flag.Int("height", 128, "grid height")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		metric = flag.String("metric", "time", "time or distance")
+		out    = flag.String("o", "", "output .gr path (required)")
+		coords = flag.String("co", "", "optional output .co path for coordinates")
+	)
+	flag.Parse()
+	if err := run(*preset, *width, *height, *seed, *metric, *out, *coords); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, width, height int, seed int64, metric, out, coords string) error {
+	if out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	m := phast.TravelTime
+	switch metric {
+	case "time":
+	case "distance":
+		m = phast.TravelDistance
+	default:
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+	var (
+		net *roadnet.Network
+		err error
+	)
+	if preset != "" {
+		net, err = roadnet.GeneratePreset(roadnet.Preset(preset), m)
+	} else {
+		net, err = roadnet.Generate(roadnet.Params{Width: width, Height: height, Seed: seed, Metric: m})
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	comment := fmt.Sprintf("synthetic road network (%s metric), n=%d m=%d",
+		metric, net.Graph.NumVertices(), net.Graph.NumArcs())
+	if err := dimacs.WriteGraph(f, net.Graph, comment); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d vertices, %d arcs\n", out, net.Graph.NumVertices(), net.Graph.NumArcs())
+	if coords != "" {
+		cf, err := os.Create(coords)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		cs := make([][2]int64, len(net.Coords))
+		for i, c := range net.Coords {
+			cs[i] = [2]int64{int64(c.X), int64(c.Y)}
+		}
+		if err := dimacs.WriteCoords(cf, cs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d coordinates\n", coords, len(cs))
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phast/internal/dimacs"
+)
+
+func TestRunWritesGraphAndCoords(t *testing.T) {
+	dir := t.TempDir()
+	gr := filepath.Join(dir, "g.gr")
+	co := filepath.Join(dir, "g.co")
+	if err := run("", 16, 12, 5, "time", gr, co); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dimacs.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.NumArcs() == 0 {
+		t.Fatal("empty graph written")
+	}
+	cf, err := os.Open(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	coords, err := dimacs.ReadCoords(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != g.NumVertices() {
+		t.Fatalf("coords %d, vertices %d", len(coords), g.NumVertices())
+	}
+}
+
+func TestRunPreset(t *testing.T) {
+	dir := t.TempDir()
+	gr := filepath.Join(dir, "p.gr")
+	if err := run("europe-xs", 0, 0, 0, "distance", gr, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 8, 8, 1, "time", "", ""); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+	if err := run("", 8, 8, 1, "bogus", "x.gr", ""); err == nil {
+		t.Fatal("bad metric accepted")
+	}
+	if err := run("nope", 0, 0, 0, "time", "x.gr", ""); err == nil {
+		t.Fatal("bad preset accepted")
+	}
+	if err := run("", 8, 8, 1, "time", "/nonexistent-dir/x.gr", ""); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phast"
+)
+
+func TestParseQuery(t *testing.T) {
+	s, tt, err := parseQuery("17:42")
+	if err != nil || s != 17 || tt != 42 {
+		t.Fatalf("parseQuery: %d %d %v", s, tt, err)
+	}
+	for _, bad := range []string{"", "17", "17:42:1", "a:b", "-1:2"} {
+		if _, _, err := parseQuery(bad); err == nil {
+			t.Fatalf("parseQuery accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadGraphModes(t *testing.T) {
+	if _, err := loadGraph("", "", "time"); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := loadGraph("x.gr", "europe-xs", "time"); err == nil {
+		t.Fatal("both inputs accepted")
+	}
+	if _, err := loadGraph("", "europe-xs", "bogus"); err == nil {
+		t.Fatal("bad metric accepted")
+	}
+	if _, err := loadGraph("", "nope", "time"); err == nil {
+		t.Fatal("bad preset accepted")
+	}
+	g, err := loadGraph("", "europe-xs", "distance")
+	if err != nil || g.NumVertices() == 0 {
+		t.Fatalf("preset load failed: %v", err)
+	}
+	// File path: write a graph and read it back through the CLI loader.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.gr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phast.WriteDIMACS(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g2, err := loadGraph(path, "", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(g) {
+		t.Fatal("CLI file loader changed the graph")
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.gr"), "", "time"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	base := config{preset: "europe-xs", metric: "time", source: 3, query: "1:9", trees: 2, info: true, seed: 1}
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.source, bad.query, bad.trees = 1<<20, "", 0
+	if err := run(bad); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	bad = base
+	bad.source, bad.query = -1, "1:99999999"
+	if err := run(bad); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+}
+
+func TestSaveLoadHierarchyCLI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ch")
+	if err := run(config{preset: "europe-xs", metric: "time", saveCH: path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{loadCH: path, source: 5, query: "2:9", seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{loadCH: path, preset: "europe-xs"}); err == nil {
+		t.Fatal("-load-ch with -preset accepted")
+	}
+	if err := run(config{loadCH: filepath.Join(dir, "missing.ch")}); err == nil {
+		t.Fatal("missing hierarchy file accepted")
+	}
+}

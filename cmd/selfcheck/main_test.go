@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestCheckInstanceBidirected(t *testing.T) {
+	if err := checkInstance(16, 14, 3, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInstanceOneWay(t *testing.T) {
+	if err := checkInstance(16, 14, 4, true); err != nil {
+		t.Fatal(err)
+	}
+}

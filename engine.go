@@ -1,0 +1,155 @@
+package phast
+
+import (
+	"fmt"
+	"io"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+)
+
+// Options configures Preprocess. The zero value matches the paper's
+// parameters.
+type Options struct {
+	// CHWorkers bounds the goroutines used during contraction-hierarchy
+	// preprocessing (0 = GOMAXPROCS).
+	CHWorkers int
+	// SweepWorkers bounds the goroutines of TreeParallel (0 = GOMAXPROCS).
+	SweepWorkers int
+	// SweepMode overrides the sweep order; the default is the fully
+	// reordered layout of Section IV-A. Exposed for experiments.
+	SweepMode SweepMode
+}
+
+// SweepMode selects the linear-sweep vertex order.
+type SweepMode = core.SweepMode
+
+// Sweep orders (see core.SweepMode).
+const (
+	SweepReordered  = core.SweepReordered
+	SweepLevelOrder = core.SweepLevelOrder
+	SweepRankOrder  = core.SweepRankOrder
+)
+
+// Engine answers single-source (PHAST) and point-to-point (CH) queries
+// over one preprocessed graph. It is not safe for concurrent use; Clone
+// gives each goroutine its own cursor over the shared preprocessed data.
+type Engine struct {
+	g     *Graph
+	h     *ch.Hierarchy
+	core  *core.Engine
+	query *ch.Query
+}
+
+// Preprocess runs contraction-hierarchy preprocessing on g and prepares
+// a PHAST engine. The cost is amortized after a moderate number of tree
+// computations (a few hundred; Section VIII-D reports break-even after
+// 319 trees vs four-core Dijkstra). opt may be nil.
+func Preprocess(g *Graph, opt *Options) (*Engine, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	h := ch.Build(g, ch.Options{Workers: opt.CHWorkers})
+	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("phast: %w", err)
+	}
+	return &Engine{g: g, h: h, core: c, query: ch.NewQuery(h)}, nil
+}
+
+// SaveHierarchy serializes the preprocessed contraction hierarchy
+// (including the graph) so Preprocess never has to run twice for the
+// same input; reload with LoadEngine.
+func (e *Engine) SaveHierarchy(w io.Writer) error {
+	return ch.WriteHierarchy(w, e.h)
+}
+
+// LoadEngine reconstructs an engine from a hierarchy serialized with
+// SaveHierarchy, skipping preprocessing entirely. opt may be nil
+// (CHWorkers is ignored — the hierarchy already exists).
+func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	h, err := ch.ReadHierarchy(r)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("phast: %w", err)
+	}
+	return &Engine{g: h.G, h: h, core: c, query: ch.NewQuery(h)}, nil
+}
+
+// Clone returns an engine sharing all preprocessed data but owning
+// private per-query buffers, for concurrent use from another goroutine.
+func (e *Engine) Clone() *Engine {
+	return &Engine{g: e.g, h: e.h, core: e.core.Clone(), query: ch.NewQuery(e.h)}
+}
+
+// Graph returns the original graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// NumVertices returns n.
+func (e *Engine) NumVertices() int { return e.g.NumVertices() }
+
+// NumShortcuts returns the number of shortcut arcs the preprocessing
+// added.
+func (e *Engine) NumShortcuts() int { return e.h.NumShortcuts }
+
+// NumLevels returns the number of CH levels (Figure 1's x-axis).
+func (e *Engine) NumLevels() int { return int(e.h.MaxLevel) + 1 }
+
+// LevelSizes returns the number of vertices on each level.
+func (e *Engine) LevelSizes() []int { return e.h.LevelSizes() }
+
+// Tree computes all shortest-path distances from source with the
+// sequential PHAST sweep. Read results with Dist or Distances.
+func (e *Engine) Tree(source int32) { e.core.Tree(source) }
+
+// TreeParallel is Tree with the intra-level parallel sweep of Section V.
+func (e *Engine) TreeParallel(source int32) { e.core.TreeParallel(source) }
+
+// TreeWithParents is Tree plus parent pointers; enables PathTo.
+func (e *Engine) TreeWithParents(source int32) { e.core.TreeWithParents(source) }
+
+// Dist returns the distance of v from the last tree's source, or Inf.
+func (e *Engine) Dist(v int32) uint32 { return e.core.Dist(v) }
+
+// Distances copies all n labels of the last tree into buf (indexed by
+// vertex ID; Inf marks unreached vertices).
+func (e *Engine) Distances(buf []uint32) { e.core.DistancesInto(buf) }
+
+// PathTo expands the path from the last TreeWithParents source to v into
+// original-graph vertices, or nil if unreached.
+func (e *Engine) PathTo(v int32) []int32 { return e.core.PathTo(v) }
+
+// TreeParents derives the shortest-path tree of the original graph from
+// the last tree's labels (Section VII-A); buf[v] receives v's parent or
+// -1. Requires strictly positive arc lengths.
+func (e *Engine) TreeParents(buf []int32) { e.core.GTreeParents(buf) }
+
+// MultiTree grows one tree per source in a single sweep (Section IV-B).
+// useLanes enables the 4-wide SSE-style relaxation (len(sources) must
+// then be a multiple of 4). Read results with MultiDist.
+func (e *Engine) MultiTree(sources []int32, useLanes bool) {
+	e.core.MultiTree(sources, useLanes)
+}
+
+// MultiDist returns the label of v in tree i of the last MultiTree.
+func (e *Engine) MultiDist(i int, v int32) uint32 { return e.core.MultiDist(i, v) }
+
+// Query returns the s→t distance with a bidirectional CH search — the
+// point-to-point algorithm PHAST builds on (Section II-B).
+func (e *Engine) Query(s, t int32) uint32 { return e.query.Distance(s, t) }
+
+// EnableQueryStalling turns on stall-on-demand for Query/QueryPath
+// (Geisberger et al.'s standard CH query optimization): vertices whose
+// labels are provably suboptimal are settled without scanning, shrinking
+// search spaces while keeping distances exact.
+func (e *Engine) EnableQueryStalling() { e.query.EnableStalling() }
+
+// QueryPath returns the s→t shortest path as original-graph vertices
+// (shortcuts unpacked), or nil if unreachable.
+func (e *Engine) QueryPath(s, t int32) []int32 { return e.query.Path(s, t) }

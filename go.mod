@@ -1,0 +1,3 @@
+module phast
+
+go 1.22

@@ -1,0 +1,96 @@
+package phast
+
+import (
+	"time"
+
+	"phast/internal/gphast"
+	"phast/internal/simt"
+)
+
+// GPUSpec describes a modeled GPU for the GPHAST pipeline. This build
+// has no physical GPU: kernels execute on the SIMT simulator, which
+// produces exact distances plus modeled times from a bandwidth/latency
+// cost model (see DESIGN.md).
+type GPUSpec = simt.DeviceSpec
+
+// GTX580 returns the paper's primary card (16 SMs, 192.4 GB/s, 1.5 GB).
+func GTX580() GPUSpec { return simt.GTX580() }
+
+// GTX480 returns the predecessor card of Table VI.
+func GTX480() GPUSpec { return simt.GTX480() }
+
+// GPUStats summarizes simulated-device activity.
+type GPUStats = simt.RunStats
+
+// GPUEngine runs PHAST sweeps on a simulated GPU (GPHAST, Section VI).
+type GPUEngine struct {
+	e *gphast.Engine
+}
+
+// GPU uploads the engine's downward graph to a simulated device and
+// returns a GPHAST engine supporting up to maxTreesPerSweep trees per
+// sweep. The CPU keeps running the upward searches, the device runs one
+// kernel per level.
+func (e *Engine) GPU(spec GPUSpec, maxTreesPerSweep int) (*GPUEngine, error) {
+	ge, err := gphast.NewEngine(e.core.Clone(), simt.NewDevice(spec), maxTreesPerSweep)
+	if err != nil {
+		return nil, err
+	}
+	return &GPUEngine{e: ge}, nil
+}
+
+// Tree computes one shortest-path tree on the device.
+func (g *GPUEngine) Tree(source int32) { g.e.Tree(source) }
+
+// MultiTree computes len(sources) trees in one device sweep.
+func (g *GPUEngine) MultiTree(sources []int32) { g.e.MultiTree(sources) }
+
+// Dist returns the label of vertex v in tree lane of the last batch.
+func (g *GPUEngine) Dist(lane int, v int32) uint32 { return g.e.Dist(lane, v) }
+
+// ModeledBatchTime returns the modeled device+PCIe time of the last
+// Tree/MultiTree batch on the configured card.
+func (g *GPUEngine) ModeledBatchTime() time.Duration { return g.e.LastBatchModeledTime() }
+
+// MemoryUsed reports simulated device memory held by the engine.
+func (g *GPUEngine) MemoryUsed() int64 { return g.e.MemoryUsed() }
+
+// Stats returns accumulated simulated-device statistics (kernels,
+// warps, memory transactions, modeled time).
+func (g *GPUEngine) Stats() GPUStats { return g.e.Device().Stats() }
+
+// GPUFleet drives several simulated GPUs in parallel rounds — the
+// multi-card scaling argument of Section VIII-F ("the all-pairs
+// shortest-paths computation scales perfectly with the number of GPUs").
+type GPUFleet struct {
+	f *gphast.Fleet
+}
+
+// GPUFleet uploads the downward graph to one simulated device per spec.
+func (e *Engine) GPUFleet(specs []GPUSpec, maxTreesPerSweep int) (*GPUFleet, error) {
+	f, err := gphast.NewFleet(e.core.Clone(), specs, maxTreesPerSweep)
+	if err != nil {
+		return nil, err
+	}
+	return &GPUFleet{f: f}, nil
+}
+
+// Size returns the number of devices.
+func (f *GPUFleet) Size() int { return f.f.Size() }
+
+// Dist reads the label of vertex v in lane of device dev's last batch.
+func (f *GPUFleet) Dist(dev, lane int, v int32) uint32 { return f.f.Engine(dev).Dist(lane, v) }
+
+// Round runs batch i on device i concurrently and returns the modeled
+// wall time of the round (the slowest device).
+func (f *GPUFleet) Round(batches [][]int32) time.Duration {
+	return f.f.MultiTreeRound(batches)
+}
+
+// AllPairsModeledTime computes trees from every source in fleet-wide
+// rounds of k trees per device and returns the total modeled wall time.
+// visit, if non-nil, sees each device's batch after its round so labels
+// can be aggregated before the next round overwrites them.
+func (f *GPUFleet) AllPairsModeledTime(sources []int32, k int, visit func(device int, batch []int32)) time.Duration {
+	return f.f.AllPairsModeledTime(sources, k, visit)
+}

@@ -1,0 +1,179 @@
+// Package arcflags implements the arc-flags point-to-point acceleration
+// of Section VII-B.b: preprocessing attaches to every arc a bitset with
+// one flag per partition cell — flag C is set when the arc begins some
+// shortest path to a vertex of C — and queries run Dijkstra relaxing
+// only arcs whose flag for the target's cell is set.
+//
+// The expensive part of preprocessing is one reverse shortest-path tree
+// per boundary vertex; the paper's headline application replaces
+// Dijkstra with (G)PHAST here, cutting flag computation from hours to
+// minutes. The tree computation is injected as a callback so both
+// implementations share this code and can be compared by the harness.
+package arcflags
+
+import (
+	"fmt"
+
+	"phast/internal/graph"
+	"phast/internal/partition"
+	"phast/internal/pq"
+)
+
+// ReverseTreeFunc computes, for a tree root b, the distances *to* b from
+// every vertex (a shortest-path tree in the reverse graph), writing them
+// into dist indexed by original vertex ID.
+type ReverseTreeFunc func(b int32, dist []uint32)
+
+// ArcFlags holds the preprocessed flags.
+type ArcFlags struct {
+	g     *graph.Graph
+	cells []int32
+	k     int
+	words int      // bitset words per arc
+	bits  []uint64 // len = m*words; arc order matches g.ArcList()
+	// Boundary counts, for reporting.
+	NumBoundary int
+}
+
+// Compute builds arc flags for g under the given partition, using
+// reverseTree to obtain one reverse shortest-path tree per boundary
+// vertex.
+func Compute(g *graph.Graph, cells []int32, k int, reverseTree ReverseTreeFunc) (*ArcFlags, error) {
+	n := g.NumVertices()
+	if len(cells) != n {
+		return nil, fmt.Errorf("arcflags: cells has length %d, want %d", len(cells), n)
+	}
+	for v, c := range cells {
+		if c < 0 || int(c) >= k {
+			return nil, fmt.Errorf("arcflags: vertex %d in cell %d outside [0,%d)", v, c, k)
+		}
+	}
+	m := g.NumArcs()
+	words := (k + 63) / 64
+	f := &ArcFlags{g: g, cells: cells, k: k, words: words, bits: make([]uint64, m*words)}
+
+	// Intra-cell arcs always carry their own cell's flag: the suffix of a
+	// shortest path after its last entry into the target cell stays
+	// inside the cell.
+	first := g.FirstOut()
+	arcs := g.ArcList()
+	for u := int32(0); u < int32(n); u++ {
+		for i := first[u]; i < first[u+1]; i++ {
+			if cells[arcs[i].Head] == cells[u] && cells[u] >= 0 {
+				f.set(int(i), cells[u])
+			}
+		}
+	}
+
+	// One reverse tree per boundary vertex b of cell C: every arc (u,v)
+	// with dist(u→b) = l(u,v) + dist(v→b) lies on a shortest path to b
+	// and receives flag C.
+	boundary := partition.Boundary(g, cells, k)
+	dist := make([]uint32, n)
+	for c, bs := range boundary {
+		for _, b := range bs {
+			f.NumBoundary++
+			reverseTree(b, dist)
+			for u := int32(0); u < int32(n); u++ {
+				du := dist[u]
+				if du == graph.Inf {
+					continue
+				}
+				for i := first[u]; i < first[u+1]; i++ {
+					a := arcs[i]
+					if dv := dist[a.Head]; dv != graph.Inf && graph.AddSat(a.Weight, dv) == du {
+						f.set(int(i), int32(c))
+					}
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+func (f *ArcFlags) set(arc int, cell int32) {
+	f.bits[arc*f.words+int(cell>>6)] |= 1 << (uint(cell) & 63)
+}
+
+// Flag reports whether the arc at index arc (in g.ArcList() order)
+// carries the flag of cell.
+func (f *ArcFlags) Flag(arc int, cell int32) bool {
+	return f.bits[arc*f.words+int(cell>>6)]&(1<<(uint(cell)&63)) != 0
+}
+
+// Cell returns the cell of vertex v.
+func (f *ArcFlags) Cell(v int32) int32 { return f.cells[v] }
+
+// K returns the number of cells.
+func (f *ArcFlags) K() int { return f.k }
+
+// FlagDensity returns the fraction of (arc, cell) pairs whose flag is
+// set — a quality metric: lower is better pruning.
+func (f *ArcFlags) FlagDensity() float64 {
+	var set int
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return float64(set) / float64(f.g.NumArcs()*f.k)
+}
+
+// Query is a reusable flag-pruned Dijkstra solver.
+type Query struct {
+	f       *ArcFlags
+	q       pq.Queue
+	dist    []uint32
+	stamp   []int32
+	version int32
+	scanned int
+}
+
+// NewQuery creates a solver over the flags.
+func NewQuery(f *ArcFlags) *Query {
+	n := f.g.NumVertices()
+	return &Query{
+		f:     f,
+		q:     pq.New(pq.KindBinaryHeap, n, graph.MaxArcWeight(f.g)),
+		dist:  make([]uint32, n),
+		stamp: make([]int32, n),
+	}
+}
+
+// Distance returns the exact s→t distance, relaxing only arcs flagged
+// for t's cell.
+func (q *Query) Distance(s, t int32) uint32 {
+	target := q.f.cells[t]
+	first := q.f.g.FirstOut()
+	arcs := q.f.g.ArcList()
+	q.version++
+	q.q.Reset()
+	q.scanned = 0
+	q.dist[s] = 0
+	q.stamp[s] = q.version
+	q.q.Insert(s, 0)
+	for !q.q.Empty() {
+		v, dv := q.q.ExtractMin()
+		q.scanned++
+		if v == t {
+			return dv
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			if !q.f.Flag(int(i), target) {
+				continue
+			}
+			a := arcs[i]
+			nd := graph.AddSat(dv, a.Weight)
+			if q.stamp[a.Head] != q.version || nd < q.dist[a.Head] {
+				q.dist[a.Head] = nd
+				q.stamp[a.Head] = q.version
+				q.q.Update(a.Head, nd)
+			}
+		}
+	}
+	return graph.Inf
+}
+
+// Scanned returns the number of vertices scanned by the last Distance
+// call — the speedup metric versus plain Dijkstra.
+func (q *Query) Scanned() int { return q.scanned }

@@ -1,0 +1,174 @@
+package arcflags
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/gphast"
+	"phast/internal/graph"
+	"phast/internal/partition"
+	"phast/internal/pq"
+	"phast/internal/roadnet"
+	"phast/internal/simt"
+	"phast/internal/sssp"
+)
+
+func testNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Params{Width: 22, Height: 18, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Graph
+}
+
+func computeFlags(t *testing.T, g *graph.Graph, k int, tree ReverseTreeFunc) (*ArcFlags, []int32) {
+	t.Helper()
+	cells, err := partition.Cells(g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Compute(g, cells, k, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cells
+}
+
+func checkExactQueries(t *testing.T, g *graph.Graph, f *ArcFlags, seed int64, queries int) {
+	t.Helper()
+	q := NewQuery(f)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	for i := 0; i < queries; i++ {
+		s, tt := int32(rng.Intn(n)), int32(rng.Intn(n))
+		got := q.Distance(s, tt)
+		d.Run(s)
+		if want := d.Dist(tt); got != want {
+			t.Fatalf("query %d: flags(%d,%d)=%d, want %d", i, s, tt, got, want)
+		}
+	}
+}
+
+func TestFlagsExactWithDijkstraTrees(t *testing.T) {
+	g := testNet(t)
+	f, _ := computeFlags(t, g, 6, DijkstraReverseTrees(g))
+	checkExactQueries(t, g, f, 1, 40)
+}
+
+func TestFlagsExactWithPHASTTrees(t *testing.T) {
+	g := testNet(t)
+	rev, err := NewReverseEngine(g, ch.Options{Workers: 1}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := computeFlags(t, g, 6, PHASTReverseTrees(rev))
+	checkExactQueries(t, g, f, 2, 40)
+}
+
+func TestFlagsExactWithGPHASTTrees(t *testing.T) {
+	g := testNet(t)
+	rev, err := NewReverseEngine(g, ch.Options{Workers: 1}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grev, err := gphast.NewEngine(rev, simt.NewDevice(simt.GTX580()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := computeFlags(t, g, 4, GPHASTReverseTrees(grev, g.NumVertices()))
+	checkExactQueries(t, g, f, 3, 25)
+}
+
+func TestPHASTAndDijkstraTreesGiveSameFlags(t *testing.T) {
+	g := testNet(t)
+	rev, err := NewReverseEngine(g, ch.Options{Workers: 1}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := computeFlags(t, g, 5, DijkstraReverseTrees(g))
+	fp, _ := computeFlags(t, g, 5, PHASTReverseTrees(rev))
+	for arc := 0; arc < g.NumArcs(); arc++ {
+		for c := int32(0); c < 5; c++ {
+			if fd.Flag(arc, c) != fp.Flag(arc, c) {
+				t.Fatalf("flag (%d,%d) differs between tree providers", arc, c)
+			}
+		}
+	}
+}
+
+func TestFlagsPruneSearch(t *testing.T) {
+	g := testNet(t)
+	f, cells := computeFlags(t, g, 8, DijkstraReverseTrees(g))
+	if d := f.FlagDensity(); d <= 0 || d >= 1 {
+		t.Fatalf("flag density %f implausible", d)
+	}
+	q := NewQuery(f)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	// A cross-network query should scan far fewer vertices than Dijkstra.
+	var s, tt int32 = -1, -1
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if cells[v] == 0 && s < 0 {
+			s = v
+		}
+		if cells[v] == 7 && tt < 0 {
+			tt = v
+		}
+	}
+	if s < 0 || tt < 0 {
+		t.Skip("partition missing expected cells")
+	}
+	got := q.Distance(s, tt)
+	d.Run(s)
+	if got != d.Dist(tt) {
+		t.Fatalf("distance mismatch")
+	}
+	if q.Scanned() >= d.Scanned() {
+		t.Fatalf("flags scanned %d vertices, Dijkstra %d — no pruning", q.Scanned(), d.Scanned())
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := testNet(t)
+	if _, err := Compute(g, make([]int32, 3), 2, DijkstraReverseTrees(g)); err == nil {
+		t.Fatal("wrong cells length accepted")
+	}
+	bad := make([]int32, g.NumVertices())
+	bad[0] = 99
+	if _, err := Compute(g, bad, 2, DijkstraReverseTrees(g)); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+}
+
+func TestManyCellsBitsetWords(t *testing.T) {
+	// k>64 exercises multi-word bitsets.
+	g := testNet(t)
+	f, _ := computeFlags(t, g, 70, DijkstraReverseTrees(g))
+	checkExactQueries(t, g, f, 4, 15)
+	if f.K() != 70 {
+		t.Fatalf("K=%d", f.K())
+	}
+}
+
+func TestUnreachableTarget(t *testing.T) {
+	// Two islands: queries across must return Inf.
+	g, err := graph.FromArcs(4, [][3]int64{{0, 1, 1}, {1, 0, 1}, {2, 3, 1}, {3, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []int32{0, 0, 1, 1}
+	f, err := Compute(g, cells, 2, DijkstraReverseTrees(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(f)
+	if got := q.Distance(0, 3); got != graph.Inf {
+		t.Fatalf("distance across islands = %d, want Inf", got)
+	}
+	if got := q.Distance(0, 1); got != 1 {
+		t.Fatalf("intra-island distance = %d, want 1", got)
+	}
+}

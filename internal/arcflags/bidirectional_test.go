@@ -1,0 +1,136 @@
+package arcflags
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/graph"
+	"phast/internal/partition"
+	"phast/internal/pq"
+	"phast/internal/roadnet"
+	"phast/internal/sssp"
+)
+
+func buildBidirectional(t *testing.T, g *graph.Graph, k int) (*Bidirectional, []int32) {
+	t.Helper()
+	cells, err := partition.Cells(g, k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := NewReverseEngine(g, ch.Options{Workers: 1}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hFwd := ch.Build(g, ch.Options{Workers: 1})
+	fwdEng, err := core.NewEngine(hFwd, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := ComputeBidirectional(g, cells, k,
+		PHASTReverseTrees(rev), PHASTForwardTrees(fwdEng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bi, cells
+}
+
+func TestBidirectionalExact(t *testing.T) {
+	net, err := roadnet.Generate(roadnet.Params{Width: 20, Height: 18, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	bi, _ := buildBidirectional(t, g, 6)
+	q := NewBiQuery(bi)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		s, tt := int32(rng.Intn(g.NumVertices())), int32(rng.Intn(g.NumVertices()))
+		got := q.Distance(s, tt)
+		d.Run(s)
+		if want := d.Dist(tt); got != want {
+			t.Fatalf("bidi flags (%d,%d)=%d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestBidirectionalExactOneWay(t *testing.T) {
+	// Asymmetric graphs are the dangerous case for backward flags.
+	net, err := roadnet.Generate(roadnet.Params{Width: 16, Height: 14, Seed: 72, OneWayProb: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	bi, _ := buildBidirectional(t, g, 4)
+	q := NewBiQuery(bi)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		s, tt := int32(rng.Intn(g.NumVertices())), int32(rng.Intn(g.NumVertices()))
+		got := q.Distance(s, tt)
+		d.Run(s)
+		if want := d.Dist(tt); got != want {
+			t.Fatalf("one-way bidi flags (%d,%d)=%d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestBidirectionalPrunesMoreThanUnidirectional(t *testing.T) {
+	net, err := roadnet.Generate(roadnet.Params{Width: 26, Height: 24, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	bi, cells := buildBidirectional(t, g, 8)
+	uni := NewQuery(bi.Forward())
+	bq := NewBiQuery(bi)
+	// Long cross-network queries.
+	var s, tt int32 = -1, -1
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if cells[v] == 0 && s < 0 {
+			s = v
+		}
+		if cells[v] == 7 && tt < 0 {
+			tt = v
+		}
+	}
+	if s < 0 || tt < 0 {
+		t.Skip("cells missing")
+	}
+	var uniScanned, biScanned int
+	for trial := 0; trial < 5; trial++ {
+		if got, want := bq.Distance(s, tt), uni.Distance(s, tt); got != want {
+			t.Fatalf("bi/uni disagree: %d vs %d", got, want)
+		}
+		biScanned += bq.Scanned()
+		uniScanned += uni.Scanned()
+	}
+	if biScanned >= uniScanned {
+		t.Fatalf("bidirectional scanned %d, unidirectional %d — no extra pruning", biScanned, uniScanned)
+	}
+}
+
+func TestBidirectionalSameVertexAndUnreachable(t *testing.T) {
+	g, err := graph.FromArcs(4, [][3]int64{{0, 1, 1}, {1, 0, 1}, {2, 3, 1}, {3, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []int32{0, 0, 1, 1}
+	bi, err := ComputeBidirectional(g, cells, 2,
+		DijkstraReverseTrees(g), DijkstraReverseTrees(g.Transpose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewBiQuery(bi)
+	if d := q.Distance(2, 2); d != 0 {
+		t.Fatalf("d(2,2)=%d", d)
+	}
+	if d := q.Distance(0, 3); d != graph.Inf {
+		t.Fatalf("cross-island d=%d, want Inf", d)
+	}
+	if d := q.Distance(0, 1); d != 1 {
+		t.Fatalf("d(0,1)=%d, want 1", d)
+	}
+}

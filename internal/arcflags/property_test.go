@@ -1,0 +1,120 @@
+package arcflags
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"phast/internal/graph"
+	"phast/internal/partition"
+	"phast/internal/pq"
+	"phast/internal/sssp"
+)
+
+// flagInstance is a quick.Generator producing small random digraphs with
+// partitions, so the exactness of flag-pruned queries is checked far off
+// the road-network happy path.
+type flagInstance struct {
+	g     *graph.Graph
+	cells []int32
+	k     int
+}
+
+// Generate implements quick.Generator.
+func (flagInstance) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(30)
+	b := graph.NewBuilder(n)
+	for i := 0; i < 4*n; i++ {
+		b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(1+rng.Intn(20)))
+	}
+	g := b.Build()
+	k := 1 + rng.Intn(4)
+	if k > n {
+		k = n
+	}
+	cells, err := partition.Cells(g, k, rng.Int63())
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(flagInstance{g: g, cells: cells, k: k})
+}
+
+// TestQuickFlagsExactOnRandomGraphs: flag-pruned distances equal
+// Dijkstra distances for arbitrary graphs, partitions and query pairs —
+// both the unidirectional and bidirectional variants.
+func TestQuickFlagsExactOnRandomGraphs(t *testing.T) {
+	prop := func(in flagInstance) bool {
+		f, err := Compute(in.g, in.cells, in.k, DijkstraReverseTrees(in.g))
+		if err != nil {
+			return false
+		}
+		bi, err := ComputeBidirectional(in.g, in.cells, in.k,
+			DijkstraReverseTrees(in.g), DijkstraReverseTrees(in.g.Transpose()))
+		if err != nil {
+			return false
+		}
+		uni := NewQuery(f)
+		two := NewBiQuery(bi)
+		d := sssp.NewDijkstra(in.g, pq.KindBinaryHeap)
+		n := in.g.NumVertices()
+		for q := 0; q < 8; q++ {
+			s, tt := int32(q%n), int32((q*7+1)%n)
+			d.Run(s)
+			want := d.Dist(tt)
+			if uni.Distance(s, tt) != want {
+				t.Logf("uni (%d,%d) != %d", s, tt, want)
+				return false
+			}
+			if two.Distance(s, tt) != want {
+				t.Logf("bidi (%d,%d) != %d", s, tt, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFlagsAreSupersetOfTreeArcs: every arc on some shortest path
+// into a cell must carry that cell's flag (no false negatives — false
+// positives only cost work, false negatives cost correctness).
+func TestQuickFlagsAreSupersetOfTreeArcs(t *testing.T) {
+	prop := func(in flagInstance) bool {
+		f, err := Compute(in.g, in.cells, in.k, DijkstraReverseTrees(in.g))
+		if err != nil {
+			return false
+		}
+		d := sssp.NewDijkstra(in.g, pq.KindBinaryHeap)
+		first := in.g.FirstOut()
+		arcs := in.g.ArcList()
+		n := in.g.NumVertices()
+		for s := int32(0); s < int32(n); s++ {
+			d.Run(s)
+			for u := int32(0); u < int32(n); u++ {
+				du := d.Dist(u)
+				if du == graph.Inf {
+					continue
+				}
+				for i := first[u]; i < first[u+1]; i++ {
+					a := arcs[i]
+					if graph.AddSat(du, a.Weight) != d.Dist(a.Head) {
+						continue // not tight: not on a shortest path from s
+					}
+					// The arc starts a shortest path from u to a.Head, so
+					// it must be flagged for a.Head's cell.
+					if !f.Flag(int(i), in.cells[a.Head]) {
+						t.Logf("tight arc (%d,%d) lacks flag of cell %d", u, a.Head, in.cells[a.Head])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

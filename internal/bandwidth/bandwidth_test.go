@@ -1,0 +1,64 @@
+package bandwidth
+
+import (
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/roadnet"
+)
+
+func TestBoundsRunAndOrder(t *testing.T) {
+	net, err := roadnet.Generate(roadnet.Params{Width: 48, Height: 48, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ch.Build(net.Graph, ch.Options{Workers: 1})
+	dist := make([]uint32, net.Graph.NumVertices())
+	seq := Sequential(h.DownIn, dist, 3)
+	trav := Traversal(h.DownIn, dist, 3)
+	if seq <= 0 || trav <= 0 {
+		t.Fatalf("non-positive measurements: %v %v", seq, trav)
+	}
+	// The vertex-loop traversal can never beat the straight stream by
+	// more than noise; allow 2x margin for timer jitter on tiny runs.
+	if trav*2 < seq {
+		t.Fatalf("traversal (%v) implausibly faster than sequential (%v)", trav, seq)
+	}
+	if b := BytesTouched(h.DownIn, dist); b <= 0 {
+		t.Fatalf("BytesTouched=%d", b)
+	}
+}
+
+func TestTraversalComputesArcSums(t *testing.T) {
+	net, err := roadnet.Generate(roadnet.Params{Width: 10, Height: 10, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	rev := g.Transpose()
+	dist := make([]uint32, g.NumVertices())
+	Traversal(rev, dist, 1)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		var want uint32
+		for _, a := range rev.Arcs(v) {
+			want += a.Weight
+		}
+		if dist[v] != want {
+			t.Fatalf("dist[%d]=%d, want arc sum %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestSequentialParallelRuns(t *testing.T) {
+	net, err := roadnet.Generate(roadnet.Params{Width: 32, Height: 32, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]uint32, net.Graph.NumVertices())
+	if d := SequentialParallel(net.Graph, dist, 2, 4); d <= 0 {
+		t.Fatalf("parallel bound %v", d)
+	}
+	if d := SequentialParallel(net.Graph, dist, 1, 0); d <= 0 {
+		t.Fatal("workers<1 not defaulted")
+	}
+}

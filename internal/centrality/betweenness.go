@@ -1,0 +1,156 @@
+package centrality
+
+import (
+	"math/rand"
+	"sort"
+
+	"phast/internal/core"
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/sssp"
+)
+
+// BetweennessDijkstra computes betweenness centrality contributions of
+// the given sources with Brandes' algorithm [28] over Dijkstra searches:
+// c_B(v) = Σ_{s≠v≠t} σ_st(v)/σ_st restricted to s in sources. With
+// sources = all vertices it is exact (including graphs with non-unique
+// shortest paths). It is the baseline PHAST replaces. Arc lengths must
+// be strictly positive (zero-length arcs would break the distance-order
+// path counting).
+func BetweennessDijkstra(g *graph.Graph, sources []int32) []float64 {
+	n := g.NumVertices()
+	cb := make([]float64, n)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int32, n)
+	order := make([]int32, 0, n)
+	for _, s := range sources {
+		d.Run(s)
+		order = order[:0]
+		for v := int32(0); v < int32(n); v++ {
+			sigma[v] = 0
+			delta[v] = 0
+			preds[v] = preds[v][:0]
+			if d.Dist(v) != graph.Inf {
+				order = append(order, v)
+			}
+		}
+		sigma[s] = 1
+		// Count shortest paths along the shortest-path DAG in distance
+		// order; predecessors are collected in the same pass.
+		sort.Slice(order, func(i, j int) bool { return d.Dist(order[i]) < d.Dist(order[j]) })
+		for _, v := range order {
+			dv := d.Dist(v)
+			for _, a := range g.Arcs(v) {
+				if graph.AddSat(dv, a.Weight) == d.Dist(a.Head) {
+					sigma[a.Head] += sigma[v]
+					preds[a.Head] = append(preds[a.Head], v)
+				}
+			}
+		}
+		// Dependency accumulation in reverse distance order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	return cb
+}
+
+// BetweennessPHAST computes the same contributions with PHAST trees.
+// When shortest paths are unique (σ = 1 everywhere, typical for road
+// networks with jittered lengths) the shortest-path DAG is a tree and
+// Brandes' accumulation needs only the parent pointers the linear sweep
+// already produces, so each source costs one PHAST tree plus a linear
+// pass — the speedup claimed in Section VII-B.c. With ties the result is
+// the centrality of the canonical tree paths (an approximation).
+func BetweennessPHAST(g *graph.Graph, e *core.Engine, sources []int32) []float64 {
+	n := g.NumVertices()
+	cb := make([]float64, n)
+	delta := make([]float64, n)
+	parents := make([]int32, n)
+	order := make([]int32, 0, n)
+	for _, s := range sources {
+		e.Tree(s)
+		e.GTreeParents(parents)
+		order = order[:0]
+		for v := int32(0); v < int32(n); v++ {
+			delta[v] = 0
+			if e.Dist(v) != graph.Inf {
+				order = append(order, v)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return e.Dist(order[i]) > e.Dist(order[j]) })
+		for _, w := range order {
+			if p := parents[w]; p >= 0 {
+				delta[p] += 1 + delta[w]
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	return cb
+}
+
+// BetweennessApprox estimates full betweenness centrality from a uniform
+// sample of pivot sources, scaling each pivot's contribution by n/k
+// (the Brandes–Pich estimator the paper's Section VII-B.c mentions PHAST
+// "could also be helpful for accelerating"). With k = n it degenerates
+// to the exact tree-based computation.
+func BetweennessApprox(g *graph.Graph, e *core.Engine, samples int, seed int64) []float64 {
+	n := g.NumVertices()
+	if samples > n {
+		samples = n
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pivots := rng.Perm(n)[:samples]
+	sources := make([]int32, samples)
+	for i, p := range pivots {
+		sources[i] = int32(p)
+	}
+	cb := BetweennessPHAST(g, e, sources)
+	scale := float64(n) / float64(samples)
+	for v := range cb {
+		cb[v] *= scale
+	}
+	return cb
+}
+
+// UniqueShortestPaths reports whether every shortest path from every
+// given source is unique — the condition under which BetweennessPHAST
+// and Reaches are exact. A vertex with two tight incoming arcs (both
+// satisfying d(u) + l(u,v) = d(v)) has at least two shortest paths. It
+// runs one Dijkstra per source.
+func UniqueShortestPaths(g *graph.Graph, sources []int32) bool {
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	rev := g.Transpose()
+	n := g.NumVertices()
+	for _, s := range sources {
+		d.Run(s)
+		for v := int32(0); v < int32(n); v++ {
+			if d.Dist(v) == graph.Inf || v == s {
+				continue
+			}
+			tight := 0
+			for _, a := range rev.Arcs(v) {
+				if du := d.Dist(a.Head); du != graph.Inf && graph.AddSat(du, a.Weight) == d.Dist(v) {
+					tight++
+					if tight > 1 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

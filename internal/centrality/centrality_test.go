@@ -1,0 +1,302 @@
+package centrality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/roadnet"
+	"phast/internal/sssp"
+)
+
+func testEngine(t *testing.T, g *graph.Graph) *core.Engine {
+	t.Helper()
+	h := ch.Build(g, ch.Options{Workers: 1})
+	e, err := core.NewEngine(h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// uniqueNet returns a small road network verified to have unique
+// shortest paths from every vertex.
+func uniqueNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	for seed := int64(1); seed < 20; seed++ {
+		net, err := roadnet.Generate(roadnet.Params{Width: 10, Height: 9, Seed: seed, JitterFrac: 0.45})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := net.Graph
+		all := make([]int32, g.NumVertices())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		if UniqueShortestPaths(g, all) {
+			return g
+		}
+	}
+	t.Fatal("no seed produced unique shortest paths")
+	return nil
+}
+
+// apspOracle computes the full distance matrix with Dijkstra.
+func apspOracle(g *graph.Graph) [][]uint32 {
+	n := g.NumVertices()
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	out := make([][]uint32, n)
+	for s := 0; s < n; s++ {
+		d.Run(int32(s))
+		out[s] = d.Distances()
+	}
+	return out
+}
+
+func TestReachesMatchesBruteForce(t *testing.T) {
+	g := uniqueNet(t)
+	n := g.NumVertices()
+	e := testEngine(t, g)
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	got := Reaches(g, e, all)
+
+	D := apspOracle(g)
+	want := make([]uint32, n)
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			if D[s][tt] == graph.Inf {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if D[s][v] == graph.Inf || D[v][tt] == graph.Inf {
+					continue
+				}
+				if D[s][v]+D[v][tt] == D[s][tt] {
+					r := D[s][v]
+					if D[v][tt] < r {
+						r = D[v][tt]
+					}
+					if r > want[v] {
+						want[v] = r
+					}
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if got[v] != want[v] {
+			t.Fatalf("reach(%d)=%d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestReachesSampledIsLowerBound(t *testing.T) {
+	g := uniqueNet(t)
+	e := testEngine(t, g)
+	n := g.NumVertices()
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	full := Reaches(g, e, all)
+	sampled := Reaches(g, e, all[:n/4])
+	for v := range full {
+		if sampled[v] > full[v] {
+			t.Fatalf("sampled reach %d exceeds exact %d at %d", sampled[v], full[v], v)
+		}
+	}
+}
+
+// betweennessOracle enumerates σ_st and σ_st(v) directly.
+func betweennessOracle(g *graph.Graph, sources []int32) []float64 {
+	n := g.NumVertices()
+	D := apspOracle(g)
+	// sigma[s][v]: number of shortest s→v paths.
+	sigma := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		sig := make([]float64, n)
+		sig[s] = 1
+		// relax in distance order
+		order := make([]int32, 0, n)
+		for v := 0; v < n; v++ {
+			if D[s][v] != graph.Inf {
+				order = append(order, int32(v))
+			}
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if D[s][order[j]] < D[s][order[i]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		for _, v := range order {
+			for _, a := range g.Arcs(v) {
+				if graph.AddSat(D[s][v], a.Weight) == D[s][a.Head] {
+					sig[a.Head] += sig[v]
+				}
+			}
+		}
+		sigma[s] = sig
+	}
+	cb := make([]float64, n)
+	for _, s := range sources {
+		for tt := 0; tt < n; tt++ {
+			if int32(tt) == s || D[s][tt] == graph.Inf {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if int32(v) == s || v == tt {
+					continue
+				}
+				if D[s][v] != graph.Inf && D[v][tt] != graph.Inf && D[s][v]+D[v][tt] == D[s][tt] {
+					cb[v] += sigma[s][v] * sigma[v][tt] / sigma[s][tt]
+				}
+			}
+		}
+	}
+	return cb
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-6*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestBetweennessDijkstraMatchesOracleWithTies(t *testing.T) {
+	// Diamond with two equal shortest paths 0→3: σ=2 through both middles.
+	g, err := graph.FromArcs(4, [][3]int64{
+		{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BetweennessDijkstra(g, []int32{0, 1, 2, 3})
+	want := betweennessOracle(g, []int32{0, 1, 2, 3})
+	for v := range want {
+		if !close(got[v], want[v]) {
+			t.Fatalf("cb(%d)=%f, want %f", v, got[v], want[v])
+		}
+	}
+	// Each middle vertex carries half of the single s-t pair (0,3).
+	if !close(got[1], 0.5) || !close(got[2], 0.5) {
+		t.Fatalf("diamond middles: %f %f, want 0.5 each", got[1], got[2])
+	}
+}
+
+func TestBetweennessDijkstraMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + rng.Intn(12)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(1+rng.Intn(6)))
+		}
+		g := b.BuildDeduped()
+		sources := []int32{0, int32(n / 2)}
+		got := BetweennessDijkstra(g, sources)
+		want := betweennessOracle(g, sources)
+		for v := range want {
+			if !close(got[v], want[v]) {
+				t.Fatalf("trial %d: cb(%d)=%f, want %f", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBetweennessPHASTMatchesDijkstraOnUniquePaths(t *testing.T) {
+	g := uniqueNet(t)
+	e := testEngine(t, g)
+	n := g.NumVertices()
+	sources := make([]int32, 0, n)
+	for i := 0; i < n; i += 3 {
+		sources = append(sources, int32(i))
+	}
+	want := BetweennessDijkstra(g, sources)
+	got := BetweennessPHAST(g, e, sources)
+	for v := range want {
+		if !close(got[v], want[v]) {
+			t.Fatalf("cb(%d)=%f, want %f", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBetweennessApproxFullSampleIsExact(t *testing.T) {
+	g := uniqueNet(t)
+	e := testEngine(t, g)
+	n := g.NumVertices()
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact := BetweennessPHAST(g, e, all)
+	approx := BetweennessApprox(g, e, n, 1)
+	for v := range exact {
+		if !close(approx[v], exact[v]) {
+			t.Fatalf("full-sample approx differs at %d: %f vs %f", v, approx[v], exact[v])
+		}
+	}
+}
+
+func TestBetweennessApproxIsUnbiasedOnAverage(t *testing.T) {
+	g := uniqueNet(t)
+	e := testEngine(t, g)
+	n := g.NumVertices()
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact := BetweennessPHAST(g, e, all)
+	var exactSum float64
+	for _, c := range exact {
+		exactSum += c
+	}
+	// Average several sampled estimates of the total centrality mass;
+	// the estimator is unbiased, so the mean should land near the truth.
+	var estSum float64
+	const rounds = 8
+	for seed := int64(0); seed < rounds; seed++ {
+		approx := BetweennessApprox(g, e, n/4, seed)
+		for _, c := range approx {
+			estSum += c
+		}
+	}
+	estSum /= rounds
+	if estSum < 0.7*exactSum || estSum > 1.3*exactSum {
+		t.Fatalf("approx mass %f too far from exact %f", estSum, exactSum)
+	}
+}
+
+func TestBetweennessApproxClamping(t *testing.T) {
+	g := uniqueNet(t)
+	e := testEngine(t, g)
+	if got := BetweennessApprox(g, e, 0, 1); len(got) != g.NumVertices() {
+		t.Fatal("samples<1 not clamped")
+	}
+	if got := BetweennessApprox(g, e, 10*g.NumVertices(), 1); len(got) != g.NumVertices() {
+		t.Fatal("samples>n not clamped")
+	}
+}
+
+func TestUniqueShortestPathsDetectsTies(t *testing.T) {
+	diamond, err := graph.FromArcs(4, [][3]int64{
+		{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if UniqueShortestPaths(diamond, []int32{0}) {
+		t.Fatal("diamond has two shortest 0→3 paths")
+	}
+	path, err := graph.FromArcs(3, [][3]int64{{0, 1, 2}, {1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !UniqueShortestPaths(path, []int32{0, 1, 2}) {
+		t.Fatal("simple path flagged as ambiguous")
+	}
+}

@@ -1,0 +1,60 @@
+// Package centrality implements the shortest-path centrality measures of
+// Section VII-B.c — exact vertex reach [13] and betweenness [15], [16]
+// — both of which reduce to building (up to) n shortest-path trees and
+// are therefore the paper's flagship PHAST applications.
+package centrality
+
+import (
+	"sort"
+
+	"phast/internal/core"
+	"phast/internal/graph"
+)
+
+// Reaches computes, for each vertex v, max over the given sources s of
+// min(dist(s,v), height_s(v)), where height_s(v) is the longest distance
+// from v to a descendant in the shortest-path tree from s. With sources
+// = all vertices and unique shortest paths this is the exact reach of
+// [13]; with sampled sources it is the standard lower bound. The engine
+// provides the trees; results are indexed by original vertex ID.
+func Reaches(g *graph.Graph, e *core.Engine, sources []int32) []uint32 {
+	n := g.NumVertices()
+	reach := make([]uint32, n)
+	height := make([]uint32, n)
+	parents := make([]int32, n)
+	order := make([]int32, 0, n)
+	for _, s := range sources {
+		e.Tree(s)
+		e.GTreeParents(parents)
+		// Children must be folded into parents before the parent is read,
+		// i.e. in order of decreasing depth (ties are safe with positive
+		// arc lengths: equal-depth vertices are never parent and child).
+		order = order[:0]
+		for v := int32(0); v < int32(n); v++ {
+			height[v] = 0
+			if e.Dist(v) != graph.Inf {
+				order = append(order, v)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return e.Dist(order[i]) > e.Dist(order[j])
+		})
+		for _, v := range order {
+			if p := parents[v]; p >= 0 {
+				if h := height[v] + (e.Dist(v) - e.Dist(p)); h > height[p] {
+					height[p] = h
+				}
+			}
+		}
+		for _, v := range order {
+			r := e.Dist(v)
+			if height[v] < r {
+				r = height[v]
+			}
+			if r > reach[v] {
+				reach[v] = r
+			}
+		}
+	}
+	return reach
+}

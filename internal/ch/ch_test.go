@@ -1,0 +1,412 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/sssp"
+)
+
+func randomGraph(rng *rand.Rand, n, m, maxW int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(1+rng.Intn(maxW)))
+	}
+	return b.Build()
+}
+
+// gridGraph builds a w×h bidirected grid with random weights — the
+// road-network-shaped instance CH is designed for.
+func gridGraph(rng *rand.Rand, w, h, maxW int) *graph.Graph {
+	b := graph.NewBuilder(w * h)
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				wt := uint32(1 + rng.Intn(maxW))
+				b.MustAddArc(id(x, y), id(x+1, y), wt)
+				b.MustAddArc(id(x+1, y), id(x, y), wt)
+			}
+			if y+1 < h {
+				wt := uint32(1 + rng.Intn(maxW))
+				b.MustAddArc(id(x, y), id(x, y+1), wt)
+				b.MustAddArc(id(x, y+1), id(x, y), wt)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBuildInvariantsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(4*n), 20)
+		h := Build(g, Options{Workers: 1})
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// A ∪ A+ must contain at least every deduped original non-loop arc.
+		orig := map[[2]int32]bool{}
+		for v := int32(0); v < int32(n); v++ {
+			for _, a := range g.Arcs(v) {
+				if a.Head != v {
+					orig[[2]int32{v, a.Head}] = true
+				}
+			}
+		}
+		if got := h.Up.NumArcs() + h.Down.NumArcs(); got < len(orig) {
+			t.Fatalf("trial %d: A∪A+ has %d arcs, fewer than %d original", trial, got, len(orig))
+		}
+	}
+}
+
+func TestBuildInvariantsGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gridGraph(rng, 12, 9, 30)
+	h := Build(g, Options{})
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := h.LevelSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("level sizes sum to %d, want %d", total, g.NumVertices())
+	}
+	if h.MaxLevel < 3 {
+		t.Fatalf("grid hierarchy suspiciously flat: max level %d", h.MaxLevel)
+	}
+}
+
+func TestQueryMatchesDijkstraRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(5*n), 25)
+		h := Build(g, Options{Workers: 1})
+		q := NewQuery(h)
+		d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+		for k := 0; k < 15; k++ {
+			s, tt := int32(rng.Intn(n)), int32(rng.Intn(n))
+			got := q.Distance(s, tt)
+			d.Run(s)
+			if want := d.Dist(tt); got != want {
+				t.Fatalf("trial %d: ch(%d,%d)=%d, want %d", trial, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestQueryMatchesDijkstraGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gridGraph(rng, 10, 10, 40)
+	h := Build(g, Options{})
+	q := NewQuery(h)
+	d := sssp.NewDijkstra(g, pq.KindDial)
+	for k := 0; k < 40; k++ {
+		s, tt := int32(rng.Intn(100)), int32(rng.Intn(100))
+		got := q.Distance(s, tt)
+		d.Run(s)
+		if want := d.Dist(tt); got != want {
+			t.Fatalf("ch(%d,%d)=%d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestQueryPathValidAndTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gridGraph(rng, 8, 8, 20)
+	h := Build(g, Options{})
+	q := NewQuery(h)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for k := 0; k < 30; k++ {
+		s, tt := int32(rng.Intn(64)), int32(rng.Intn(64))
+		path := q.Path(s, tt)
+		d.Run(s)
+		want := d.Dist(tt)
+		if want == graph.Inf {
+			if path != nil {
+				t.Fatalf("path to unreachable target: %v", path)
+			}
+			continue
+		}
+		if len(path) == 0 || path[0] != s || path[len(path)-1] != tt {
+			t.Fatalf("path endpoints wrong: %v (s=%d t=%d)", path, s, tt)
+		}
+		var sum uint32
+		for i := 1; i < len(path); i++ {
+			w, ok := g.FindArc(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path uses non-arc (%d,%d)", path[i-1], path[i])
+			}
+			sum += w
+		}
+		if sum != want {
+			t.Fatalf("path length %d, want %d (path %v)", sum, want, path)
+		}
+	}
+}
+
+func TestPathSelfLoopQuery(t *testing.T) {
+	g, err := graph.FromArcs(3, [][3]int64{{0, 1, 2}, {1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Build(g, Options{Workers: 1})
+	q := NewQuery(h)
+	p := q.Path(1, 1)
+	if len(p) != 1 || p[0] != 1 {
+		t.Fatalf("path(1,1)=%v, want [1]", p)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gridGraph(rng, 9, 7, 25)
+	h1 := Build(g, Options{Workers: 1})
+	h2 := Build(g, Options{Workers: 3})
+	for v := range h1.Rank {
+		if h1.Rank[v] != h2.Rank[v] {
+			t.Fatalf("rank of %d differs across builds: %d vs %d", v, h1.Rank[v], h2.Rank[v])
+		}
+		if h1.Level[v] != h2.Level[v] {
+			t.Fatalf("level of %d differs across builds", v)
+		}
+	}
+	if h1.NumShortcuts != h2.NumShortcuts {
+		t.Fatalf("shortcut counts differ: %d vs %d", h1.NumShortcuts, h2.NumShortcuts)
+	}
+}
+
+func TestUpwardSearchSpaceIsSmall(t *testing.T) {
+	// On a hierarchical instance the target-independent upward search
+	// visits far fewer vertices than the graph has (paper: ~500 of 18M).
+	rng := rand.New(rand.NewSource(7))
+	g := gridGraph(rng, 20, 20, 30)
+	h := Build(g, Options{})
+	s := newUpSearch(h.Up, g.NumVertices())
+	total := 0
+	for trial := 0; trial < 20; trial++ {
+		s.runToEmpty(int32(rng.Intn(400)))
+		total += len(s.touchedList())
+	}
+	avg := total / 20
+	if avg > g.NumVertices()/2 {
+		t.Fatalf("upward search space too large: avg %d of %d", avg, g.NumVertices())
+	}
+}
+
+func TestPermuteHierarchyPreservesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := gridGraph(rng, 8, 6, 15)
+	h := Build(g, Options{Workers: 1})
+	n := g.NumVertices()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	hp, err := h.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hp.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(h)
+	qp := NewQuery(hp)
+	for k := 0; k < 25; k++ {
+		s, tt := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if got, want := qp.Distance(perm[s], perm[tt]), q.Distance(s, tt); got != want {
+			t.Fatalf("permuted query (%d,%d): %d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestIsolatedAndEmptyGraphs(t *testing.T) {
+	h := Build(graph.NewBuilder(0).Build(), Options{Workers: 1})
+	if h.G.NumVertices() != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+	g, err := graph.FromArcs(4, nil) // four isolated vertices
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = Build(g, Options{Workers: 1})
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumShortcuts != 0 || h.MaxLevel != 0 {
+		t.Fatalf("isolated vertices created shortcuts (%d) or levels (%d)", h.NumShortcuts, h.MaxLevel)
+	}
+	q := NewQuery(h)
+	if d := q.Distance(0, 3); d != graph.Inf {
+		t.Fatalf("distance between isolated vertices = %d", d)
+	}
+}
+
+func TestStallingQueriesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := gridGraph(rng, 14, 12, 40)
+	h := Build(g, Options{Workers: 1})
+	plain := NewQuery(h)
+	stall := NewQuery(h)
+	stall.EnableStalling()
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	n := int32(g.NumVertices())
+	totalStalled := 0
+	for k := 0; k < 60; k++ {
+		s, tt := int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))
+		want := plain.Distance(s, tt)
+		got := stall.Distance(s, tt)
+		d.Run(s)
+		if want != d.Dist(tt) || got != want {
+			t.Fatalf("query (%d,%d): plain %d stalling %d dijkstra %d", s, tt, want, got, d.Dist(tt))
+		}
+		totalStalled += stall.fwd.stalled + stall.bwd.stalled
+	}
+	if totalStalled == 0 {
+		t.Fatal("stall-on-demand never stalled a vertex on a grid instance")
+	}
+}
+
+func TestStallingPathStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := gridGraph(rng, 9, 9, 20)
+	h := Build(g, Options{Workers: 1})
+	q := NewQuery(h)
+	q.EnableStalling()
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for k := 0; k < 20; k++ {
+		s, tt := int32(rng.Intn(81)), int32(rng.Intn(81))
+		d.Run(s)
+		want := d.Dist(tt)
+		path := q.Path(s, tt)
+		if want == graph.Inf {
+			if path != nil {
+				t.Fatal("path to unreachable")
+			}
+			continue
+		}
+		var sum uint32
+		for i := 1; i < len(path); i++ {
+			w, ok := g.FindArc(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("non-arc on stalled path")
+			}
+			sum += w
+		}
+		if sum != want {
+			t.Fatalf("stalled path length %d, want %d", sum, want)
+		}
+	}
+}
+
+func TestNestedDissectionOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = gridGraph(rng, 5+rng.Intn(8), 5+rng.Intn(8), 10)
+		} else {
+			n := 1 + rng.Intn(50)
+			g = randomGraph(rng, n, rng.Intn(4*n), 10)
+		}
+		order := NestedDissectionOrder(g)
+		if len(order) != g.NumVertices() {
+			t.Fatalf("order length %d, want %d", len(order), g.NumVertices())
+		}
+		seen := make([]bool, g.NumVertices())
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("vertex %d ordered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFixedOrderCHIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := gridGraph(rng, 10, 9, 30)
+	order := NestedDissectionOrder(g)
+	h := Build(g, Options{Workers: 1, FixedOrder: order})
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks must follow the given order exactly.
+	for i, v := range order {
+		if h.Rank[v] != int32(i) {
+			t.Fatalf("rank[%d]=%d, want %d", v, h.Rank[v], i)
+		}
+	}
+	q := NewQuery(h)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for k := 0; k < 30; k++ {
+		s, tt := int32(rng.Intn(90)), int32(rng.Intn(90))
+		d.Run(s)
+		if got, want := q.Distance(s, tt), d.Dist(tt); got != want {
+			t.Fatalf("ND-ordered ch(%d,%d)=%d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestFixedOrderRejectsNonPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := gridGraph(rng, 4, 4, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad FixedOrder accepted")
+		}
+	}()
+	Build(g, Options{Workers: 1, FixedOrder: []int32{0, 0, 1}})
+}
+
+func TestDownGraphReuseClaim(t *testing.T) {
+	// Section VI argues GPU shared memory cannot help GPHAST because
+	// "each arc is only looked at exactly once, and each distance label
+	// is written once and read very few times (no more than twice on
+	// average)". The sweep reads v's label once per outgoing downward
+	// arc, so the claim is: average out-degree of G↓ is small (~2).
+	rng := rand.New(rand.NewSource(10))
+	g := gridGraph(rng, 24, 22, 40)
+	h := Build(g, Options{})
+	avgReads := float64(h.Down.NumArcs()) / float64(g.NumVertices())
+	if avgReads > 3.5 {
+		t.Fatalf("labels read %.2f times on average; paper claims ~2", avgReads)
+	}
+	// And writes: the sweep stores each label exactly once per tree by
+	// construction — verified structurally: every vertex appears exactly
+	// once in the sweep order (ranks are a permutation, checked in
+	// CheckInvariants).
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopLimitsStillCorrect(t *testing.T) {
+	// Aggressively tiny hop limits must still give exact queries (only
+	// more shortcuts).
+	rng := rand.New(rand.NewSource(9))
+	g := gridGraph(rng, 7, 7, 12)
+	loose := Build(g, Options{Workers: 1})
+	tight := Build(g, Options{HopLimitLow: 1, DegreeLow: 1e9, Workers: 1})
+	if tight.NumShortcuts < loose.NumShortcuts {
+		t.Fatalf("tighter witness search created fewer shortcuts: %d < %d",
+			tight.NumShortcuts, loose.NumShortcuts)
+	}
+	q := NewQuery(tight)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for k := 0; k < 25; k++ {
+		s, tt := int32(rng.Intn(49)), int32(rng.Intn(49))
+		d.Run(s)
+		if got, want := q.Distance(s, tt), d.Dist(tt); got != want {
+			t.Fatalf("hop-limited ch(%d,%d)=%d, want %d", s, tt, got, want)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package ch
+
+import (
+	"runtime"
+	"sync"
+
+	"phast/internal/graph"
+)
+
+// Options configures CH preprocessing. The zero value selects the
+// paper's parameters (Section VIII-A).
+type Options struct {
+	// HopLimitLow is the witness-search hop limit while the average
+	// degree of the uncontracted graph is below DegreeLow (paper: 5 hops
+	// up to degree 5). 0 selects the default.
+	HopLimitLow int32
+	DegreeLow   float64
+	// HopLimitMid applies up to DegreeMid (paper: 10 hops up to degree
+	// 10); beyond DegreeMid searches are unlimited.
+	HopLimitMid int32
+	DegreeMid   float64
+	// Workers bounds the goroutines used for initial priority computation
+	// and for re-prioritizing neighbors after each contraction
+	// (paper: "we update the priorities of all neighbors simultaneously").
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// Priority overrides the vertex-ordering weights; nil selects the
+	// paper's 2·ED + CN + H + 5·L. Any ordering is correct (Section
+	// II-B); the weights trade preprocessing time against hierarchy
+	// quality, which the ablation experiment quantifies.
+	Priority *PriorityWeights
+	// FixedOrder, when non-nil, contracts vertices in exactly this
+	// sequence (FixedOrder[i] is contracted i-th, receiving rank i) and
+	// bypasses the priority queue entirely. Must be a permutation of the
+	// vertices. Used to plug external orderings such as
+	// NestedDissectionOrder — the paper notes PHAST "works well with any
+	// function that produces a good contraction hierarchy".
+	FixedOrder []int32
+}
+
+// PriorityWeights are the coefficients of the contraction priority
+// function weightED·ED(u) + weightCN·CN(u) + weightH·H(u) + weightL·L(u).
+type PriorityWeights struct {
+	ED, CN, H, L int64
+}
+
+// DefaultPriority returns the paper's coefficients (Section VIII-A).
+func DefaultPriority() PriorityWeights { return PriorityWeights{ED: 2, CN: 1, H: 1, L: 5} }
+
+func (o Options) withDefaults() Options {
+	if o.HopLimitLow == 0 {
+		o.HopLimitLow = 5
+	}
+	if o.DegreeLow == 0 {
+		o.DegreeLow = 5
+	}
+	if o.HopLimitMid == 0 {
+		o.HopLimitMid = 10
+	}
+	if o.DegreeMid == 0 {
+		o.DegreeMid = 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Priority == nil {
+		w := DefaultPriority()
+		o.Priority = &w
+	}
+	return o
+}
+
+// dynArc is an arc of the shrinking overlay graph during contraction.
+type dynArc struct {
+	to   int32
+	w    uint32
+	hops int32 // number of original arcs this (possibly shortcut) arc represents
+	mid  int32 // contracted middle vertex, -1 for an original arc
+}
+
+// dyngraph is the mutable graph the contraction routine works on: out-
+// and in-adjacency with lazy deletion (contracted endpoints are skipped).
+type dyngraph struct {
+	out        [][]dynArc
+	in         [][]dynArc
+	contracted []bool
+}
+
+func newDyngraph(g *graph.Graph) *dyngraph {
+	n := g.NumVertices()
+	d := &dyngraph{
+		out:        make([][]dynArc, n),
+		in:         make([][]dynArc, n),
+		contracted: make([]bool, n),
+	}
+	rev := g.Transpose()
+	for v := int32(0); v < int32(n); v++ {
+		for _, a := range g.Arcs(v) {
+			if a.Head == v {
+				continue // self-loops never matter for shortest paths
+			}
+			d.addOrImprove(&d.out[v], dynArc{to: a.Head, w: a.Weight, hops: 1, mid: -1})
+		}
+		for _, a := range rev.Arcs(v) {
+			if a.Head == v {
+				continue
+			}
+			d.addOrImprove(&d.in[v], dynArc{to: a.Head, w: a.Weight, hops: 1, mid: -1})
+		}
+	}
+	return d
+}
+
+// addOrImprove inserts arc or lowers the weight of an existing arc to the
+// same endpoint, keeping adjacency lists free of parallel arcs.
+func (d *dyngraph) addOrImprove(list *[]dynArc, arc dynArc) {
+	for i := range *list {
+		if (*list)[i].to == arc.to {
+			if arc.w < (*list)[i].w {
+				(*list)[i] = arc
+			}
+			return
+		}
+	}
+	*list = append(*list, arc)
+}
+
+// liveDegree counts uncontracted out- plus in-neighbors of v.
+func (d *dyngraph) liveDegree(v int32) (outDeg, inDeg int) {
+	for _, a := range d.out[v] {
+		if !d.contracted[a.to] {
+			outDeg++
+		}
+	}
+	for _, a := range d.in[v] {
+		if !d.contracted[a.to] {
+			inDeg++
+		}
+	}
+	return
+}
+
+// contractor holds the full preprocessing state.
+type contractor struct {
+	g         *graph.Graph
+	opt       Options
+	d         *dyngraph
+	level     []int32
+	rank      []int32
+	cn        []int32 // contracted-neighbor count per vertex
+	heap      *vheap
+	searchers []*witnessSearcher
+	shortcuts []fullArc
+	// remaining arc/vertex counts drive the hop-limit schedule.
+	remainingArcs     int
+	remainingVertices int
+}
+
+// simResult is the outcome of simulating the contraction of one vertex.
+type simResult struct {
+	shortcuts []fullArc
+	removed   int
+	hCost     int64
+}
+
+// Build runs CH preprocessing on g and returns the hierarchy.
+func Build(g *graph.Graph, opt Options) *Hierarchy {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	c := &contractor{
+		g:                 g,
+		opt:               opt,
+		d:                 newDyngraph(g),
+		level:             make([]int32, n),
+		rank:              make([]int32, n),
+		cn:                make([]int32, n),
+		heap:              newVheap(n),
+		remainingVertices: n,
+	}
+	for v := int32(0); v < int32(n); v++ {
+		c.remainingArcs += len(c.d.out[v])
+	}
+	c.searchers = make([]*witnessSearcher, opt.Workers)
+	for i := range c.searchers {
+		c.searchers[i] = newWitnessSearcher(n)
+	}
+
+	if opt.FixedOrder != nil {
+		if !graph.IsPermutation(opt.FixedOrder) || len(opt.FixedOrder) != n {
+			panic("ch: FixedOrder is not a permutation of the vertices")
+		}
+		for i, v := range opt.FixedOrder {
+			sim := c.simulate(v, c.searchers[0])
+			c.contract(v, sim, int32(i))
+		}
+		return assemble(g, c.rank, c.level, c.shortcuts)
+	}
+
+	// Initial priorities, computed in parallel.
+	prios := make([]int64, n)
+	c.forEachParallel(n, func(worker int, v int32) {
+		sim := c.simulate(v, c.searchers[worker])
+		prios[v] = c.priority(v, sim)
+	})
+	for v := int32(0); v < int32(n); v++ {
+		c.heap.push(v, prios[v])
+	}
+
+	// Main contraction loop with lazy re-evaluation: the popped vertex is
+	// re-simulated (we need its shortcut list anyway); if its fresh
+	// priority no longer beats the heap top it is re-queued.
+	nextRank := int32(0)
+	for !c.heap.empty() {
+		v, _ := c.heap.pop()
+		sim := c.simulate(v, c.searchers[0])
+		p := c.priority(v, sim)
+		if !c.heap.empty() && p > c.heap.topKey() {
+			c.heap.push(v, p)
+			continue
+		}
+		c.contract(v, sim, nextRank)
+		nextRank++
+	}
+	return assemble(g, c.rank, c.level, c.shortcuts)
+}
+
+// hopLimit returns the current witness-search hop limit given the average
+// degree of the uncontracted graph (Section VIII-A schedule).
+func (c *contractor) hopLimit() int32 {
+	if c.remainingVertices == 0 {
+		return 0
+	}
+	avg := float64(c.remainingArcs) / float64(c.remainingVertices)
+	switch {
+	case avg <= c.opt.DegreeLow:
+		return c.opt.HopLimitLow
+	case avg <= c.opt.DegreeMid:
+		return c.opt.HopLimitMid
+	default:
+		return 0 // unlimited
+	}
+}
+
+// simulate determines the shortcuts contracting v would create, using ws
+// for witness searches. It does not modify the graph.
+func (c *contractor) simulate(v int32, ws *witnessSearcher) simResult {
+	d := c.d
+	var ins, outs []dynArc
+	for _, a := range d.in[v] {
+		if !d.contracted[a.to] {
+			ins = append(ins, a)
+		}
+	}
+	for _, a := range d.out[v] {
+		if !d.contracted[a.to] {
+			outs = append(outs, a)
+		}
+	}
+	res := simResult{removed: len(ins) + len(outs)}
+	if len(ins) == 0 || len(outs) == 0 {
+		return res
+	}
+	var maxOut uint32
+	for _, a := range outs {
+		if a.w > maxOut {
+			maxOut = a.w
+		}
+	}
+	hop := c.hopLimit()
+	for _, ua := range ins {
+		u := ua.to
+		bound := graph.AddSat(ua.w, maxOut)
+		ws.run(d, u, v, bound, hop)
+		for _, wa := range outs {
+			w := wa.to
+			if w == u {
+				continue
+			}
+			via := graph.AddSat(ua.w, wa.w)
+			if ws.distTo(w) > via {
+				// (u,v)·(v,w) is the only shortest u→w path: shortcut it.
+				res.shortcuts = append(res.shortcuts, fullArc{from: u, to: w, w: via, mid: v})
+				res.hCost += int64(min32(ua.hops, 3) + min32(wa.hops, 3))
+			}
+		}
+	}
+	return res
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// priority evaluates the weighted ordering function (by default
+// 2·ED(u) + CN(u) + H(u) + 5·L(u)) for the simulated contraction of v.
+func (c *contractor) priority(v int32, sim simResult) int64 {
+	w := c.opt.Priority
+	ed := int64(len(sim.shortcuts)) - int64(sim.removed)
+	return w.ED*ed + w.CN*int64(c.cn[v]) + w.H*sim.hCost + w.L*int64(c.level[v])
+}
+
+// contract applies a simulated contraction: records rank, inserts the
+// shortcuts into the overlay graph, bumps neighbor levels and
+// contracted-neighbor counts, and re-prioritizes all live neighbors in
+// parallel.
+func (c *contractor) contract(v int32, sim simResult, rank int32) {
+	d := c.d
+	c.rank[v] = rank
+	// Collect live neighbors before marking v contracted.
+	neighborSet := map[int32]struct{}{}
+	for _, a := range d.out[v] {
+		if !d.contracted[a.to] {
+			neighborSet[a.to] = struct{}{}
+		}
+	}
+	for _, a := range d.in[v] {
+		if !d.contracted[a.to] {
+			neighborSet[a.to] = struct{}{}
+		}
+	}
+	d.contracted[v] = true
+	c.remainingVertices--
+	c.remainingArcs -= sim.removed
+
+	for _, s := range sim.shortcuts {
+		hops := shortcutHops(d, v, s)
+		d.addOrImprove(&d.out[s.from], dynArc{to: s.to, w: s.w, hops: hops, mid: v})
+		d.addOrImprove(&d.in[s.to], dynArc{to: s.from, w: s.w, hops: hops, mid: v})
+		c.shortcuts = append(c.shortcuts, s)
+		c.remainingArcs++
+	}
+
+	neighbors := make([]int32, 0, len(neighborSet))
+	for u := range neighborSet {
+		if c.level[u] < c.level[v]+1 {
+			c.level[u] = c.level[v] + 1
+		}
+		c.cn[u]++
+		neighbors = append(neighbors, u)
+	}
+
+	if c.opt.FixedOrder != nil {
+		return // fixed order: no priorities to maintain
+	}
+	// Re-prioritize neighbors in parallel; heap updates stay sequential.
+	prios := make([]int64, len(neighbors))
+	c.forEachParallel(len(neighbors), func(worker int, i int32) {
+		u := neighbors[i]
+		sim := c.simulate(u, c.searchers[worker])
+		prios[i] = c.priority(u, sim)
+	})
+	for i, u := range neighbors {
+		c.heap.update(u, prios[i])
+	}
+}
+
+// shortcutHops computes the hop count of a new shortcut from the hop
+// counts of its two constituent arcs.
+func shortcutHops(d *dyngraph, v int32, s fullArc) int32 {
+	var hIn, hOut int32 = 1, 1
+	for _, a := range d.in[v] {
+		if a.to == s.from {
+			hIn = a.hops
+			break
+		}
+	}
+	for _, a := range d.out[v] {
+		if a.to == s.to {
+			hOut = a.hops
+			break
+		}
+	}
+	return hIn + hOut
+}
+
+// forEachParallel runs fn(worker, i) for i in [0,n) using the configured
+// worker count. Worker 0 runs on the calling goroutine; with one worker
+// the loop is purely sequential. fn invocations for a given worker index
+// never overlap, so per-worker scratch (witness searchers) is safe.
+func (c *contractor) forEachParallel(n int, fn func(worker int, i int32)) {
+	workers := c.opt.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, int32(i))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 1; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(w, int32(i))
+			}
+		}(w, lo, hi)
+	}
+	for i := 0; i < chunk && i < n; i++ {
+		fn(0, int32(i))
+	}
+	wg.Wait()
+}

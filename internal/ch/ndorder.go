@@ -1,0 +1,137 @@
+package ch
+
+import "phast/internal/graph"
+
+// NestedDissectionOrder computes a contraction order by recursive graph
+// bisection: each level splits the (undirected view of the) graph into
+// two halves with a multi-source-BFS Voronoi, orders the two halves
+// recursively, and places the separator vertices last — so separators
+// end up at the top of the hierarchy. Nested dissection is the ordering
+// family behind customizable route planning; plugged into CH via
+// Options.FixedOrder it demonstrates the paper's remark that PHAST works
+// with any ordering that yields a good hierarchy.
+func NestedDissectionOrder(g *graph.Graph) []int32 {
+	und := undirectedAdjacency(g)
+	verts := make([]int32, g.NumVertices())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	order := make([]int32, 0, len(verts))
+	return ndRecurse(und, verts, order)
+}
+
+// undirectedAdjacency builds symmetric unweighted adjacency lists.
+func undirectedAdjacency(g *graph.Graph) [][]int32 {
+	n := g.NumVertices()
+	adj := make([][]int32, n)
+	add := func(u, v int32) {
+		for _, w := range adj[u] {
+			if w == v {
+				return
+			}
+		}
+		adj[u] = append(adj[u], v)
+	}
+	for u := int32(0); u < int32(n); u++ {
+		for _, a := range g.Arcs(u) {
+			if a.Head != u {
+				add(u, a.Head)
+				add(a.Head, u)
+			}
+		}
+	}
+	return adj
+}
+
+// ndRecurse appends an order for the vertex set `verts` to `order`.
+// The adjacency is global; membership in the current piece is tracked
+// with a side map to avoid building induced subgraphs at every level.
+func ndRecurse(adj [][]int32, verts []int32, order []int32) []int32 {
+	const baseCase = 24
+	if len(verts) <= baseCase {
+		// Small pieces: any order works; keep input (BFS-ish) order.
+		return append(order, verts...)
+	}
+	in := map[int32]int32{} // vertex -> side (-1 unassigned, 0, 1)
+	for _, v := range verts {
+		in[v] = -1
+	}
+	// Two seeds: the first vertex and (approximately) the farthest
+	// vertex from it by BFS hops within the piece.
+	s0 := verts[0]
+	s1 := farthestWithin(adj, in, s0)
+	// Simultaneous BFS growth assigns each vertex the side whose seed
+	// reaches it first.
+	queue := []int32{s0, s1}
+	in[s0], in[s1] = 0, 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range adj[v] {
+			if side, ok := in[w]; ok && side < 0 {
+				in[w] = in[v]
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Separator: side-0 vertices adjacent to side 1 (one-sided vertex
+	// separator). Unreached vertices (disconnected pieces) go to side 0.
+	var a, b, sep []int32
+	for _, v := range verts {
+		if in[v] < 0 {
+			in[v] = 0
+		}
+	}
+	for _, v := range verts {
+		if in[v] == 1 {
+			b = append(b, v)
+			continue
+		}
+		isSep := false
+		for _, w := range adj[v] {
+			if side, ok := in[w]; ok && side == 1 {
+				isSep = true
+				break
+			}
+		}
+		if isSep {
+			sep = append(sep, v)
+		} else {
+			a = append(a, v)
+		}
+	}
+	if len(a) == 0 || len(b) == 0 {
+		// Degenerate cut (e.g. a clique): fall back to input order to
+		// guarantee progress.
+		return append(order, verts...)
+	}
+	order = ndRecurse(adj, a, order)
+	order = ndRecurse(adj, b, order)
+	return append(order, sep...)
+}
+
+// farthestWithin returns a vertex of the current piece maximizing BFS
+// hop distance from s (ties: first found).
+func farthestWithin(adj [][]int32, in map[int32]int32, s int32) int32 {
+	seen := map[int32]bool{s: true}
+	queue := []int32{s}
+	last := s
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		last = v
+		for _, w := range adj[v] {
+			if _, member := in[w]; member && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if last == s && len(queue) == 1 {
+		// s is isolated within the piece; pick any other member.
+		for v := range in {
+			if v != s {
+				return v
+			}
+		}
+	}
+	return last
+}

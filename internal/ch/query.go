@@ -1,0 +1,271 @@
+package ch
+
+import "phast/internal/graph"
+
+// Query is a reusable bidirectional CH point-to-point solver (Section
+// II-B): a forward Dijkstra from s restricted to upward arcs and a
+// backward Dijkstra from t restricted to downward arcs (traversed in
+// reverse, i.e. on DownIn), each stopping when its queue minimum reaches
+// the best meeting value µ.
+type Query struct {
+	h        *Hierarchy
+	fwd, bwd *upSearch
+}
+
+// NewQuery creates a solver bound to h.
+func NewQuery(h *Hierarchy) *Query {
+	n := h.G.NumVertices()
+	return &Query{
+		h:   h,
+		fwd: newUpSearch(h.Up, n),
+		bwd: newUpSearch(h.DownIn, n),
+	}
+}
+
+// EnableStalling turns on stall-on-demand (Geisberger et al.): before a
+// settled vertex v is scanned, the search checks whether some arc of the
+// opposite direction proves v's label suboptimal — a downward arc (u,v)
+// with d(u) + l(u,v) < d(v) for the forward search, symmetrically an
+// upward arc for the backward search. A stalled vertex's label cannot
+// lie on a shortest path entirely inside the search's half, so its arcs
+// are skipped. Distances stay exact; search spaces shrink.
+func (q *Query) EnableStalling() {
+	q.fwd.stallG = q.h.DownIn // incoming downward arcs, tails stored in Head
+	q.bwd.stallG = q.h.Up     // the backward search runs on DownIn; its stall witnesses are upward arcs
+}
+
+// Distance returns the s→t distance in G, or graph.Inf.
+func (q *Query) Distance(s, t int32) uint32 {
+	q.fwd.init(s)
+	q.bwd.init(t)
+	mu := graph.Inf
+	for !q.fwd.done() || !q.bwd.done() {
+		for _, side := range [2]*upSearch{q.fwd, q.bwd} {
+			if side.done() {
+				continue
+			}
+			if side.minKey() >= mu {
+				side.stop()
+				continue
+			}
+			v := side.settleNext()
+			other := q.bwd
+			if side == q.bwd {
+				other = q.fwd
+			}
+			if od := other.dist(v); od != graph.Inf {
+				if m := graph.AddSat(side.dist(v), od); m < mu {
+					mu = m
+				}
+			}
+		}
+	}
+	return mu
+}
+
+// MeetingVertex returns the distance and the maximum-rank vertex u on a
+// shortest s→t path (the vertex minimizing d_s(u)+d_t(u)), or (-1, Inf)
+// if t is unreachable. Path expansion starts from it.
+func (q *Query) MeetingVertex(s, t int32) (int32, uint32) {
+	// Run both searches to exhaustion of the µ criterion, then scan
+	// settled vertices of the smaller side for the best meeting point.
+	d := q.Distance(s, t)
+	if d == graph.Inf {
+		return -1, graph.Inf
+	}
+	best, bestV := graph.Inf, int32(-1)
+	for _, v := range q.fwd.touchedList() {
+		fd, bd := q.fwd.dist(v), q.bwd.dist(v)
+		if fd == graph.Inf || bd == graph.Inf {
+			continue
+		}
+		if m := graph.AddSat(fd, bd); m < best || (m == best && bestV >= 0 && q.h.Rank[v] > q.h.Rank[bestV]) {
+			best, bestV = m, v
+		}
+	}
+	return bestV, d
+}
+
+// Path returns the s→t shortest path as a sequence of original-graph
+// vertices (beginning with s and ending with t), or nil if unreachable.
+// Shortcuts are unpacked recursively (Section VII-A).
+func (q *Query) Path(s, t int32) []int32 {
+	u, d := q.MeetingVertex(s, t)
+	if d == graph.Inf {
+		return nil
+	}
+	upPart := q.treePath(q.fwd, q.h.Up, q.h.UpMid, u)           // u..s (reversed below)
+	downPart := q.treePath(q.bwd, q.h.DownIn, q.h.DownInMid, u) // u..t in reverse-arc space
+	// upPart holds s→u after reversal.
+	reverse(upPart)
+	path := append([]int32(nil), s)
+	for i := 1; i < len(upPart); i++ {
+		seg := q.h.UnpackUpArc(upPart[i-1], upPart[i])
+		path = append(path, seg[1:]...)
+	}
+	for i := 1; i < len(downPart); i++ {
+		// downPart steps follow DownIn arcs (x→y meaning arc (y,x) ∈ A↓);
+		// in forward direction it is the arc downPart[i-1] ← downPart[i],
+		// i.e. a downward arc from downPart[i-1] to downPart[i].
+		seg := q.h.UnpackDownArc(downPart[i-1], downPart[i])
+		path = append(path, seg[1:]...)
+	}
+	return path
+}
+
+// treePath walks parent pointers of a search from u back to its root.
+func (q *Query) treePath(s *upSearch, g *graph.Graph, mids []int32, u int32) []int32 {
+	var p []int32
+	for v := u; v >= 0; v = s.parent(v) {
+		p = append(p, v)
+	}
+	return p
+}
+
+func reverse(xs []int32) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// UnpackUpArc expands the upward arc (v,w) ∈ A↑ into the original-graph
+// vertex sequence v,...,w it represents.
+func (h *Hierarchy) UnpackUpArc(v, w int32) []int32 {
+	return h.unpack(v, w, h.arcMid(h.Up, h.UpMid, v, w))
+}
+
+// UnpackDownArc expands the downward arc (v,w) ∈ A↓ into the vertex
+// sequence v,...,w.
+func (h *Hierarchy) UnpackDownArc(v, w int32) []int32 {
+	return h.unpack(v, w, h.arcMid(h.Down, h.DownMid, v, w))
+}
+
+// arcMid finds the middle vertex recorded for arc (v,w) in g.
+func (h *Hierarchy) arcMid(g *graph.Graph, mids []int32, v, w int32) int32 {
+	first := g.FirstOut()[v]
+	for i, a := range g.Arcs(v) {
+		if a.Head == w {
+			return mids[int(first)+i]
+		}
+	}
+	panic("ch: arc not found during unpacking")
+}
+
+// unpack recursively expands the arc (v,w) with middle vertex mid. The
+// shortcut (v,w) via m consists of the downward arc (v,m) — m was
+// contracted before both endpoints, so Rank[m] < Rank[v] — and the
+// upward arc (m,w).
+func (h *Hierarchy) unpack(v, w, mid int32) []int32 {
+	if mid < 0 {
+		return []int32{v, w}
+	}
+	left := h.unpack(v, mid, h.arcMid(h.Down, h.DownMid, v, mid))
+	right := h.unpack(mid, w, h.arcMid(h.Up, h.UpMid, mid, w))
+	return append(left, right[1:]...)
+}
+
+// upSearch is a small reusable Dijkstra over an upward search graph; it
+// is also the first phase of PHAST (the target-independent CH forward
+// search of Section III).
+type upSearch struct {
+	g       *graph.Graph
+	stallG  *graph.Graph // stall-on-demand witness arcs; nil disables
+	distv   []uint32
+	parentv []int32
+	stamp   []int32
+	version int32
+	heap    *vheap
+	touched []int32
+	stopped bool
+	stalled int // vertices stalled in the current search
+}
+
+func newUpSearch(g *graph.Graph, n int) *upSearch {
+	return &upSearch{
+		g:       g,
+		distv:   make([]uint32, n),
+		parentv: make([]int32, n),
+		stamp:   make([]int32, n),
+		heap:    newVheap(n),
+	}
+}
+
+func (s *upSearch) init(src int32) {
+	s.version++
+	for !s.heap.empty() {
+		s.heap.pop()
+	}
+	s.touched = s.touched[:0]
+	s.stopped = false
+	s.stalled = 0
+	s.label(src, 0, -1)
+	s.heap.push(src, 0)
+}
+
+func (s *upSearch) label(v int32, d uint32, parent int32) {
+	if s.stamp[v] != s.version {
+		s.touched = append(s.touched, v)
+	}
+	s.distv[v] = d
+	s.parentv[v] = parent
+	s.stamp[v] = s.version
+}
+
+func (s *upSearch) done() bool { return s.stopped || s.heap.empty() }
+func (s *upSearch) stop()      { s.stopped = true }
+func (s *upSearch) minKey() uint32 {
+	if s.heap.empty() {
+		return graph.Inf
+	}
+	return uint32(s.heap.topKey())
+}
+
+// settleNext pops and scans the next vertex, returning it. With
+// stalling enabled, a vertex whose label is dominated by a witness arc
+// from the opposite direction is settled without being scanned.
+func (s *upSearch) settleNext() int32 {
+	v, kv := s.heap.pop()
+	dv := uint32(kv)
+	if s.stallG != nil {
+		for _, a := range s.stallG.Arcs(v) {
+			if du := s.dist(a.Head); du != graph.Inf && graph.AddSat(du, a.Weight) < dv {
+				s.stalled++
+				return v
+			}
+		}
+	}
+	for _, a := range s.g.Arcs(v) {
+		nd := graph.AddSat(dv, a.Weight)
+		if nd < s.dist(a.Head) {
+			s.label(a.Head, nd, v)
+			s.heap.update(a.Head, int64(nd))
+		}
+	}
+	return v
+}
+
+// runToEmpty settles everything reachable (the loose stopping criterion
+// PHAST uses: the upward search space is tiny, ~500 vertices).
+func (s *upSearch) runToEmpty(src int32) {
+	s.init(src)
+	for !s.heap.empty() {
+		s.settleNext()
+	}
+}
+
+func (s *upSearch) dist(v int32) uint32 {
+	if s.stamp[v] != s.version {
+		return graph.Inf
+	}
+	return s.distv[v]
+}
+
+func (s *upSearch) parent(v int32) int32 {
+	if s.stamp[v] != s.version {
+		return -1
+	}
+	return s.parentv[v]
+}
+
+// touchedList returns the vertices labeled by the current search.
+func (s *upSearch) touchedList() []int32 { return s.touched }

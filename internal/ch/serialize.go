@@ -1,0 +1,166 @@
+package ch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"phast/internal/graph"
+)
+
+// Binary serialization of a Hierarchy, so the minutes-scale CH
+// preprocessing of large instances (Section VIII-A: 5–41 minutes on the
+// paper's inputs) is paid once and reloaded in milliseconds. The format
+// is a little-endian dump of all arrays behind a magic/version header;
+// ReadHierarchy validates structure (CheckInvariants-level checks are
+// the caller's choice, they cost a full scan).
+
+const (
+	chMagic   uint32 = 0x50484348 // "PHCH"
+	chVersion uint32 = 1
+)
+
+// WriteHierarchy serializes h to w.
+func WriteHierarchy(w io.Writer, h *Hierarchy) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, h); err != nil {
+		return err
+	}
+	if err := writeInt32s(bw, h.Rank); err != nil {
+		return err
+	}
+	if err := writeInt32s(bw, h.Level); err != nil {
+		return err
+	}
+	if err := writeGraph(bw, h.G); err != nil {
+		return err
+	}
+	for _, gm := range []struct {
+		g    *graph.Graph
+		mids []int32
+	}{{h.Up, h.UpMid}, {h.Down, h.DownMid}, {h.DownIn, h.DownInMid}} {
+		if err := writeGraph(bw, gm.g); err != nil {
+			return err
+		}
+		if err := writeInt32s(bw, gm.mids); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, h *Hierarchy) error {
+	hdr := []uint32{chMagic, chVersion, uint32(h.G.NumVertices()),
+		uint32(h.NumShortcuts), uint32(h.MaxLevel)}
+	return binary.Write(w, binary.LittleEndian, hdr)
+}
+
+func writeInt32s(w io.Writer, xs []int32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(xs))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, xs)
+}
+
+func writeGraph(w io.Writer, g *graph.Graph) error {
+	if err := writeInt32s(w, g.FirstOut()); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(g.NumArcs())); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, g.ArcList())
+}
+
+// ReadHierarchy deserializes a hierarchy written by WriteHierarchy,
+// validating the header and all structural (CSR, length, ID-range)
+// invariants of the embedded graphs.
+func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("ch: reading header: %w", err)
+	}
+	if hdr[0] != chMagic {
+		return nil, fmt.Errorf("ch: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != chVersion {
+		return nil, fmt.Errorf("ch: unsupported version %d", hdr[1])
+	}
+	n := int(hdr[2])
+	h := &Hierarchy{NumShortcuts: int(hdr[3]), MaxLevel: int32(hdr[4])}
+	var err error
+	if h.Rank, err = readInt32s(br, n); err != nil {
+		return nil, fmt.Errorf("ch: rank: %w", err)
+	}
+	if h.Level, err = readInt32s(br, n); err != nil {
+		return nil, fmt.Errorf("ch: level: %w", err)
+	}
+	if h.G, err = readGraph(br, n); err != nil {
+		return nil, fmt.Errorf("ch: graph: %w", err)
+	}
+	read := func(name string) (*graph.Graph, []int32, error) {
+		g, err := readGraph(br, n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ch: %s: %w", name, err)
+		}
+		mids, err := readInt32s(br, g.NumArcs())
+		if err != nil {
+			return nil, nil, fmt.Errorf("ch: %s mids: %w", name, err)
+		}
+		for _, m := range mids {
+			if m < -1 || int(m) >= n {
+				return nil, nil, fmt.Errorf("ch: %s mid %d out of range", name, m)
+			}
+		}
+		return g, mids, nil
+	}
+	if h.Up, h.UpMid, err = read("up"); err != nil {
+		return nil, err
+	}
+	if h.Down, h.DownMid, err = read("down"); err != nil {
+		return nil, err
+	}
+	if h.DownIn, h.DownInMid, err = read("downIn"); err != nil {
+		return nil, err
+	}
+	if !graph.IsPermutation(h.Rank) {
+		return nil, fmt.Errorf("ch: ranks are not a permutation")
+	}
+	return h, nil
+}
+
+func readInt32s(r io.Reader, want int) ([]int32, error) {
+	var ln uint32
+	if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+		return nil, err
+	}
+	if int(ln) != want {
+		return nil, fmt.Errorf("length %d, want %d", ln, want)
+	}
+	xs := make([]int32, ln)
+	if err := binary.Read(r, binary.LittleEndian, xs); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}
+
+func readGraph(r io.Reader, n int) (*graph.Graph, error) {
+	first, err := readInt32s(r, n+1)
+	if err != nil {
+		return nil, err
+	}
+	var m uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n > 0 && int(m) > 64*n || n == 0 && m != 0 {
+		return nil, fmt.Errorf("implausible arc count %d for %d vertices", m, n)
+	}
+	arcs := make([]graph.Arc, m)
+	if err := binary.Read(r, binary.LittleEndian, arcs); err != nil {
+		return nil, err
+	}
+	return graph.FromRaw(first, arcs)
+}

@@ -1,0 +1,122 @@
+package ch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/sssp"
+)
+
+func TestHierarchyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g := gridGraph(rng, 10, 9, 25)
+	h := Build(g, Options{Workers: 1})
+	var buf bytes.Buffer
+	if err := WriteHierarchy(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumShortcuts != h.NumShortcuts || back.MaxLevel != h.MaxLevel {
+		t.Fatalf("metadata lost: %d/%d vs %d/%d",
+			back.NumShortcuts, back.MaxLevel, h.NumShortcuts, h.MaxLevel)
+	}
+	if !back.G.Equal(h.G) || !back.Up.Equal(h.Up) || !back.Down.Equal(h.Down) || !back.DownIn.Equal(h.DownIn) {
+		t.Fatal("graphs changed in round trip")
+	}
+	for v := range h.Rank {
+		if back.Rank[v] != h.Rank[v] || back.Level[v] != h.Level[v] {
+			t.Fatalf("rank/level changed at %d", v)
+		}
+	}
+	for i := range h.UpMid {
+		if back.UpMid[i] != h.UpMid[i] {
+			t.Fatalf("up mid changed at %d", i)
+		}
+	}
+	// The reloaded hierarchy must answer queries exactly, including path
+	// unpacking (which exercises the mid arrays).
+	q := NewQuery(back)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for trial := 0; trial < 15; trial++ {
+		s, tt := int32(rng.Intn(90)), int32(rng.Intn(90))
+		d.Run(s)
+		if got, want := q.Distance(s, tt), d.Dist(tt); got != want {
+			t.Fatalf("reloaded query (%d,%d)=%d, want %d", s, tt, got, want)
+		}
+		if want := d.Dist(tt); want != 0 && want != ^uint32(0) {
+			p := q.Path(s, tt)
+			if len(p) == 0 || p[0] != s || p[len(p)-1] != tt {
+				t.Fatalf("reloaded path broken: %v", p)
+			}
+		}
+	}
+}
+
+func TestReadHierarchyRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20},
+		"truncated": {0x48, 0x43, 0x48, 0x50, 1, 0, 0, 0}, // magic+version only
+	}
+	for name, data := range cases {
+		if _, err := ReadHierarchy(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadHierarchyRejectsWrongVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := gridGraph(rng, 4, 4, 10)
+	h := Build(g, Options{Workers: 1})
+	var buf bytes.Buffer
+	if err := WriteHierarchy(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // bump version
+	if _, err := ReadHierarchy(bytes.NewReader(data)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestReadHierarchyRejectsCorruptRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := gridGraph(rng, 4, 4, 10)
+	h := Build(g, Options{Workers: 1})
+	var buf bytes.Buffer
+	if err := WriteHierarchy(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Rank array starts after 5 header words + its own length word:
+	// duplicate rank[0] into rank[1] to break the permutation.
+	copy(data[28:32], data[24:28])
+	if _, err := ReadHierarchy(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt rank permutation accepted")
+	}
+}
+
+func TestHierarchyRoundTripEmpty(t *testing.T) {
+	h := Build(graph.NewBuilder(0).Build(), Options{Workers: 1})
+	var buf bytes.Buffer
+	if err := WriteHierarchy(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.NumVertices() != 0 {
+		t.Fatal("empty hierarchy round trip failed")
+	}
+}

@@ -1,0 +1,108 @@
+package ch
+
+// vheap is an updatable binary min-heap over vertices keyed by signed
+// 64-bit priorities, with vertex ID as tie-breaker so contraction orders
+// are deterministic. It is private to CH preprocessing; the queues in
+// internal/pq are keyed by uint32 distances and are not suitable here
+// because ED(u) can make priorities negative.
+type vheap struct {
+	vs   []int32
+	keys []int64
+	pos  []int32 // -1 if absent
+}
+
+func newVheap(n int) *vheap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &vheap{pos: pos}
+}
+
+func (h *vheap) len() int              { return len(h.vs) }
+func (h *vheap) empty() bool           { return len(h.vs) == 0 }
+func (h *vheap) contains(v int32) bool { return h.pos[v] >= 0 }
+
+// topKey returns the minimum key; the heap must be non-empty.
+func (h *vheap) topKey() int64 { return h.keys[0] }
+
+func (h *vheap) less(i, j int32) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.vs[i] < h.vs[j]
+}
+
+func (h *vheap) swap(i, j int32) {
+	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.vs[i]] = i
+	h.pos[h.vs[j]] = j
+}
+
+func (h *vheap) push(v int32, key int64) {
+	i := int32(len(h.vs))
+	h.vs = append(h.vs, v)
+	h.keys = append(h.keys, key)
+	h.pos[v] = i
+	h.up(i)
+}
+
+// update changes v's key in either direction, inserting if absent.
+func (h *vheap) update(v int32, key int64) {
+	i := h.pos[v]
+	if i < 0 {
+		h.push(v, key)
+		return
+	}
+	old := h.keys[i]
+	h.keys[i] = key
+	if key < old {
+		h.up(i)
+	} else {
+		h.down(i)
+	}
+}
+
+func (h *vheap) pop() (int32, int64) {
+	v, key := h.vs[0], h.keys[0]
+	last := int32(len(h.vs) - 1)
+	h.swap(0, last)
+	h.vs = h.vs[:last]
+	h.keys = h.keys[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, key
+}
+
+func (h *vheap) up(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *vheap) down(i int32) {
+	n := int32(len(h.vs))
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}

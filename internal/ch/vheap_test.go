@@ -1,0 +1,98 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVheapOrderingWithNegativeKeys(t *testing.T) {
+	h := newVheap(8)
+	keys := []int64{5, -3, 0, 12, -3, 7, -100, 4}
+	for v, k := range keys {
+		h.push(int32(v), k)
+	}
+	if h.len() != 8 {
+		t.Fatalf("len=%d", h.len())
+	}
+	prev := int64(-1 << 62)
+	for !h.empty() {
+		_, k := h.pop()
+		if k < prev {
+			t.Fatalf("keys out of order: %d after %d", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestVheapTieBreakByVertex(t *testing.T) {
+	h := newVheap(4)
+	h.push(3, 7)
+	h.push(1, 7)
+	h.push(2, 7)
+	v, _ := h.pop()
+	if v != 1 {
+		t.Fatalf("tie broken toward %d, want smallest vertex 1", v)
+	}
+}
+
+func TestVheapUpdateBothDirections(t *testing.T) {
+	h := newVheap(4)
+	h.push(0, 10)
+	h.push(1, 20)
+	h.push(2, 30)
+	h.update(2, 5)  // decrease
+	h.update(0, 40) // increase
+	h.update(3, 15) // insert via update
+	wantOrder := []int32{2, 3, 1, 0}
+	for i, want := range wantOrder {
+		v, _ := h.pop()
+		if v != want {
+			t.Fatalf("pop %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestVheapContainsAndTop(t *testing.T) {
+	h := newVheap(3)
+	if h.contains(0) {
+		t.Fatal("empty heap contains 0")
+	}
+	h.push(0, 9)
+	if !h.contains(0) || h.topKey() != 9 {
+		t.Fatal("contains/topKey broken")
+	}
+	h.pop()
+	if h.contains(0) {
+		t.Fatal("popped element still contained")
+	}
+}
+
+func TestVheapRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		h := newVheap(n)
+		keys := make([]int64, n)
+		for v := range keys {
+			keys[v] = rng.Int63n(1000) - 500
+			h.push(int32(v), keys[v])
+		}
+		// Random updates.
+		for i := 0; i < n/2; i++ {
+			v := int32(rng.Intn(n))
+			keys[v] = rng.Int63n(1000) - 500
+			h.update(v, keys[v])
+		}
+		prev := int64(-1 << 62)
+		for !h.empty() {
+			v, k := h.pop()
+			if k != keys[v] {
+				t.Fatalf("vertex %d popped with key %d, want %d", v, k, keys[v])
+			}
+			if k < prev {
+				t.Fatal("heap order violated")
+			}
+			prev = k
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ch
+
+import "phast/internal/graph"
+
+// witnessSearcher runs the local Dijkstra searches that decide whether a
+// shortcut is needed (Section II-B). Searches are limited by a distance
+// bound and a hop count (Section VIII-A); a truncated search can only
+// over-estimate distances, which adds superfluous shortcuts but never
+// breaks correctness. Each worker owns one searcher, so contraction can
+// re-prioritize neighbors in parallel without sharing scratch state.
+type witnessSearcher struct {
+	dist    []uint32
+	hops    []int32
+	stamp   []int32
+	version int32
+	heap    *vheap
+}
+
+func newWitnessSearcher(n int) *witnessSearcher {
+	return &witnessSearcher{
+		dist:  make([]uint32, n),
+		hops:  make([]int32, n),
+		stamp: make([]int32, n),
+		heap:  newVheap(n),
+	}
+}
+
+// run computes upper bounds on distances from source in the remaining
+// graph, skipping `excluded` (the vertex being contracted) and all
+// already-contracted vertices. It stops when the bound is exceeded or
+// hopLimit (<=0 means unlimited) would be. Distances of settled and
+// labeled vertices are readable via distTo until the next run.
+func (ws *witnessSearcher) run(d *dyngraph, source, excluded int32, bound uint32, hopLimit int32) {
+	ws.version++
+	for !ws.heap.empty() { // clear leftovers from an aborted run
+		ws.heap.pop()
+	}
+	ws.set(source, 0, 0)
+	ws.heap.push(source, 0)
+	for !ws.heap.empty() {
+		v, kv := ws.heap.pop()
+		dv := uint32(kv)
+		if dv > bound {
+			break
+		}
+		if hopLimit > 0 && ws.hops[v] >= hopLimit {
+			continue // may not extend this path further
+		}
+		for _, a := range d.out[v] {
+			if a.to == excluded || d.contracted[a.to] {
+				continue
+			}
+			nd := graph.AddSat(dv, a.w)
+			if nd > bound {
+				continue
+			}
+			if nd < ws.distTo(a.to) {
+				ws.set(a.to, nd, ws.hops[v]+1)
+				ws.heap.update(a.to, int64(nd))
+			}
+		}
+	}
+	// Leftover heap entries (beyond bound) are cleared lazily next run.
+}
+
+func (ws *witnessSearcher) set(v int32, dist uint32, hops int32) {
+	ws.dist[v] = dist
+	ws.hops[v] = hops
+	ws.stamp[v] = ws.version
+}
+
+// distTo returns the best distance label found for v by the last run, or
+// graph.Inf.
+func (ws *witnessSearcher) distTo(v int32) uint32 {
+	if ws.stamp[v] != ws.version {
+		return graph.Inf
+	}
+	return ws.dist[v]
+}

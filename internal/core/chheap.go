@@ -1,0 +1,85 @@
+package core
+
+// chHeap is the tiny binary heap driving PHAST's first phase, the
+// upward CH search. The search space is a few hundred vertices (the
+// paper measures <0.05ms of a 172ms tree), so a plain binary heap is the
+// right tool; CH query times are insensitive to the queue choice
+// (Section VIII-A). It stores engine IDs and reuses its position array
+// across runs via the engine's mark bits, so it allocates only once.
+type chHeap struct {
+	vs   []int32
+	keys []uint32
+	pos  []int32
+}
+
+func newCHHeap(n int) *chHeap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &chHeap{pos: pos}
+}
+
+func (h *chHeap) reset() {
+	for _, v := range h.vs {
+		h.pos[v] = -1
+	}
+	h.vs = h.vs[:0]
+	h.keys = h.keys[:0]
+}
+
+func (h *chHeap) empty() bool { return len(h.vs) == 0 }
+
+func (h *chHeap) swap(i, j int32) {
+	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.vs[i]] = i
+	h.pos[h.vs[j]] = j
+}
+
+// update inserts v or decreases its key.
+func (h *chHeap) update(v int32, key uint32) {
+	i := h.pos[v]
+	if i < 0 {
+		i = int32(len(h.vs))
+		h.vs = append(h.vs, v)
+		h.keys = append(h.keys, key)
+		h.pos[v] = i
+	} else {
+		h.keys[i] = key
+	}
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.keys[p] <= h.keys[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *chHeap) pop() (int32, uint32) {
+	v, key := h.vs[0], h.keys[0]
+	last := int32(len(h.vs) - 1)
+	h.swap(0, last)
+	h.vs = h.vs[:last]
+	h.keys = h.keys[:last]
+	h.pos[v] = -1
+	i, n := int32(0), last
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.keys[r] < h.keys[l] {
+			m = r
+		}
+		if h.keys[i] <= h.keys[m] {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+	return v, key
+}

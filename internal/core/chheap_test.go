@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCHHeapBasicOrdering(t *testing.T) {
+	h := newCHHeap(8)
+	for v, k := range []uint32{9, 2, 7, 2, 11, 0, 5, 3} {
+		h.update(int32(v), k)
+	}
+	prev := uint32(0)
+	count := 0
+	for !h.empty() {
+		_, k := h.pop()
+		if k < prev {
+			t.Fatalf("keys out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+	}
+	if count != 8 {
+		t.Fatalf("popped %d elements, want 8", count)
+	}
+}
+
+func TestCHHeapDecreaseViaUpdate(t *testing.T) {
+	h := newCHHeap(4)
+	h.update(0, 100)
+	h.update(1, 50)
+	h.update(0, 10) // decrease
+	v, k := h.pop()
+	if v != 0 || k != 10 {
+		t.Fatalf("got (%d,%d), want (0,10)", v, k)
+	}
+	v, k = h.pop()
+	if v != 1 || k != 50 {
+		t.Fatalf("got (%d,%d), want (1,50)", v, k)
+	}
+}
+
+func TestCHHeapResetReuse(t *testing.T) {
+	h := newCHHeap(4)
+	h.update(0, 1)
+	h.update(1, 2)
+	h.reset()
+	if !h.empty() {
+		t.Fatal("reset left elements")
+	}
+	h.update(1, 7)
+	v, k := h.pop()
+	if v != 1 || k != 7 {
+		t.Fatalf("reuse after reset broken: (%d,%d)", v, k)
+	}
+}
+
+func TestCHHeapRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(128)
+		h := newCHHeap(n)
+		key := make(map[int32]uint32)
+		for step := 0; step < 400; step++ {
+			if rng.Intn(3) != 0 || len(key) == 0 {
+				v := int32(rng.Intn(n))
+				nk := uint32(rng.Intn(1000))
+				if old, ok := key[v]; ok && nk > old {
+					nk = old // chHeap.update only decreases existing keys
+				}
+				h.update(v, nk)
+				key[v] = nk
+			} else {
+				want := ^uint32(0)
+				for _, k := range key {
+					if k < want {
+						want = k
+					}
+				}
+				v, k := h.pop()
+				if k != want || key[v] != k {
+					t.Fatalf("pop (%d,%d), reference min %d / key %d", v, k, want, key[v])
+				}
+				delete(key, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDistAfterMultiTreePanics pins the misuse guard: single-tree labels
+// are stale after a multi-tree sweep and must not be readable silently.
+func TestDistAfterMultiTreePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	g := gridGraph(rng, 5, 5, 10)
+	e := newEngine(t, g, Options{})
+	e.Tree(0)
+	_ = e.Dist(3) // fine
+	e.MultiTree([]int32{1, 2}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dist after MultiTree did not panic")
+		}
+	}()
+	_ = e.Dist(3)
+}
+
+func TestDistancesIntoAfterMultiTreePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gridGraph(rng, 5, 5, 10)
+	e := newEngine(t, g, Options{})
+	e.MultiTree([]int32{1, 2}, false)
+	buf := make([]uint32, g.NumVertices())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DistancesInto after MultiTree did not panic")
+		}
+	}()
+	e.DistancesInto(buf)
+}
+
+// TestTreeAfterMultiTreeRecovers: a fresh single tree re-enables the
+// single-tree readers.
+func TestTreeAfterMultiTreeRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := gridGraph(rng, 6, 6, 10)
+	e := newEngine(t, g, Options{})
+	e.MultiTree([]int32{1, 2}, false)
+	e.Tree(4)
+	if e.Dist(4) != 0 {
+		t.Fatal("single-tree read after recovery wrong")
+	}
+	e.MultiTree([]int32{3}, false)
+	e.TreeParallel(4)
+	if e.Dist(4) != 0 {
+		t.Fatal("parallel tree did not clear the multi-tree guard")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import "phast/internal/graph"
+
+// relax4 performs the packed relaxation of one arc for four trees at
+// once — the Go analogue of the paper's SSE 4.1 sequence (Section IV-B):
+// load the four tail labels, add four copies of the arc length with
+// saturation at Inf, and store the packed minimum with the four head
+// labels. dst and src must have length 4 (enforced by full slice
+// expressions at the call sites so the compiler can drop bounds checks).
+func relax4(dst, src []uint32, w uint32) {
+	_ = src[3]
+	_ = dst[3]
+	s0 := addSat(src[0], w)
+	s1 := addSat(src[1], w)
+	s2 := addSat(src[2], w)
+	s3 := addSat(src[3], w)
+	if s0 < dst[0] {
+		dst[0] = s0
+	}
+	if s1 < dst[1] {
+		dst[1] = s1
+	}
+	if s2 < dst[2] {
+		dst[2] = s2
+	}
+	if s3 < dst[3] {
+		dst[3] = s3
+	}
+}
+
+// addSat is a local branch-light saturating add: if the 32-bit sum
+// wrapped, the true sum exceeded any representable label and Inf is the
+// correct (neutral) result.
+func addSat(a, b uint32) uint32 {
+	s := a + b
+	if s < a {
+		return graph.Inf
+	}
+	return s
+}

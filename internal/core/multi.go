@@ -1,0 +1,171 @@
+package core
+
+import "phast/internal/graph"
+
+// MultiTree grows one tree per source in a single sweep (Section IV-B):
+// each vertex keeps k = len(sources) labels contiguous in memory; the k
+// upward CH searches run sequentially, then one pass over the downward
+// arcs relaxes all k trees. Larger k improves the locality of the
+// tail-label reads at the cost of k·n label memory.
+//
+// If useLanes is true and k is a multiple of 4, labels are relaxed in
+// 4-wide unrolled lanes — the stand-in for the paper's SSE 4.1 packed
+// add/min (this build has no SIMD intrinsics; see DESIGN.md).
+//
+// Labels are read back with MultiDist. Sources are original vertex IDs.
+func (e *Engine) MultiTree(sources []int32, useLanes bool) {
+	k := len(sources)
+	if k == 0 {
+		e.k = 0
+		return
+	}
+	if useLanes && k%4 != 0 {
+		panic("core: lane-based MultiTree requires k to be a multiple of 4")
+	}
+	if cap(e.kdist) < k*e.s.n {
+		e.kdist = make([]uint32, k*e.s.n)
+	}
+	e.kdist = e.kdist[:k*e.s.n]
+	e.k = k
+	e.lastMulti = true
+	e.touched = e.touched[:0]
+	for i, src := range sources {
+		e.chSearchLane(src, i, k)
+	}
+	if useLanes {
+		e.sweepMultiLanes(k)
+	} else {
+		e.sweepMulti(k)
+	}
+}
+
+// K returns the tree count of the last MultiTree call.
+func (e *Engine) K() int { return e.k }
+
+// MultiDist returns the label of original-ID vertex v in tree i of the
+// last MultiTree call.
+func (e *Engine) MultiDist(i int, v int32) uint32 {
+	return e.kdist[int(e.s.toEngine[v])*e.k+i]
+}
+
+// RawMultiDistances exposes the engine-ID-indexed label array of the
+// last MultiTree: the k labels of engine vertex v start at index v*k.
+func (e *Engine) RawMultiDistances() []uint32 { return e.kdist }
+
+// chSearchLane runs the upward search for lane i of k. The first time a
+// vertex is touched this round all of its k lanes are set to Inf before
+// lane i is written, preserving the implicit-initialization invariant
+// for the other lanes.
+func (e *Engine) chSearchLane(source int32, lane, k int) {
+	src := e.s.toEngine[source]
+	e.src = src
+	q := e.queue
+	q.reset()
+	up := e.s.up
+	kd := e.kdist
+	touch := func(v int32) []uint32 {
+		base := int(v) * k
+		lanes := kd[base : base+k]
+		if !e.mark[v] {
+			e.mark[v] = true
+			e.touched = append(e.touched, v)
+			for j := range lanes {
+				lanes[j] = graph.Inf
+			}
+		}
+		return lanes
+	}
+	touch(src)[lane] = 0
+	q.update(src, 0)
+	for !q.empty() {
+		v, dv := q.pop()
+		for _, a := range up.Arcs(v) {
+			nd := graph.AddSat(dv, a.Weight)
+			lanes := touch(a.Head)
+			if nd < lanes[lane] {
+				lanes[lane] = nd
+				q.update(a.Head, nd)
+			}
+		}
+	}
+}
+
+// sweepMulti relaxes all k trees in one pass with a scalar inner loop.
+func (e *Engine) sweepMulti(k int) {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	kd := e.kdist
+	mark := e.mark
+	n := int32(e.s.n)
+	scan := func(v int32) {
+		base := int(v) * k
+		dv := kd[base : base+k]
+		if !mark[v] {
+			for j := range dv {
+				dv[j] = graph.Inf
+			}
+		} else {
+			mark[v] = false
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			a := arcs[i]
+			ub := int(a.Head) * k
+			du := kd[ub : ub+k]
+			w := uint64(a.Weight)
+			for j := 0; j < k; j++ {
+				if nd := uint64(du[j]) + w; nd < uint64(dv[j]) {
+					dv[j] = uint32(nd)
+				}
+			}
+		}
+	}
+	if e.s.order == nil {
+		for v := int32(0); v < n; v++ {
+			scan(v)
+		}
+	} else {
+		for _, v := range e.s.order {
+			scan(v)
+		}
+	}
+}
+
+// sweepMultiLanes is sweepMulti with the inner loop unrolled into 4-wide
+// lane operations, mirroring the SSE register layout: load four tail
+// labels, add four copies of the arc length, take the packed minimum
+// with four head labels (Section IV-B, "SSE Instructions").
+func (e *Engine) sweepMultiLanes(k int) {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	kd := e.kdist
+	mark := e.mark
+	n := int32(e.s.n)
+	scan := func(v int32) {
+		base := int(v) * k
+		dv := kd[base : base+k]
+		if !mark[v] {
+			for j := range dv {
+				dv[j] = graph.Inf
+			}
+		} else {
+			mark[v] = false
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			a := arcs[i]
+			ub := int(a.Head) * k
+			du := kd[ub : ub+k]
+			for j := 0; j+4 <= k; j += 4 {
+				relax4(dv[j:j+4:j+4], du[j:j+4:j+4], a.Weight)
+			}
+		}
+	}
+	if e.s.order == nil {
+		for v := int32(0); v < n; v++ {
+			scan(v)
+		}
+	} else {
+		for _, v := range e.s.order {
+			scan(v)
+		}
+	}
+}

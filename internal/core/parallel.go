@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+
+	"phast/internal/graph"
+)
+
+// minParallelLevel is the level size below which the parallel sweep
+// processes the level on the calling goroutine: upper CH levels hold a
+// handful of vertices each and a barrier would cost more than the work.
+const minParallelLevel = 1024
+
+// TreeParallel computes the tree from source using the intra-level
+// parallel sweep of Section V: vertices of one level are partitioned
+// into near-equal blocks, one per worker, and workers synchronize with a
+// barrier between levels (Lemma 4.1 makes every level a valid parallel
+// step). Requires a mode with level ranges (reordered or level order);
+// rank order falls back to the sequential sweep.
+func (e *Engine) TreeParallel(source int32) {
+	e.hasParents = false
+	e.lastMulti = false
+	e.chSearch(source, nil)
+	if e.s.levelRanges == nil || e.s.workers <= 1 {
+		if e.s.order == nil {
+			e.sweepIdentity()
+		} else {
+			e.sweepOrdered()
+		}
+		return
+	}
+	e.sweepParallel()
+}
+
+// MultiTreeParallel combines the k-sources-per-sweep batching of Section
+// IV-B with the intra-level parallel sweep of Section V: the k upward
+// searches run sequentially (they are microseconds), then each level's
+// vertices are partitioned across workers, every worker relaxing all k
+// lanes of its block. Falls back to the sequential multi-sweep when the
+// mode has no level ranges or a single worker is configured.
+func (e *Engine) MultiTreeParallel(sources []int32) {
+	k := len(sources)
+	if k == 0 {
+		e.k = 0
+		return
+	}
+	if e.s.levelRanges == nil || e.s.workers <= 1 {
+		e.MultiTree(sources, false)
+		return
+	}
+	if cap(e.kdist) < k*e.s.n {
+		e.kdist = make([]uint32, k*e.s.n)
+	}
+	e.kdist = e.kdist[:k*e.s.n]
+	e.k = k
+	e.lastMulti = true
+	e.touched = e.touched[:0]
+	for i, src := range sources {
+		e.chSearchLane(src, i, k)
+	}
+	e.sweepMultiParallel(k)
+}
+
+func (e *Engine) sweepMultiParallel(k int) {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	kd := e.kdist
+	mark := e.mark
+	order := e.s.order
+	workers := e.s.workers
+
+	scanRange := func(lo, hi int32) {
+		for p := lo; p < hi; p++ {
+			v := p
+			if order != nil {
+				v = order[p]
+			}
+			base := int(v) * k
+			dv := kd[base : base+k]
+			if !mark[v] {
+				for j := range dv {
+					dv[j] = graph.Inf
+				}
+			} else {
+				mark[v] = false
+			}
+			for i := first[v]; i < first[v+1]; i++ {
+				a := arcs[i]
+				ub := int(a.Head) * k
+				du := kd[ub : ub+k]
+				w := uint64(a.Weight)
+				for j := 0; j < k; j++ {
+					if nd := uint64(du[j]) + w; nd < uint64(dv[j]) {
+						dv[j] = uint32(nd)
+					}
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range e.s.levelRanges {
+		lo, hi := r[0], r[1]
+		size := hi - lo
+		if int(size)*k < minParallelLevel {
+			scanRange(lo, hi)
+			continue
+		}
+		chunk := (size + int32(workers) - 1) / int32(workers)
+		for w := 1; w < workers; w++ {
+			clo := lo + int32(w)*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			if clo >= chi {
+				continue
+			}
+			wg.Add(1)
+			go func(clo, chi int32) {
+				defer wg.Done()
+				scanRange(clo, chi)
+			}(clo, chi)
+		}
+		chi := lo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		scanRange(lo, chi)
+		wg.Wait()
+	}
+}
+
+func (e *Engine) sweepParallel() {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	dist := e.dist
+	mark := e.mark
+	order := e.s.order
+	workers := e.s.workers
+
+	// scanRange processes sweep positions [lo,hi).
+	scanRange := func(lo, hi int32) {
+		for p := lo; p < hi; p++ {
+			v := p
+			if order != nil {
+				v = order[p]
+			}
+			best := uint64(graph.Inf)
+			if mark[v] {
+				best = uint64(dist[v])
+				mark[v] = false
+			}
+			for i := first[v]; i < first[v+1]; i++ {
+				a := arcs[i]
+				if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+					best = nd
+				}
+			}
+			dist[v] = uint32(best)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range e.s.levelRanges {
+		lo, hi := r[0], r[1]
+		size := hi - lo
+		if int(size) < minParallelLevel {
+			scanRange(lo, hi)
+			continue
+		}
+		chunk := (size + int32(workers) - 1) / int32(workers)
+		for w := 1; w < workers; w++ {
+			clo := lo + int32(w)*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			if clo >= chi {
+				continue
+			}
+			wg.Add(1)
+			go func(clo, chi int32) {
+				defer wg.Done()
+				scanRange(clo, chi)
+			}(clo, chi)
+		}
+		chi := lo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		scanRange(lo, chi)
+		wg.Wait() // barrier: the next level reads this level's labels
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"phast/internal/ch"
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/sssp"
+)
+
+// instance is a quick.Generator producing random digraphs with sources,
+// so the central PHAST == Dijkstra invariant is checked over arbitrary
+// (not just road-shaped) inputs.
+type instance struct {
+	g       *graph.Graph
+	sources []int32
+}
+
+// Generate implements quick.Generator.
+func (instance) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(40)
+	m := rng.Intn(5 * n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(1+rng.Intn(64)))
+	}
+	sources := make([]int32, 1+rng.Intn(4))
+	for i := range sources {
+		sources[i] = int32(rng.Intn(n))
+	}
+	return reflect.ValueOf(instance{g: b.Build(), sources: sources})
+}
+
+var quickCfg = &quick.Config{MaxCount: 40}
+
+// TestQuickPHASTEqualsDijkstra is the paper's Theorem 3.1 as a property:
+// for every graph, every source and every sweep mode, PHAST labels equal
+// Dijkstra labels.
+func TestQuickPHASTEqualsDijkstra(t *testing.T) {
+	prop := func(in instance) bool {
+		h := ch.Build(in.g, ch.Options{Workers: 1})
+		d := sssp.NewDijkstra(in.g, pq.KindBinaryHeap)
+		for _, mode := range allModes {
+			e, err := NewEngine(h, Options{Mode: mode, Workers: 1})
+			if err != nil {
+				return false
+			}
+			for _, s := range in.sources {
+				e.Tree(s)
+				d.Run(s)
+				for v := int32(0); v < int32(in.g.NumVertices()); v++ {
+					if e.Dist(v) != d.Dist(v) {
+						t.Logf("mode %v src %d vertex %d: %d != %d",
+							mode, s, v, e.Dist(v), d.Dist(v))
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMultiTreeEqualsSingle checks that every lane of a k-sweep
+// matches an independent single-tree computation.
+func TestQuickMultiTreeEqualsSingle(t *testing.T) {
+	prop := func(in instance) bool {
+		h := ch.Build(in.g, ch.Options{Workers: 1})
+		e, err := NewEngine(h, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		single := e.Clone()
+		e.MultiTree(in.sources, false)
+		for i, s := range in.sources {
+			single.Tree(s)
+			for v := int32(0); v < int32(in.g.NumVertices()); v++ {
+				if e.MultiDist(i, v) != single.Dist(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParentChainsAreTight checks that climbing G+ parent pointers
+// from any reached vertex yields strictly decreasing labels and ends at
+// the source.
+func TestQuickParentChainsAreTight(t *testing.T) {
+	prop := func(in instance) bool {
+		h := ch.Build(in.g, ch.Options{Workers: 1})
+		e, err := NewEngine(h, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		s := in.sources[0]
+		e.TreeWithParents(s)
+		n := int32(in.g.NumVertices())
+		for v := int32(0); v < n; v++ {
+			if v == s || e.Dist(v) == graph.Inf {
+				continue
+			}
+			steps := 0
+			for x := v; x != s; {
+				p := e.ParentGPlus(x)
+				if p < 0 || e.Dist(p) >= e.Dist(x) {
+					return false
+				}
+				x = p
+				if steps++; int32(steps) > n {
+					return false // cycle
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroWeightArcs: distances remain exact when arcs of weight zero
+// exist (CH witness searches and the sweep must both tolerate them;
+// only tree derivation in G requires positive lengths).
+func TestZeroWeightArcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(rng.Intn(5))) // 0..4
+		}
+		g := b.Build()
+		h := ch.Build(g, ch.Options{Workers: 1})
+		d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+		for _, mode := range allModes {
+			e, err := NewEngine(h, Options{Mode: mode, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := int32(rng.Intn(n))
+			e.Tree(s)
+			d.Run(s)
+			for v := int32(0); v < int32(n); v++ {
+				if e.Dist(v) != d.Dist(v) {
+					t.Fatalf("trial %d mode %v: zero-weight dist(%d)=%d, want %d",
+						trial, mode, v, e.Dist(v), d.Dist(v))
+				}
+			}
+		}
+	}
+}
+
+// TestQuickUpwardSearchSpaceConsistent checks that the exported search
+// space (used by GPHAST and RPHAST) reproduces the engine's own phase-1
+// labels and resets all marks.
+func TestQuickUpwardSearchSpaceConsistent(t *testing.T) {
+	prop := func(in instance) bool {
+		h := ch.Build(in.g, ch.Options{Workers: 1})
+		e, err := NewEngine(h, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		s := in.sources[0]
+		verts, dists := e.UpwardSearchSpace(s, nil, nil)
+		if len(verts) == 0 || len(verts) != len(dists) {
+			return false
+		}
+		// The source must be in the space with label 0.
+		found := false
+		for i, v := range verts {
+			if v == e.EngineID(s) {
+				found = dists[i] == 0
+			}
+		}
+		if !found {
+			return false
+		}
+		// A following full tree must still be exact (marks were reset).
+		d := sssp.NewDijkstra(in.g, pq.KindBinaryHeap)
+		e.Tree(s)
+		d.Run(s)
+		for v := int32(0); v < int32(in.g.NumVertices()); v++ {
+			if e.Dist(v) != d.Dist(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

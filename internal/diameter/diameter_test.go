@@ -1,0 +1,121 @@
+package diameter
+
+import (
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/gphast"
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/roadnet"
+	"phast/internal/simt"
+	"phast/internal/sssp"
+)
+
+func setup(t *testing.T) (*graph.Graph, *core.Engine) {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Params{Width: 16, Height: 14, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ch.Build(net.Graph, ch.Options{Workers: 1})
+	e, err := core.NewEngine(h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Graph, e
+}
+
+func oracleDiameter(g *graph.Graph) uint32 {
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	var best uint32
+	for s := int32(0); s < int32(g.NumVertices()); s++ {
+		d.Run(s)
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			if dd := d.Dist(v); dd != graph.Inf && dd > best {
+				best = dd
+			}
+		}
+	}
+	return best
+}
+
+func allSources(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+func TestCPUDiameterExact(t *testing.T) {
+	g, e := setup(t)
+	res := CPU(e, allSources(g.NumVertices()))
+	want := oracleDiameter(g)
+	if res.Diameter != want {
+		t.Fatalf("diameter=%d, want %d", res.Diameter, want)
+	}
+	// The witness pair must realize the diameter.
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	d.Run(res.From)
+	if d.Dist(res.To) != want {
+		t.Fatalf("witness (%d,%d) has distance %d, want %d", res.From, res.To, d.Dist(res.To), want)
+	}
+}
+
+func TestGPUDiameterMatchesCPU(t *testing.T) {
+	g, e := setup(t)
+	ge, err := gphast.NewEngine(e.Clone(), simt.NewDevice(simt.GTX580()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := allSources(g.NumVertices())
+	cpu := CPU(e, sources)
+	gpu, err := GPU(ge, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Diameter != cpu.Diameter {
+		t.Fatalf("gpu diameter=%d, cpu=%d", gpu.Diameter, cpu.Diameter)
+	}
+	d := sssp.NewDijkstra(g.Transpose(), pq.KindBinaryHeap)
+	d.Run(gpu.To)
+	found := false
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d.Dist(v) == gpu.Diameter {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("gpu witness endpoint %d does not realize the diameter", gpu.To)
+	}
+}
+
+func TestGPUDiameterUnevenBatches(t *testing.T) {
+	g, e := setup(t)
+	ge, err := gphast.NewEngine(e, simt.NewDevice(simt.GTX580()), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 sources with maxK=7: batches of 7, 7, 3.
+	gpu, err := GPU(ge, allSources(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := CPU(e, allSources(17))
+	if gpu.Diameter != cpu.Diameter {
+		t.Fatalf("uneven batches: gpu=%d cpu=%d", gpu.Diameter, cpu.Diameter)
+	}
+	_ = g
+}
+
+func TestSampledIsLowerBound(t *testing.T) {
+	g, e := setup(t)
+	full := CPU(e, allSources(g.NumVertices()))
+	sampled := CPU(e, allSources(g.NumVertices()/5))
+	if sampled.Diameter > full.Diameter {
+		t.Fatalf("sampled diameter %d exceeds exact %d", sampled.Diameter, full.Diameter)
+	}
+}

@@ -1,0 +1,180 @@
+// Package dimacs reads and writes the 9th DIMACS Implementation
+// Challenge shortest-path formats — the distribution format of the
+// paper's benchmark instances — so that real road networks (Europe/USA)
+// can be plugged into every experiment in place of the synthetic
+// generator.
+//
+// Graph files (.gr):
+//
+//	c <comment>
+//	p sp <n> <m>
+//	a <tail> <head> <weight>     (1-based vertex IDs)
+//
+// Coordinate files (.co):
+//
+//	c <comment>
+//	p aux sp co <n>
+//	v <id> <x> <y>
+package dimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"phast/internal/graph"
+)
+
+// ReadGraph parses a .gr stream.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *graph.Builder
+	declared, added := -1, 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch text[0] {
+		case 'c':
+			continue
+		case 'p':
+			f := strings.Fields(text)
+			if len(f) != 4 || f[1] != "sp" {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line %q", line, text)
+			}
+			n, err1 := strconv.Atoi(f[2])
+			m, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad sizes in %q", line, text)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", line)
+			}
+			b = graph.NewBuilder(n)
+			declared = m
+		case 'a':
+			if b == nil {
+				return nil, fmt.Errorf("dimacs: line %d: arc before problem line", line)
+			}
+			f := strings.Fields(text)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed arc line %q", line, text)
+			}
+			u, err1 := strconv.ParseInt(f[1], 10, 32)
+			v, err2 := strconv.ParseInt(f[2], 10, 32)
+			w, err3 := strconv.ParseUint(f[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad arc %q", line, text)
+			}
+			if err := b.AddArc(int32(u-1), int32(v-1), uint32(w)); err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: %w", line, err)
+			}
+			added++
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	if added != declared {
+		return nil, fmt.Errorf("dimacs: problem line declared %d arcs, file has %d", declared, added)
+	}
+	return b.Build(), nil
+}
+
+// WriteGraph serializes g as a .gr stream with the given comment lines.
+func WriteGraph(w io.Writer, g *graph.Graph, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumArcs()); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, a := range g.Arcs(v) {
+			if _, err := fmt.Fprintf(bw, "a %d %d %d\n", v+1, a.Head+1, a.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCoords parses a .co stream into integer coordinate pairs indexed by
+// 0-based vertex ID.
+func ReadCoords(r io.Reader) ([][2]int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var coords [][2]int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		switch text[0] {
+		case 'p':
+			f := strings.Fields(text)
+			if len(f) != 5 || f[1] != "aux" || f[2] != "sp" || f[3] != "co" {
+				return nil, fmt.Errorf("dimacs: line %d: malformed coord problem line %q", line, text)
+			}
+			n, err := strconv.Atoi(f[4])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad size", line)
+			}
+			coords = make([][2]int64, n)
+		case 'v':
+			if coords == nil {
+				return nil, fmt.Errorf("dimacs: line %d: vertex before problem line", line)
+			}
+			f := strings.Fields(text)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed vertex line %q", line, text)
+			}
+			id, err1 := strconv.ParseInt(f[1], 10, 32)
+			x, err2 := strconv.ParseInt(f[2], 10, 64)
+			y, err3 := strconv.ParseInt(f[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil || id < 1 || int(id) > len(coords) {
+				return nil, fmt.Errorf("dimacs: line %d: bad vertex %q", line, text)
+			}
+			coords[id-1] = [2]int64{x, y}
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if coords == nil {
+		return nil, fmt.Errorf("dimacs: missing coord problem line")
+	}
+	return coords, nil
+}
+
+// WriteCoords serializes coordinates as a .co stream.
+func WriteCoords(w io.Writer, coords [][2]int64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p aux sp co %d\n", len(coords)); err != nil {
+		return err
+	}
+	for i, c := range coords {
+		if _, err := fmt.Fprintf(bw, "v %d %d %d\n", i+1, c[0], c[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package dimacs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/roadnet"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	net, err := roadnet.Generate(roadnet.Params{Width: 20, Height: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, net.Graph, "synthetic test instance"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Graph.Equal(back) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestReadGraphSmall(t *testing.T) {
+	in := `c tiny
+p sp 3 2
+a 1 2 10
+a 2 3 20
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumArcs() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumArcs())
+	}
+	if w, ok := g.FindArc(0, 1); !ok || w != 10 {
+		t.Fatalf("arc (0,1): %d %v", w, ok)
+	}
+	if w, ok := g.FindArc(1, 2); !ok || w != 20 {
+		t.Fatalf("arc (1,2): %d %v", w, ok)
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing problem":     "a 1 2 3\n",
+		"malformed problem":   "p sp 3\n",
+		"bad arity":           "p sp 2 1\na 1 2\n",
+		"arc count mismatch":  "p sp 2 5\na 1 2 3\n",
+		"vertex out of range": "p sp 2 1\na 1 9 3\n",
+		"duplicate problem":   "p sp 2 0\np sp 2 0\n",
+		"unknown record":      "p sp 1 0\nz 1\n",
+		"empty file":          "",
+		"negative weight":     "p sp 2 1\na 1 2 -5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadGraphSkipsBlanksAndComments(t *testing.T) {
+	in := "\nc x\n\np sp 1 0\n\nc y\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatal("blank/comment handling broken")
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	coords := [][2]int64{{-100, 250}, {0, 0}, {123456789, -987654321}}
+	var buf bytes.Buffer
+	if err := WriteCoords(&buf, coords); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCoords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(coords) {
+		t.Fatalf("len=%d, want %d", len(back), len(coords))
+	}
+	for i := range coords {
+		if back[i] != coords[i] {
+			t.Fatalf("coords[%d]=%v, want %v", i, back[i], coords[i])
+		}
+	}
+}
+
+func TestReadCoordsErrors(t *testing.T) {
+	cases := []string{
+		"v 1 2 3\n",
+		"p aux sp co 1\nv 2 0 0\n",
+		"p aux sp co x\n",
+		"p aux sp co 1\nv 1 2\n",
+		"",
+		"p aux sp co 1\nq 1 2 3\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCoords(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteGraphEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, graph.NewBuilder(0).Build()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}

@@ -1,0 +1,67 @@
+package dimacs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph drives the .gr parser with arbitrary input: it must
+// never panic, and anything it accepts must be a structurally valid
+// graph that round-trips losslessly.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 10\na 2 3 20\n")
+	f.Add("c comment\np sp 1 0\n")
+	f.Add("p sp 2 1\na 1 2 4294967295\n")
+	f.Add("a 1 2 3\n")
+	f.Add("p sp -1 0\n")
+	f.Add("p sp 2 1\na 0 1 1\n")
+	f.Add(strings.Repeat("c x\n", 50) + "p sp 2 1\na 2 1 7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadGraph(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted graphs must round-trip exactly.
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !g.Equal(back) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadCoords is the same contract for the .co parser.
+func FuzzReadCoords(f *testing.F) {
+	f.Add("p aux sp co 2\nv 1 3 4\nv 2 -5 6\n")
+	f.Add("p aux sp co 0\n")
+	f.Add("v 1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		coords, err := ReadCoords(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCoords(&buf, coords); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCoords(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(coords) {
+			t.Fatal("round trip changed length")
+		}
+		for i := range coords {
+			if back[i] != coords[i] {
+				t.Fatal("round trip changed coordinates")
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"time"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out: the terms
+// of the contraction priority function (Section VIII-A notes PHAST works
+// with any good ordering, so the interesting question is how much each
+// term buys), the witness-search hop-limit schedule, and the vertex
+// reordering itself (already covered per-layout by Table I but repeated
+// here as sweep-mode rows on a fixed layout).
+func Ablation(e *Env) ([]*Table, error) {
+	t := &Table{
+		ID:    "ablation",
+		Title: "design-choice ablations on " + string(e.Cfg.Preset),
+		Headers: []string{"variant", "prep [ms]", "shortcuts", "levels",
+			"avg up-search", "PHAST tree [ms]"},
+	}
+	type variant struct {
+		name string
+		opt  ch.Options
+	}
+	variants := []variant{
+		{"paper priority (2,1,1,5), hop 5/10", ch.Options{}},
+		{"edge difference only", ch.Options{Priority: &ch.PriorityWeights{ED: 1}}},
+		{"no level term (2,1,1,0)", ch.Options{Priority: &ch.PriorityWeights{ED: 2, CN: 1, H: 1}}},
+		{"no hops/contracted-neighbors (2,0,0,5)", ch.Options{Priority: &ch.PriorityWeights{ED: 2, L: 5}}},
+		{"1-hop witness searches", ch.Options{HopLimitLow: 1, HopLimitMid: 1, DegreeMid: 1e18}},
+		{"unlimited witness searches", ch.Options{HopLimitLow: 1 << 30, HopLimitMid: 1 << 30}},
+		{"nested dissection order", ch.Options{FixedOrder: ch.NestedDissectionOrder(e.G)}},
+	}
+	for _, v := range variants {
+		start := time.Now()
+		h := ch.Build(e.G, v.opt)
+		prep := time.Since(start)
+		eng, err := core.NewEngine(h, core.Options{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		eng.Tree(e.Sources[0])
+		// Average upward-search-space size: the CH-query-cost proxy.
+		total := 0
+		for _, s := range e.Sources {
+			verts, _ := eng.UpwardSearchSpace(s, nil, nil)
+			total += len(verts)
+		}
+		tree := e.perTree(func(s int32) { eng.Tree(s) })
+		t.AddRow(v.name, ms(prep), itoa(h.NumShortcuts), itoa(int(h.MaxLevel)+1),
+			itoa(total/len(e.Sources)), ms(tree))
+		e.logf("ablation: %s done (%v prep)", v.name, prep)
+	}
+
+	// Sweep-order ablation on the default hierarchy (Section III vs IV-A).
+	t2 := &Table{
+		ID:      "ablation-sweep",
+		Title:   "sweep-order ablation (same hierarchy, DFS base layout)",
+		Headers: []string{"sweep order", "PHAST tree [ms]"},
+	}
+	for _, mode := range []core.SweepMode{core.SweepRankOrder, core.SweepLevelOrder, core.SweepReordered} {
+		eng, err := e.Engine(mode, 1)
+		if err != nil {
+			return nil, err
+		}
+		eng.Tree(e.Sources[0])
+		t2.AddRow(mode.String(), ms(e.perTree(func(s int32) { eng.Tree(s) })))
+	}
+	t2.AddNote("paper: rank order 2.0s -> level order 0.7s -> reordered 172ms on 18M vertices")
+	return []*Table{t, t2}, nil
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"time"
+
+	"phast/internal/arcflags"
+	"phast/internal/centrality"
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/diameter"
+	"phast/internal/gphast"
+	"phast/internal/partition"
+	"phast/internal/pq"
+	"phast/internal/simt"
+	"phast/internal/sssp"
+)
+
+// Apps reproduces the application results of Section VII-B: arc-flags
+// preprocessing with Dijkstra vs PHAST vs GPHAST trees (the paper's 10.5
+// hours → <3 minutes headline), exact diameter, reach, and betweenness.
+func Apps(e *Env) ([]*Table, error) {
+	var tables []*Table
+
+	// ---- Arc flags (Section VII-B.b) -------------------------------
+	const cellsK = 16
+	cells, err := partition.Cells(e.G, cellsK, e.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pstats := partition.Summarize(e.G, cells, cellsK)
+	rev, err := arcflags.NewReverseEngine(e.G, ch.Options{}, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	grev, err := gphast.NewEngine(rev.Clone(), simt.NewDevice(simt.GTX580()), 1)
+	if err != nil {
+		return nil, err
+	}
+	af := &Table{
+		ID:    "apps-arcflags",
+		Title: "arc flags preprocessing (one reverse tree per boundary vertex)",
+		Headers: []string{"tree algorithm", "wall time", "modeled GPU time",
+			"boundary vertices", "flag density"},
+	}
+	var flags *arcflags.ArcFlags
+	run := func(name string, fn arcflags.ReverseTreeFunc, gpu *gphast.Engine) error {
+		if gpu != nil {
+			gpu.Device().ResetStats()
+		}
+		start := time.Now()
+		f, err := arcflags.Compute(e.G, cells, cellsK, fn)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		gpuCol := "-"
+		if gpu != nil {
+			gpuCol = ms(gpu.Device().Stats().ModeledTime)
+		}
+		af.AddRow(name, wall.Round(time.Millisecond).String(), gpuCol,
+			itoa(f.NumBoundary), f2(f.FlagDensity()))
+		flags = f
+		e.logf("apps: arc flags via %s: %v", name, wall)
+		return nil
+	}
+	if err := run("Dijkstra", arcflags.DijkstraReverseTrees(e.G), nil); err != nil {
+		return nil, err
+	}
+	if err := run("PHAST", arcflags.PHASTReverseTrees(rev), nil); err != nil {
+		return nil, err
+	}
+	if err := run("GPHAST", arcflags.GPHASTReverseTrees(grev, e.G.NumVertices()), grev); err != nil {
+		return nil, err
+	}
+	// Query pruning: random queries, scanned-vertex ratio vs Dijkstra.
+	q := arcflags.NewQuery(flags)
+	d := sssp.NewDijkstra(e.G, pq.KindBinaryHeap)
+	var scannedFlags, scannedDij int
+	for _, s := range e.Sources {
+		t := e.Sources[(int(s)+1)%len(e.Sources)]
+		q.Distance(s, t)
+		scannedFlags += q.Scanned()
+		d.RunTarget(s, t)
+		scannedDij += d.Scanned()
+	}
+	af.AddNote("partition: %d cells, sizes %d..%d, %d boundary vertices",
+		pstats.K, pstats.MinSize, pstats.MaxSize, pstats.BoundaryCount)
+	af.AddNote("query pruning: flags scan %.1f%% of the vertices Dijkstra scans",
+		100*float64(scannedFlags)/float64(scannedDij))
+	af.AddNote("paper: flags for ~20k boundary vertices took 10.5h with Dijkstra, <3min with GPHAST")
+	tables = append(tables, af)
+
+	// ---- Diameter (Section VII-B.a) ---------------------------------
+	eng, err := e.Engine(core.SweepReordered, 1)
+	if err != nil {
+		return nil, err
+	}
+	nSample := 4 * len(e.Sources)
+	sample := e.randSources(nSample)
+	dm := &Table{
+		ID:      "apps-diameter",
+		Title:   "diameter lower bound over sampled sources",
+		Headers: []string{"pipeline", "sources", "diameter", "time/tree"},
+	}
+	start := time.Now()
+	resCPU := diameter.CPU(eng, sample)
+	cpuPer := time.Since(start) / time.Duration(nSample)
+	dm.AddRow("PHAST (CPU)", itoa(nSample), itoa(int(resCPU.Diameter)), ms(cpuPer))
+	geDiam, err := gphast.NewEngine(eng.Clone(), simt.NewDevice(simt.GTX580()), 8)
+	if err != nil {
+		return nil, err
+	}
+	gpuSample := sample
+	if len(gpuSample) > e.Cfg.GPUTrees*8 {
+		gpuSample = gpuSample[:e.Cfg.GPUTrees*8]
+	}
+	geDiam.Device().ResetStats()
+	resGPU, err := diameter.GPU(geDiam, gpuSample)
+	if err != nil {
+		return nil, err
+	}
+	gpuPer := geDiam.Device().Stats().ModeledTime / time.Duration(len(gpuSample))
+	dm.AddRow("GPHAST (modeled GPU)", itoa(len(gpuSample)), itoa(int(resGPU.Diameter)), ms(gpuPer))
+	tables = append(tables, dm)
+
+	// ---- Reach and betweenness (Section VII-B.c) --------------------
+	ct := &Table{
+		ID:      "apps-centrality",
+		Title:   "centrality over sampled sources",
+		Headers: []string{"measure", "algorithm", "sources", "time/source"},
+	}
+	start = time.Now()
+	centrality.Reaches(e.G, eng, e.Sources)
+	ct.AddRow("reach", "PHAST trees", itoa(len(e.Sources)),
+		ms(time.Since(start)/time.Duration(len(e.Sources))))
+	start = time.Now()
+	centrality.BetweennessDijkstra(e.G, e.Sources)
+	ct.AddRow("betweenness", "Dijkstra (Brandes)", itoa(len(e.Sources)),
+		ms(time.Since(start)/time.Duration(len(e.Sources))))
+	start = time.Now()
+	centrality.BetweennessPHAST(e.G, eng, e.Sources)
+	ct.AddRow("betweenness", "PHAST trees", itoa(len(e.Sources)),
+		ms(time.Since(start)/time.Duration(len(e.Sources))))
+	tables = append(tables, ct)
+	return tables, nil
+}

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"phast/internal/roadnet"
+)
+
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	e, err := NewEnv(Config{
+		Preset:   roadnet.PresetEuropeXS,
+		Sources:  2,
+		GPUTrees: 1,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSuiteRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	e := tinyEnv(t)
+	for _, r := range Suite() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tables, err := r.Run(e)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s: table %s has no rows", r.ID, tbl.ID)
+				}
+				out := tbl.String()
+				if !strings.Contains(out, tbl.Title) {
+					t.Fatalf("%s: rendering lost the title", r.ID)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Headers) {
+						t.Fatalf("%s/%s: row %v has %d cells, want %d",
+							r.ID, tbl.ID, row, len(row), len(tbl.Headers))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Preset == "" || c.Sources == 0 || c.GPUTrees == 0 || c.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Headers: []string{"a", "bbbb"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer", "2")
+	tbl.AddNote("n=%d", 5)
+	out := tbl.String()
+	for _, want := range []string{"demo", "longer", "bbbb", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID:      "t1",
+		Title:   "demo",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow("x|y", "1")
+	tbl.AddNote("careful | pipes")
+	out := tbl.Markdown()
+	for _, want := range []string{"### T1 — demo", "| a | b |", "|---|---|", `x\|y`, `*careful \| pipes*`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if ms(1500*time.Microsecond) != "1.50" {
+		t.Fatalf("ms=%s", ms(1500*time.Microsecond))
+	}
+	if ms(250*time.Millisecond) != "250" {
+		t.Fatalf("ms=%s", ms(250*time.Millisecond))
+	}
+	if ms(50*time.Microsecond) != "0.050" {
+		t.Fatalf("ms=%s", ms(50*time.Microsecond))
+	}
+	if dhm(26*time.Hour+5*time.Minute) != "1:02:05" {
+		t.Fatalf("dhm=%s", dhm(26*time.Hour+5*time.Minute))
+	}
+	if mb(1<<20) != "1.0" || gb(1<<30) != "1.00" {
+		t.Fatal("mb/gb formatting broken")
+	}
+	if itoa(-42) != "-42" {
+		t.Fatal("itoa broken")
+	}
+	if totalTime(50*time.Hour) != "2:02:00" {
+		t.Fatalf("totalTime day form: %s", totalTime(50*time.Hour))
+	}
+	if totalTime(90*time.Second) != "1m30s" {
+		t.Fatalf("totalTime minute form: %s", totalTime(90*time.Second))
+	}
+	if totalTime(1500*time.Millisecond) != "1.5s" {
+		t.Fatalf("totalTime second form: %s", totalTime(1500*time.Millisecond))
+	}
+	if totalTime(3*time.Millisecond) != "3ms" {
+		t.Fatalf("totalTime ms form: %s", totalTime(3*time.Millisecond))
+	}
+	if f2(1.234) != "1.23" || f1(1.26) != "1.3" {
+		t.Fatal("float formatting broken")
+	}
+}
+
+func TestEnvSourcesInRange(t *testing.T) {
+	e := tinyEnv(t)
+	n := e.G.NumVertices()
+	for _, s := range e.Sources {
+		if s < 0 || int(s) >= n {
+			t.Fatalf("source %d out of range", s)
+		}
+	}
+	more := e.randSources(7)
+	if len(more) != 7 {
+		t.Fatal("randSources length")
+	}
+	for _, s := range more {
+		if s < 0 || int(s) >= n {
+			t.Fatalf("source %d out of range", s)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLevelHistogramSVG renders Figure 1 — vertices per CH level on a
+// logarithmic y-axis, exactly the presentation the paper uses — as a
+// standalone SVG document. Pure stdlib; no styling dependencies.
+func WriteLevelHistogramSVG(w io.Writer, sizes []int, title string) error {
+	if len(sizes) == 0 {
+		return fmt.Errorf("exp: no level sizes to plot")
+	}
+	const (
+		width, height = 720, 420
+		marginL       = 64
+		marginB       = 48
+		marginT       = 40
+		marginR       = 16
+		plotW         = width - marginL - marginR
+		plotH         = height - marginT - marginB
+	)
+	maxV := 1
+	for _, s := range sizes {
+		if s > maxV {
+			maxV = s
+		}
+	}
+	logMax := math.Log10(float64(maxV))
+	if logMax <= 0 {
+		logMax = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="16">%s</text>`,
+		marginL, escapeXML(title))
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	// Log-scale y grid: one line per decade.
+	for d := 0; d <= int(math.Ceil(logMax)); d++ {
+		y := float64(marginT+plotH) - float64(d)/logMax*float64(plotH)
+		if y < float64(marginT) {
+			break
+		}
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">1e%d</text>`,
+			marginL-6, y+4, d)
+	}
+	// Bars.
+	barW := float64(plotW) / float64(len(sizes))
+	for l, s := range sizes {
+		if s <= 0 {
+			continue
+		}
+		h := math.Log10(float64(s)+1) / logMax * float64(plotH)
+		if h > float64(plotH) {
+			h = float64(plotH)
+		}
+		x := float64(marginL) + float64(l)*barW
+		y := float64(marginT+plotH) - h
+		fmt.Fprintf(&sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#3b6ea5"/>`,
+			x, y, math.Max(barW-1, 0.5), h)
+	}
+	// X labels: every ~10 levels.
+	step := 1
+	if len(sizes) > 20 {
+		step = len(sizes) / 10
+	}
+	for l := 0; l < len(sizes); l += step {
+		x := float64(marginL) + (float64(l)+0.5)*barW
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`,
+			x, marginT+plotH+16, l)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">CH level</text>`,
+		marginL+plotW/2, height-10)
+	sb.WriteString(`</svg>`)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SeriesPoint is one (x, y) sample of a plotted series.
+type SeriesPoint struct {
+	X, Y float64
+}
+
+// Series is a named line for WriteLinesSVG.
+type Series struct {
+	Name   string
+	Points []SeriesPoint
+}
+
+// WriteLinesSVG renders log-log line series (e.g. per-tree time vs n for
+// each algorithm — the scaling experiment) as a standalone SVG.
+func WriteLinesSVG(w io.Writer, series []Series, title, xLabel, yLabel string) error {
+	if len(series) == 0 {
+		return fmt.Errorf("exp: no series to plot")
+	}
+	const (
+		width, height = 720, 420
+		marginL       = 72
+		marginB       = 56
+		marginT       = 40
+		marginR       = 140
+		plotW         = width - marginL - marginR
+		plotH         = height - marginT - marginB
+	)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			return fmt.Errorf("exp: series %q has no points", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.X <= 0 || p.Y <= 0 {
+				return fmt.Errorf("exp: log-log plot requires positive values")
+			}
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	lx := func(x float64) float64 {
+		if maxX == minX {
+			return float64(marginL) + float64(plotW)/2
+		}
+		return float64(marginL) + (math.Log10(x)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX))*float64(plotW)
+	}
+	ly := func(y float64) float64 {
+		if maxY == minY {
+			return float64(marginT) + float64(plotH)/2
+		}
+		return float64(marginT+plotH) - (math.Log10(y)-math.Log10(minY))/(math.Log10(maxY)-math.Log10(minY))*float64(plotH)
+	}
+	colors := []string{"#3b6ea5", "#b5442f", "#3d8a4f", "#8a5fa0", "#b0851f"}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="16">%s</text>`,
+		marginL, escapeXML(title))
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-10, escapeXML(xLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %d)">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, escapeXML(yLabel))
+	for i, s := range series {
+		color := colors[i%len(colors)]
+		var path strings.Builder
+		for j, p := range s.Points {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, lx(p.X), ly(p.Y))
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.TrimSpace(path.String()), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`, lx(p.X), ly(p.Y), color)
+		}
+		ylg := marginT + 16 + i*18
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`,
+			marginL+plotW+12, ylg-10, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`,
+			marginL+plotW+30, ylg, escapeXML(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLevelHistogramSVG(t *testing.T) {
+	var buf bytes.Buffer
+	sizes := []int{5000, 2500, 900, 200, 40, 5, 1}
+	if err := WriteLevelHistogramSVG(&buf, sizes, "test <fig>"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(out, `fill="#3b6ea5"`) != len(sizes) {
+		t.Fatalf("expected %d bars, got %d", len(sizes), strings.Count(out, `fill="#3b6ea5"`))
+	}
+	if strings.Contains(out, "<fig>") || !strings.Contains(out, "&lt;fig&gt;") {
+		t.Fatal("title not XML-escaped")
+	}
+	if err := WriteLevelHistogramSVG(&buf, nil, "x"); err == nil {
+		t.Fatal("empty histogram accepted")
+	}
+	// Zero-count levels are skipped, not drawn at -inf.
+	buf.Reset()
+	if err := WriteLevelHistogramSVG(&buf, []int{10, 0, 3}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), `fill="#3b6ea5"`) != 2 {
+		t.Fatal("zero level drawn")
+	}
+}
+
+func TestLinesSVG(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "a", Points: []SeriesPoint{{1000, 0.5}, {10000, 4.2}, {100000, 40}}},
+		{Name: "b & c", Points: []SeriesPoint{{1000, 0.1}, {10000, 0.9}, {100000, 8}}},
+	}
+	if err := WriteLinesSVG(&buf, series, "scaling", "n", "ms"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<path") != 2 {
+		t.Fatalf("expected 2 paths, got %d", strings.Count(out, "<path"))
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Fatalf("expected 6 markers, got %d", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, "b &amp; c") {
+		t.Fatal("legend not escaped")
+	}
+	// Error paths.
+	if err := WriteLinesSVG(&buf, nil, "t", "x", "y"); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := WriteLinesSVG(&buf, []Series{{Name: "e"}}, "t", "x", "y"); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	bad := []Series{{Name: "neg", Points: []SeriesPoint{{-1, 2}}}}
+	if err := WriteLinesSVG(&buf, bad, "t", "x", "y"); err == nil {
+		t.Fatal("non-positive point accepted on log-log plot")
+	}
+}
+
+func TestLinesSVGSinglePoint(t *testing.T) {
+	// Degenerate ranges (one point) must not divide by zero.
+	var buf bytes.Buffer
+	series := []Series{{Name: "one", Points: []SeriesPoint{{42, 7}}}}
+	if err := WriteLinesSVG(&buf, series, "t", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Fatal("marker missing")
+	}
+}
+
+func TestFig1WritesSVG(t *testing.T) {
+	e := tinyEnv(t)
+	dir := t.TempDir()
+	e.Cfg.SVGDir = dir
+	defer func() { e.Cfg.SVGDir = "" }()
+	tables, err := Fig1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tables[0].Notes {
+		if strings.Contains(n, "fig1.svg") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fig1 did not report the SVG path")
+	}
+}

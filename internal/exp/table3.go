@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"phast/internal/core"
+	"phast/internal/gphast"
+	"phast/internal/simt"
+)
+
+// Table3 reproduces Table III: GPHAST's GPU memory utilization and time
+// per tree as a function of k, the number of trees per sweep. Times are
+// the SIMT simulator's modeled GTX 580 times (see DESIGN.md); memory is
+// the real device allocation, dominated by the k·n label array.
+func Table3(e *Env) ([]*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "GPHAST on modeled GTX 580: memory and modeled time per tree",
+		Headers: []string{"trees/sweep", "memory [MB]", "time [ms]", "kernel launches/tree"},
+	}
+	ce, err := e.Engine(core.SweepReordered, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		dev := simt.NewDevice(simt.GTX580())
+		ge, err := gphast.NewEngine(ce.Clone(), dev, k)
+		if err != nil {
+			return nil, err
+		}
+		batches := (e.Cfg.GPUTrees + k - 1) / k
+		if batches < 1 {
+			batches = 1
+		}
+		var total time.Duration
+		var kernels int
+		for b := 0; b < batches; b++ {
+			before := dev.Stats().Kernels
+			ge.MultiTree(e.randSources(k))
+			total += ge.LastBatchModeledTime()
+			kernels = dev.Stats().Kernels - before
+		}
+		perTree := total / time.Duration(batches*k)
+		t.AddRow(fmt.Sprintf("%d", k), mb(ge.MemoryUsed()), ms(perTree),
+			fmt.Sprintf("%d", kernels))
+		e.logf("table3: k=%d modeled %s ms/tree", k, ms(perTree))
+	}
+	t.AddNote("modeled times from the SIMT cost model (bandwidth %.1f GB/s, %d SMs); shape: per-tree time falls as k grows",
+		simt.GTX580().MemBandwidthGBs, simt.GTX580().NumSMs)
+	t.AddNote("paper: 5.53 ms at k=1 down to 2.21 ms at k=16 on 18M vertices")
+	return []*Table{t}, nil
+}

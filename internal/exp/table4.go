@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"fmt"
+
+	"phast/internal/machine"
+)
+
+// Table4 reproduces Table IV, the catalogue of benchmark machines. The
+// numeric cells lost from the provided paper text are reconstructed from
+// its prose and public CPU specifications (see internal/machine).
+func Table4(e *Env) ([]*Table, error) {
+	t := &Table{
+		ID:    "table4",
+		Title: "specifications of the machines modeled",
+		Headers: []string{"name", "brand", "type", "clock [GHz]", "P", "c",
+			"mem type", "size [GB]", "bandw. [GB/s]", "B", "watts"},
+	}
+	for _, m := range machine.Catalogue() {
+		t.AddRow(m.Name, m.Brand, m.CPUType, f2(m.ClockGHz),
+			fmt.Sprintf("%d", m.CPUs), fmt.Sprintf("%d", m.Cores),
+			m.MemType, fmt.Sprintf("%d", m.MemGB), f1(m.BandwidthGBs),
+			fmt.Sprintf("%d", m.NUMANodes), f1(m.Watts))
+	}
+	t.AddNote("M1-4 anchors all local measurements; other machines are modeled (Table V/VI rows marked accordingly)")
+	return []*Table{t}, nil
+}

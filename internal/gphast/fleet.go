@@ -1,0 +1,108 @@
+package gphast
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"phast/internal/core"
+	"phast/internal/simt"
+)
+
+// Fleet drives several simulated GPUs at once. Section VIII-F argues
+// the all-pairs computation "scales perfectly with the number of GPUs"
+// because the linear sweep dominates and trees are independent: two
+// GTX 580s halve the 11 hours. Each device holds its own copy of the
+// downward graph (as two physical cards would) and processes its own
+// source batches; a round's modeled time is the maximum over devices.
+type Fleet struct {
+	engines []*Engine
+}
+
+// NewFleet creates one GPHAST engine per device spec, each over its own
+// clone of the core engine and its own simulated device.
+func NewFleet(ce *core.Engine, specs []simt.DeviceSpec, maxK int) (*Fleet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("gphast: fleet needs at least one device")
+	}
+	f := &Fleet{}
+	for _, spec := range specs {
+		ge, err := NewEngine(ce.Clone(), simt.NewDevice(spec), maxK)
+		if err != nil {
+			return nil, err
+		}
+		f.engines = append(f.engines, ge)
+	}
+	return f, nil
+}
+
+// Size returns the number of devices.
+func (f *Fleet) Size() int { return len(f.engines) }
+
+// Engine returns the i-th device's engine (for reading results).
+func (f *Fleet) Engine(i int) *Engine { return f.engines[i] }
+
+// MultiTreeRound runs batch i on device i concurrently and returns the
+// round's modeled wall time: the slowest device (physical cards run in
+// parallel). len(batches) must not exceed the fleet size; empty batches
+// are allowed and cost nothing.
+func (f *Fleet) MultiTreeRound(batches [][]int32) time.Duration {
+	if len(batches) > len(f.engines) {
+		panic(fmt.Sprintf("gphast: %d batches for %d devices", len(batches), len(f.engines)))
+	}
+	var wg sync.WaitGroup
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, batch []int32) {
+			defer wg.Done()
+			f.engines[i].MultiTree(batch)
+		}(i, batch)
+	}
+	wg.Wait()
+	var round time.Duration
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if t := f.engines[i].LastBatchModeledTime(); t > round {
+			round = t
+		}
+	}
+	return round
+}
+
+// AllPairsModeledTime runs trees from every source in rounds of
+// fleetSize × k and returns the total modeled wall time — the Table VI
+// "n trees" column for a multi-card setup. visit, if non-nil, is called
+// after each round with the device index and its batch so callers can
+// aggregate labels (e.g. running maxima) before they are overwritten.
+func (f *Fleet) AllPairsModeledTime(sources []int32, k int, visit func(device int, batch []int32)) time.Duration {
+	var total time.Duration
+	perRound := len(f.engines) * k
+	for lo := 0; lo < len(sources); lo += perRound {
+		batches := make([][]int32, len(f.engines))
+		for d := range f.engines {
+			blo := lo + d*k
+			bhi := blo + k
+			if blo > len(sources) {
+				blo = len(sources)
+			}
+			if bhi > len(sources) {
+				bhi = len(sources)
+			}
+			batches[d] = sources[blo:bhi]
+		}
+		total += f.MultiTreeRound(batches)
+		if visit != nil {
+			for d, batch := range batches {
+				if len(batch) > 0 {
+					visit(d, batch)
+				}
+			}
+		}
+	}
+	return total
+}

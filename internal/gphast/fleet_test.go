@@ -1,0 +1,119 @@
+package gphast
+
+import (
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/pq"
+	"phast/internal/roadnet"
+	"phast/internal/simt"
+	"phast/internal/sssp"
+)
+
+func fleetSetup(t *testing.T, devices, maxK int) (*Fleet, *core.Engine, *sssp.Dijkstra) {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Params{Width: 20, Height: 18, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ch.Build(net.Graph, ch.Options{Workers: 1})
+	ce, err := core.NewEngine(h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]simt.DeviceSpec, devices)
+	for i := range specs {
+		specs[i] = simt.GTX580()
+	}
+	f, err := NewFleet(ce, specs, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, ce, sssp.NewDijkstra(net.Graph, pq.KindBinaryHeap)
+}
+
+func TestFleetRoundExactResults(t *testing.T) {
+	f, _, d := fleetSetup(t, 2, 2)
+	batches := [][]int32{{3, 40}, {77, 200}}
+	round := f.MultiTreeRound(batches)
+	if round <= 0 {
+		t.Fatal("no modeled round time")
+	}
+	for dev, batch := range batches {
+		for lane, s := range batch {
+			d.Run(s)
+			for v := int32(0); v < 300; v += 17 {
+				if got, want := f.Engine(dev).Dist(lane, v), d.Dist(v); got != want {
+					t.Fatalf("device %d lane %d: dist(%d)=%d, want %d", dev, lane, v, got, want)
+				}
+			}
+		}
+	}
+	// Round time is the max, not the sum, of the two device batches.
+	sum := f.Engine(0).LastBatchModeledTime() + f.Engine(1).LastBatchModeledTime()
+	if round >= sum {
+		t.Fatalf("round %v not below sum %v — devices not parallel", round, sum)
+	}
+}
+
+func TestFleetScalesAllPairs(t *testing.T) {
+	f2, ce, _ := fleetSetup(t, 2, 4)
+	f1, err := NewFleet(ce, []simt.DeviceSpec{simt.GTX580()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]int32, 16)
+	for i := range sources {
+		sources[i] = int32(i * 11)
+	}
+	t1 := f1.AllPairsModeledTime(sources, 4, nil)
+	t2 := f2.AllPairsModeledTime(sources, 4, nil)
+	if t2 >= t1 {
+		t.Fatalf("2 devices (%v) not faster than 1 (%v)", t2, t1)
+	}
+	// "Scales perfectly": within 25% of a clean halving.
+	if float64(t2) > 0.75*float64(t1) {
+		t.Fatalf("scaling too weak: %v vs %v", t2, t1)
+	}
+}
+
+func TestFleetVisitCallback(t *testing.T) {
+	f, _, d := fleetSetup(t, 2, 2)
+	sources := []int32{1, 2, 3, 4, 5}
+	seen := map[int32]bool{}
+	f.AllPairsModeledTime(sources, 2, func(dev int, batch []int32) {
+		for lane, s := range batch {
+			seen[s] = true
+			d.Run(s)
+			if f.Engine(dev).Dist(lane, 100) != d.Dist(100) {
+				t.Fatalf("visit saw wrong labels for source %d", s)
+			}
+		}
+	})
+	for _, s := range sources {
+		if !seen[s] {
+			t.Fatalf("source %d never visited", s)
+		}
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	_, ce, _ := fleetSetup(t, 1, 1)
+	if _, err := NewFleet(ce, nil, 1); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	f, err := NewFleet(ce, []simt.DeviceSpec{simt.GTX580()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1 {
+		t.Fatalf("size=%d", f.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("too many batches accepted")
+		}
+	}()
+	f.MultiTreeRound([][]int32{{1}, {2}})
+}

@@ -1,0 +1,118 @@
+package gphast
+
+import (
+	"fmt"
+
+	"phast/internal/graph"
+	"phast/internal/simt"
+)
+
+// NoParent is the device encoding for "no parent" (source or unreached).
+const NoParent uint32 = 0xFFFFFFFF
+
+// EnableParents allocates the device-side parent array used by
+// TreeWithParents — the GPU tree reconstruction of Section VII-A that
+// the arc-flags application relies on ("we can run GPHAST with tree
+// reconstruction, reducing the time to set flags to less than 3
+// minutes").
+func (e *Engine) EnableParents() error {
+	if e.parent != nil {
+		return nil
+	}
+	p, err := e.dev.Alloc("parent", e.n)
+	if err != nil {
+		return err
+	}
+	e.parent = p
+	return nil
+}
+
+// TreeWithParents computes one tree (k=1) storing, for every vertex, the
+// engine ID of the G+ arc tail responsible for its label. EnableParents
+// must have been called.
+func (e *Engine) TreeWithParents(source int32) {
+	if e.parent == nil {
+		panic("gphast: TreeWithParents without EnableParents")
+	}
+	e.k = 1
+	e.round++
+	round := e.round
+	start := e.dev.Stats().ModeledTime
+
+	verts, dists, parents := e.ce.UpwardSearchSpaceWithParents(source)
+	if len(verts) > e.seedV.Len() {
+		panic("gphast: search space exceeds seed buffer capacity")
+	}
+	seedsV := make([]uint32, len(verts))
+	seedsD := make([]uint32, len(verts))
+	seedsP := make([]uint32, len(verts))
+	for i, v := range verts {
+		seedsV[i] = uint32(v)
+		seedsD[i] = dists[i]
+		if parents[i] < 0 {
+			seedsP[i] = NoParent
+		} else {
+			seedsP[i] = uint32(parents[i])
+		}
+	}
+	e.seedV.CopyIn(0, seedsV)
+	e.seedD.CopyIn(0, seedsD)
+	e.seedLane.CopyIn(0, seedsP) // lane buffer doubles as parent staging at k=1
+
+	dist, mark, parent := e.dist, e.mark, e.parent
+	seedV, seedD, seedP := e.seedV, e.seedD, e.seedLane
+	e.dev.Launch("seed.parents", len(verts), func(t *simt.Thread) {
+		v := int32(t.Load(seedV, t.Global))
+		t.Store(mark, v, round)
+		t.Store(dist, v, t.Load(seedD, t.Global))
+		t.Store(parent, v, t.Load(seedP, t.Global))
+	})
+
+	first, heads, weights := e.first, e.heads, e.weights
+	for _, r := range e.levelRanges {
+		lo, size := r[0], r[1]-r[0]
+		e.dev.Launch("sweep.parents", int(size), func(t *simt.Thread) {
+			v := lo + t.Global
+			best := graph.Inf
+			bestP := NoParent
+			if t.Load(mark, v) == round {
+				best = t.Load(dist, v)
+				bestP = t.Load(parent, v)
+			}
+			a0 := int32(t.Load(first, v))
+			a1 := int32(t.Load(first, v+1))
+			for i := a0; i < a1; i++ {
+				u := int32(t.Load(heads, i))
+				w := t.Load(weights, i)
+				du := t.Load(dist, int32(u))
+				t.ALU(2)
+				if nd := uint64(du) + uint64(w); nd < uint64(best) {
+					best = uint32(nd)
+					bestP = uint32(u)
+				}
+			}
+			t.Store(dist, v, best)
+			t.Store(parent, v, bestP)
+		})
+	}
+	e.lastBatchTime = e.dev.Stats().ModeledTime - start
+}
+
+// ParentOf returns the original-ID G+ parent of v recorded by the last
+// TreeWithParents, or -1.
+func (e *Engine) ParentOf(v int32) int32 {
+	p := e.parent.HostData()[e.ce.EngineID(v)]
+	if p == NoParent {
+		return -1
+	}
+	return e.ce.OrigID(int32(p))
+}
+
+// CopyParents transfers the engine-ID-indexed parent array to the host
+// (metered); entries are engine IDs or NoParent.
+func (e *Engine) CopyParents(buf []uint32) {
+	if len(buf) != e.n {
+		panic(fmt.Sprintf("gphast: CopyParents buffer has length %d, want %d", len(buf), e.n))
+	}
+	e.parent.CopyOut(0, buf)
+}

@@ -1,0 +1,137 @@
+package gphast
+
+import (
+	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/sssp"
+)
+
+func TestTreeWithParentsValidTree(t *testing.T) {
+	g, e := testSetup(t, 2)
+	if err := e.EnableParents(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableParents(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for _, s := range []int32{0, 57, 0} {
+		e.TreeWithParents(s)
+		d.Run(s)
+		n := int32(g.NumVertices())
+		for v := int32(0); v < n; v++ {
+			if got, want := e.Dist(0, v), d.Dist(v); got != want {
+				t.Fatalf("src %d: dist(%d)=%d, want %d", s, v, got, want)
+			}
+		}
+		// Parents: source and unreached have none; every other vertex's
+		// parent is strictly closer and the label difference equals an
+		// existing G+ arc weight (checked indirectly via distances: the
+		// parent's label must not exceed the child's).
+		if e.ParentOf(s) != -1 {
+			t.Fatalf("source %d has parent %d", s, e.ParentOf(s))
+		}
+		for v := int32(0); v < n; v++ {
+			if v == s {
+				continue
+			}
+			dv := e.Dist(0, v)
+			p := e.ParentOf(v)
+			if dv == graph.Inf {
+				if p != -1 {
+					t.Fatalf("unreached %d has parent %d", v, p)
+				}
+				continue
+			}
+			if p < 0 {
+				t.Fatalf("reached vertex %d has no parent", v)
+			}
+			if dp := e.Dist(0, p); dp >= dv {
+				t.Fatalf("parent %d of %d not closer: %d vs %d", p, v, dp, dv)
+			}
+		}
+	}
+}
+
+func TestTreeWithParentsChainLengths(t *testing.T) {
+	// Climbing parent chains must reach the source with monotonically
+	// decreasing labels — no cycles, no dead ends.
+	g, e := testSetup(t, 1)
+	if err := e.EnableParents(); err != nil {
+		t.Fatal(err)
+	}
+	s := int32(11)
+	e.TreeWithParents(s)
+	n := int32(g.NumVertices())
+	for v := int32(0); v < n; v += 13 {
+		if e.Dist(0, v) == graph.Inf {
+			continue
+		}
+		steps := 0
+		for x := v; x != s; {
+			p := e.ParentOf(x)
+			if p < 0 {
+				t.Fatalf("chain from %d hit a dead end at %d", v, x)
+			}
+			x = p
+			if steps++; steps > g.NumVertices() {
+				t.Fatalf("parent cycle reachable from %d", v)
+			}
+		}
+	}
+}
+
+func TestTreeWithParentsRequiresEnable(t *testing.T) {
+	_, e := testSetup(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TreeWithParents without EnableParents did not panic")
+		}
+	}()
+	e.TreeWithParents(0)
+}
+
+func TestCopyParents(t *testing.T) {
+	g, e := testSetup(t, 1)
+	if err := e.EnableParents(); err != nil {
+		t.Fatal(err)
+	}
+	e.TreeWithParents(4)
+	buf := make([]uint32, g.NumVertices())
+	e.CopyParents(buf)
+	if buf[e.EngineID(4)] != NoParent {
+		t.Fatal("source parent not NoParent in raw copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer accepted")
+		}
+	}()
+	e.CopyParents(buf[:1])
+}
+
+func TestParentsInterleavedWithMultiTree(t *testing.T) {
+	// Alternating k=2 batches and parent trees must not leak state.
+	g, e := testSetup(t, 2)
+	if err := e.EnableParents(); err != nil {
+		t.Fatal(err)
+	}
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	e.MultiTree([]int32{1, 2})
+	e.TreeWithParents(3)
+	d.Run(3)
+	for v := int32(0); v < int32(g.NumVertices()); v += 5 {
+		if e.Dist(0, v) != d.Dist(v) {
+			t.Fatalf("after interleave: dist(%d)=%d, want %d", v, e.Dist(0, v), d.Dist(v))
+		}
+	}
+	e.MultiTree([]int32{9, 8})
+	d.Run(8)
+	for v := int32(0); v < int32(g.NumVertices()); v += 5 {
+		if e.Dist(1, v) != d.Dist(v) {
+			t.Fatalf("multi after parents: dist(%d)=%d, want %d", v, e.Dist(1, v), d.Dist(v))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+// Connectivity helpers. Synthetic road networks are generated as
+// bidirected graphs, so the weakly connected components computed here are
+// also strongly connected; the generator uses LargestComponent to discard
+// fragments created by random edge dropping, mirroring the cleanup done
+// on the DIMACS benchmark instances.
+
+// ComponentLabels assigns each vertex the ID of its weakly connected
+// component (treating every arc as undirected) and returns the labels and
+// the number of components. Labels are dense in [0, count).
+func ComponentLabels(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	rev := g.Transpose()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	stack := make([]int32, 0, 1024)
+	for v := int32(0); v < int32(n); v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[v] = id
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.Arcs(u) {
+				if labels[a.Head] < 0 {
+					labels[a.Head] = id
+					stack = append(stack, a.Head)
+				}
+			}
+			for _, a := range rev.Arcs(u) {
+				if labels[a.Head] < 0 {
+					labels[a.Head] = id
+					stack = append(stack, a.Head)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the subgraph induced by the largest weakly
+// connected component together with the mapping old→new vertex ID
+// (entries of -1 mark dropped vertices) and new→old.
+func LargestComponent(g *Graph) (sub *Graph, oldToNew []int32, newToOld []int32) {
+	labels, count := ComponentLabels(g)
+	if count <= 1 {
+		n := g.NumVertices()
+		oldToNew = make([]int32, n)
+		newToOld = make([]int32, n)
+		for i := range oldToNew {
+			oldToNew[i] = int32(i)
+			newToOld[i] = int32(i)
+		}
+		return g.Clone(), oldToNew, newToOld
+	}
+	size := make([]int, count)
+	for _, l := range labels {
+		size[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if size[c] > size[best] {
+			best = c
+		}
+	}
+	keep := make([]bool, g.NumVertices())
+	for v, l := range labels {
+		keep[v] = int(l) == best
+	}
+	return InducedSubgraph(g, keep)
+}
+
+// InducedSubgraph returns the subgraph on the vertices with keep[v]=true,
+// with vertices renumbered densely in increasing old-ID order, plus both
+// direction mappings (oldToNew has -1 for dropped vertices).
+func InducedSubgraph(g *Graph, keep []bool) (sub *Graph, oldToNew []int32, newToOld []int32) {
+	n := g.NumVertices()
+	oldToNew = make([]int32, n)
+	newToOld = make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			oldToNew[v] = int32(len(newToOld))
+			newToOld = append(newToOld, int32(v))
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	b := NewBuilder(len(newToOld))
+	for _, old := range newToOld {
+		for _, a := range g.Arcs(old) {
+			if keep[a.Head] {
+				b.MustAddArc(oldToNew[old], oldToNew[a.Head], a.Weight)
+			}
+		}
+	}
+	return b.Build(), oldToNew, newToOld
+}
+
+// ApplyPermutation returns a copy of xs reordered so that the element of
+// old vertex v lands at index perm[v]. It is the companion of
+// Graph.Permute for per-vertex side data (coordinates, names, ...).
+func ApplyPermutation[T any](perm []int32, xs []T) []T {
+	out := make([]T, len(xs))
+	for v, p := range perm {
+		out[p] = xs[v]
+	}
+	return out
+}
+
+// InvertPermutation returns the inverse permutation.
+func InvertPermutation(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for v, p := range perm {
+		inv[p] = int32(v)
+	}
+	return inv
+}
+
+// IsPermutation reports whether perm is a permutation of 0..len(perm)-1.
+func IsPermutation(perm []int32) bool {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || int(p) >= len(perm) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}

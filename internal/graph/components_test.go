@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentLabelsTwoIslands(t *testing.T) {
+	g := mustFromArcs(t, 5, [][3]int64{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}})
+	labels, count := ComponentLabels(g)
+	if count != 2 {
+		t.Fatalf("count=%d, want 2", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("labels=%v, {0,1,2} should share a component", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatalf("labels=%v, {3,4} should form their own component", labels)
+	}
+}
+
+func TestComponentLabelsDirectedArcsCountAsUndirected(t *testing.T) {
+	// 1 -> 0 only; still one weak component.
+	g := mustFromArcs(t, 2, [][3]int64{{1, 0, 1}})
+	_, count := ComponentLabels(g)
+	if count != 1 {
+		t.Fatalf("count=%d, want 1", count)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := mustFromArcs(t, 6, [][3]int64{{0, 1, 2}, {1, 2, 3}, {2, 0, 4}, {4, 5, 9}})
+	sub, oldToNew, newToOld := LargestComponent(g)
+	if sub.NumVertices() != 3 {
+		t.Fatalf("largest component has %d vertices, want 3", sub.NumVertices())
+	}
+	if sub.NumArcs() != 3 {
+		t.Fatalf("largest component has %d arcs, want 3", sub.NumArcs())
+	}
+	for old, nw := range oldToNew {
+		if old <= 2 && nw < 0 {
+			t.Fatalf("vertex %d dropped from its own component", old)
+		}
+		if old > 2 && nw >= 0 && old != 3 {
+			// vertices 4,5 must be dropped; 3 is isolated and also dropped
+			t.Fatalf("vertex %d kept, mapping %v", old, oldToNew)
+		}
+	}
+	for nw, old := range newToOld {
+		if oldToNew[old] != int32(nw) {
+			t.Fatalf("mappings disagree at new=%d old=%d", nw, old)
+		}
+	}
+	// Weights must survive with relabeled endpoints.
+	if w, ok := sub.FindArc(oldToNew[1], oldToNew[2]); !ok || w != 3 {
+		t.Fatalf("arc (1,2) lost or reweighted: %d %v", w, ok)
+	}
+}
+
+func TestLargestComponentConnectedGraphIsIdentity(t *testing.T) {
+	g := mustFromArcs(t, 3, [][3]int64{{0, 1, 1}, {1, 2, 1}})
+	sub, oldToNew, _ := LargestComponent(g)
+	if !sub.Equal(g) {
+		t.Fatal("connected graph was modified")
+	}
+	for i, p := range oldToNew {
+		if p != int32(i) {
+			t.Fatalf("oldToNew=%v, want identity", oldToNew)
+		}
+	}
+}
+
+func TestApplyPermutation(t *testing.T) {
+	xs := []string{"a", "b", "c"}
+	out := ApplyPermutation([]int32{2, 0, 1}, xs)
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out=%v, want %v", out, want)
+		}
+	}
+}
+
+func TestInvertPermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(100)
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		inv := InvertPermutation(perm)
+		if !IsPermutation(inv) {
+			t.Fatal("inverse is not a permutation")
+		}
+		for v, p := range perm {
+			if inv[p] != int32(v) {
+				t.Fatalf("inv[perm[%d]] = %d", v, inv[p])
+			}
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int32{2, 0, 1}) {
+		t.Fatal("valid permutation rejected")
+	}
+	if IsPermutation([]int32{0, 0, 1}) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutation([]int32{0, 3, 1}) {
+		t.Fatal("out of range accepted")
+	}
+	if !IsPermutation(nil) {
+		t.Fatal("empty permutation rejected")
+	}
+}

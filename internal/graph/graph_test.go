@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromArcs(t *testing.T, n int, triples [][3]int64) *Graph {
+	t.Helper()
+	g, err := FromArcs(n, triples)
+	if err != nil {
+		t.Fatalf("FromArcs: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumVertices(), g.NumArcs())
+	}
+	tr := g.Transpose()
+	if tr.NumVertices() != 0 {
+		t.Fatalf("transpose of empty graph has %d vertices", tr.NumVertices())
+	}
+}
+
+func TestBuilderSortsByTail(t *testing.T) {
+	g := mustFromArcs(t, 4, [][3]int64{{2, 0, 5}, {0, 1, 1}, {2, 3, 7}, {0, 2, 2}})
+	if g.NumArcs() != 4 {
+		t.Fatalf("m=%d, want 4", g.NumArcs())
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Fatalf("outdeg(0)=%d, want 2", got)
+	}
+	if got := g.OutDegree(1); got != 0 {
+		t.Fatalf("outdeg(1)=%d, want 0", got)
+	}
+	a := g.Arcs(0)
+	if a[0] != (Arc{1, 1}) || a[1] != (Arc{2, 2}) {
+		t.Fatalf("arcs(0)=%v, insertion order not preserved", a)
+	}
+	a = g.Arcs(2)
+	if a[0] != (Arc{0, 5}) || a[1] != (Arc{3, 7}) {
+		t.Fatalf("arcs(2)=%v", a)
+	}
+}
+
+func TestBuilderRangeErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddArc(0, 2, 1); err == nil {
+		t.Fatal("head out of range accepted")
+	}
+	if err := b.AddArc(-1, 0, 1); err == nil {
+		t.Fatal("negative tail accepted")
+	}
+	if err := b.AddArc(0, 1, MaxWeight+1); err == nil {
+		t.Fatal("oversized weight accepted")
+	}
+	if err := b.AddArc(0, 1, MaxWeight); err != nil {
+		t.Fatalf("MaxWeight rejected: %v", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 50, 300)
+	tt := g.Transpose().Transpose()
+	// Double transpose preserves the arc multiset per vertex; compare as
+	// sorted multisets since arc order within a vertex may differ.
+	if g.NumVertices() != tt.NumVertices() || g.NumArcs() != tt.NumArcs() {
+		t.Fatalf("size mismatch after double transpose")
+	}
+	if !sameArcMultiset(g, tt) {
+		t.Fatal("double transpose changed the arc multiset")
+	}
+}
+
+func sameArcMultiset(g, h *Graph) bool {
+	count := map[[3]int64]int{}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, a := range g.Arcs(v) {
+			count[[3]int64{int64(v), int64(a.Head), int64(a.Weight)}]++
+		}
+	}
+	for v := int32(0); v < int32(h.NumVertices()); v++ {
+		for _, a := range h.Arcs(v) {
+			count[[3]int64{int64(v), int64(a.Head), int64(a.Weight)}]--
+		}
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransposeArcDirection(t *testing.T) {
+	g := mustFromArcs(t, 3, [][3]int64{{0, 1, 4}, {1, 2, 6}})
+	r := g.Transpose()
+	if w, ok := r.FindArc(1, 0); !ok || w != 4 {
+		t.Fatalf("transpose arc (1,0): w=%d ok=%v", w, ok)
+	}
+	if w, ok := r.FindArc(2, 1); !ok || w != 6 {
+		t.Fatalf("transpose arc (2,1): w=%d ok=%v", w, ok)
+	}
+	if _, ok := r.FindArc(0, 1); ok {
+		t.Fatal("transpose kept a forward arc")
+	}
+}
+
+func TestPermuteRelabels(t *testing.T) {
+	g := mustFromArcs(t, 3, [][3]int64{{0, 1, 4}, {1, 2, 6}})
+	p, err := g.Permute([]int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := p.FindArc(2, 0); !ok || w != 4 {
+		t.Fatalf("permuted arc (2,0): w=%d ok=%v", w, ok)
+	}
+	if w, ok := p.FindArc(0, 1); !ok || w != 6 {
+		t.Fatalf("permuted arc (0,1): w=%d ok=%v", w, ok)
+	}
+}
+
+func TestPermuteRejectsBadPermutations(t *testing.T) {
+	g := mustFromArcs(t, 3, [][3]int64{{0, 1, 4}})
+	for _, perm := range [][]int32{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		if _, err := g.Permute(perm); err == nil {
+			t.Fatalf("Permute accepted invalid permutation %v", perm)
+		}
+	}
+}
+
+func TestPermuteIdentityPreserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 40, 200)
+	id := make([]int32, 40)
+	for i := range id {
+		id[i] = int32(i)
+	}
+	p, err := g.Permute(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(p) {
+		t.Fatal("identity permutation changed the graph")
+	}
+}
+
+func TestBuildDeduped(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddArc(0, 1, 9)
+	b.MustAddArc(0, 1, 4)
+	b.MustAddArc(0, 1, 7)
+	b.MustAddArc(1, 1, 3) // self loop: dropped
+	b.MustAddArc(1, 2, 5)
+	g := b.BuildDeduped()
+	if g.NumArcs() != 2 {
+		t.Fatalf("m=%d, want 2 after dedupe", g.NumArcs())
+	}
+	if w, _ := g.FindArc(0, 1); w != 4 {
+		t.Fatalf("dedupe kept weight %d, want minimum 4", w)
+	}
+}
+
+func TestAddSat(t *testing.T) {
+	cases := [][3]uint32{
+		{1, 2, 3},
+		{Inf, 5, Inf},
+		{5, Inf, Inf},
+		{Inf, Inf, Inf},
+		{Inf - 1, 1, Inf},
+		{Inf - 2, 1, Inf - 1},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := AddSat(c[0], c[1]); got != c[2] {
+			t.Errorf("AddSat(%d,%d)=%d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestAddSatNeverBelowOperands(t *testing.T) {
+	f := func(a, b uint32) bool {
+		s := AddSat(a, b)
+		return s >= a && s >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindArcPicksMinParallel(t *testing.T) {
+	g := mustFromArcs(t, 2, [][3]int64{{0, 1, 9}, {0, 1, 3}, {0, 1, 5}})
+	if w, ok := g.FindArc(0, 1); !ok || w != 3 {
+		t.Fatalf("FindArc=%d,%v, want 3,true", w, ok)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	g := mustFromArcs(t, 3, [][3]int64{{0, 1, 4}, {1, 2, 6}})
+	want := int64(4*4 + 2*8)
+	if got := g.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes=%d, want %d", got, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := mustFromArcs(t, 4, [][3]int64{{0, 1, 4}, {0, 2, 9}, {0, 3, 2}, {1, 2, 6}})
+	if w := MaxArcWeight(g); w != 9 {
+		t.Fatalf("MaxArcWeight=%d, want 9", w)
+	}
+	if d := MaxOutDegree(g); d != 3 {
+		t.Fatalf("MaxOutDegree=%d, want 3", d)
+	}
+	if ad := AvgDegree(g); ad != 1.0 {
+		t.Fatalf("AvgDegree=%v, want 1.0", ad)
+	}
+}
+
+// randomGraph builds a random multigraph with n vertices and m arcs.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(rng.Intn(100)))
+	}
+	return b.Build()
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		n := 1 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		p, err := g.Permute(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := p.Permute(InvertPermutation(perm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameArcMultiset(g, back) {
+			t.Fatalf("n=%d: permute round trip changed arc multiset", n)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSCCLabelsBasic(t *testing.T) {
+	// 0 <-> 1 cycle, 2 -> 0 one-way, 3 isolated.
+	g := mustFromArcs(t, 4, [][3]int64{{0, 1, 1}, {1, 0, 1}, {2, 0, 1}})
+	labels, count := SCCLabels(g)
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	if labels[0] != labels[1] {
+		t.Fatal("cycle vertices in different SCCs")
+	}
+	if labels[2] == labels[0] || labels[3] == labels[0] || labels[2] == labels[3] {
+		t.Fatalf("labels=%v", labels)
+	}
+}
+
+func TestSCCLabelsBigCycle(t *testing.T) {
+	const n = 1000
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.MustAddArc(int32(v), int32((v+1)%n), 1)
+	}
+	_, count := SCCLabels(b.Build())
+	if count != 1 {
+		t.Fatalf("cycle has %d SCCs, want 1", count)
+	}
+}
+
+func TestSCCLabelsDAG(t *testing.T) {
+	// A path DAG: every vertex is its own SCC.
+	g := mustFromArcs(t, 5, [][3]int64{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}})
+	_, count := SCCLabels(g)
+	if count != 5 {
+		t.Fatalf("DAG has %d SCCs, want 5", count)
+	}
+}
+
+func TestSCCDeepPathNoOverflow(t *testing.T) {
+	// 200k-vertex path: a recursive Tarjan would blow the stack.
+	const n = 200_000
+	b := NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.MustAddArc(int32(v), int32(v+1), 1)
+	}
+	_, count := SCCLabels(b.Build())
+	if count != n {
+		t.Fatalf("count=%d, want %d", count, n)
+	}
+}
+
+// sccOracle computes SCC equivalence by mutual reachability (O(n*m)).
+func sccOracle(g *Graph) [][]bool {
+	n := g.NumVertices()
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		stack := []int32{int32(s)}
+		reach[s][s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.Arcs(v) {
+				if !reach[s][a.Head] {
+					reach[s][a.Head] = true
+					stack = append(stack, a.Head)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func TestSCCLabelsAgainstOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		labels, _ := SCCLabels(g)
+		reach := sccOracle(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := reach[u][v] && reach[v][u]
+				if same != (labels[u] == labels[v]) {
+					t.Fatalf("trial %d: SCC disagreement at (%d,%d): same=%v labels %d,%d",
+						trial, u, v, same, labels[u], labels[v])
+				}
+			}
+		}
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	// Big cycle {0,1,2}, small cycle {3,4}, bridge 2->3.
+	g := mustFromArcs(t, 5, [][3]int64{
+		{0, 1, 1}, {1, 2, 2}, {2, 0, 3}, {2, 3, 4}, {3, 4, 5}, {4, 3, 6},
+	})
+	sub, oldToNew, newToOld := LargestSCC(g)
+	if sub.NumVertices() != 3 {
+		t.Fatalf("largest SCC has %d vertices, want 3", sub.NumVertices())
+	}
+	for _, old := range []int32{0, 1, 2} {
+		if oldToNew[old] < 0 {
+			t.Fatalf("vertex %d dropped from its SCC", old)
+		}
+	}
+	if oldToNew[3] != -1 || oldToNew[4] != -1 {
+		t.Fatal("small SCC not dropped")
+	}
+	// Weight preserved across relabeling.
+	if w, ok := sub.FindArc(oldToNew[1], oldToNew[2]); !ok || w != 2 {
+		t.Fatalf("arc (1,2) lost: %d %v", w, ok)
+	}
+	for nw, old := range newToOld {
+		if oldToNew[old] != int32(nw) {
+			t.Fatal("mappings inconsistent")
+		}
+	}
+}
+
+func TestLargestSCCAlreadyStrong(t *testing.T) {
+	g := mustFromArcs(t, 2, [][3]int64{{0, 1, 1}, {1, 0, 1}})
+	sub, oldToNew, _ := LargestSCC(g)
+	if !sub.Equal(g) || oldToNew[0] != 0 || oldToNew[1] != 1 {
+		t.Fatal("strongly connected graph modified")
+	}
+}

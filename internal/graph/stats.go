@@ -1,0 +1,33 @@
+package graph
+
+// MaxArcWeight returns the largest arc weight in g (0 for arcless graphs).
+// Bucket-based priority queues size themselves with it.
+func MaxArcWeight(g *Graph) uint32 {
+	var max uint32
+	for _, a := range g.arcs {
+		if a.Weight > max {
+			max = a.Weight
+		}
+	}
+	return max
+}
+
+// AvgDegree returns m/n, the average out-degree.
+func AvgDegree(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumArcs()) / float64(n)
+}
+
+// MaxOutDegree returns the largest out-degree in g.
+func MaxOutDegree(g *Graph) int {
+	max := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := g.OutDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,142 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/graph"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(4)
+	for i, v := range p {
+		if v != int32(i) {
+			t.Fatalf("Identity=%v", p)
+		}
+	}
+}
+
+func TestRandomIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		if p := Random(n, rng); !graph.IsPermutation(p) {
+			t.Fatalf("Random(%d) not a permutation: %v", n, p)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(50, rand.New(rand.NewSource(9)))
+	b := Random(50, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different layouts")
+		}
+	}
+}
+
+func TestDFSIsPermutationAndCoversIslands(t *testing.T) {
+	g, err := graph.FromArcs(5, [][3]int64{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DFS(g, 0)
+	if !graph.IsPermutation(p) {
+		t.Fatalf("DFS not a permutation: %v", p)
+	}
+	if p[0] != 0 {
+		t.Fatalf("start vertex got ID %d, want 0", p[0])
+	}
+}
+
+func TestDFSDiscoveryOrderOnPath(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3: discovery order equals vertex order.
+	g, err := graph.FromArcs(4, [][3]int64{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DFS(g, 0)
+	for v, id := range p {
+		if id != int32(v) {
+			t.Fatalf("DFS on path = %v, want identity", p)
+		}
+	}
+}
+
+func TestDFSFollowsArcsUndirected(t *testing.T) {
+	// Only a backward arc 1->0; DFS from 0 must still discover 1 adjacent.
+	g, err := graph.FromArcs(2, [][3]int64{{1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DFS(g, 0)
+	if p[0] != 0 || p[1] != 1 {
+		t.Fatalf("DFS=%v, want [0 1]", p)
+	}
+}
+
+func TestByLevelDescending(t *testing.T) {
+	levels := []int32{0, 2, 1, 2, 0}
+	p := ByLevelDescending(levels)
+	if !graph.IsPermutation(p) {
+		t.Fatalf("not a permutation: %v", p)
+	}
+	// Level-2 vertices (1,3) must take IDs 0,1 in stable order; level-1
+	// vertex 2 takes 2; level-0 vertices (0,4) take 3,4.
+	want := []int32{3, 0, 2, 1, 4}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("perm=%v, want %v", p, want)
+		}
+	}
+}
+
+func TestByLevelDescendingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		levels := make([]int32, n)
+		for i := range levels {
+			levels[i] = int32(rng.Intn(10))
+		}
+		p := ByLevelDescending(levels)
+		if !graph.IsPermutation(p) {
+			t.Fatal("not a permutation")
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				switch {
+				case levels[u] > levels[v]:
+					if p[u] >= p[v] {
+						t.Fatalf("higher level vertex %d (L%d) after %d (L%d)", u, levels[u], v, levels[v])
+					}
+				case levels[u] == levels[v]:
+					if p[u] >= p[v] {
+						t.Fatalf("stability violated within level %d: %d vs %d", levels[u], u, v)
+					}
+				}
+			}
+		}
+		if n > 60 {
+			break // quadratic check only for small instances
+		}
+	}
+}
+
+func TestLevelRanges(t *testing.T) {
+	// levels already in sweep order (descending)
+	ls := []int32{5, 5, 3, 3, 3, 0}
+	r := LevelRanges(ls)
+	want := [][2]int32{{0, 2}, {2, 5}, {5, 6}}
+	if len(r) != len(want) {
+		t.Fatalf("ranges=%v, want %v", r, want)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranges=%v, want %v", r, want)
+		}
+	}
+	if LevelRanges(nil) != nil {
+		t.Fatal("empty input should give nil ranges")
+	}
+}

@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) != 5 {
+		t.Fatalf("catalogue has %d machines, want 5 (Table IV)", len(cat))
+	}
+	names := map[string]bool{}
+	for _, m := range cat {
+		if m.ClockGHz <= 0 || m.Cores < m.CPUs || m.BandwidthGBs <= 0 || m.Watts <= 0 {
+			t.Fatalf("implausible spec: %+v", m)
+		}
+		names[m.Name] = true
+	}
+	for _, want := range []string{"M2-1", "M2-4", "M4-12", "M1-4", "M2-6"} {
+		if !names[want] {
+			t.Fatalf("missing machine %s", want)
+		}
+	}
+	ref := Reference()
+	if ref.Name != "M1-4" || ref.ClockGHz != 2.67 {
+		t.Fatalf("reference is not the paper's M1-4: %+v", ref)
+	}
+}
+
+func TestScaleMonotonicity(t *testing.T) {
+	ref := Reference()
+	var m26 Spec
+	for _, m := range Catalogue() {
+		if m.Name == "M2-6" {
+			m26 = m
+		}
+	}
+	base := 100 * time.Millisecond
+	// The higher-bandwidth Xeon machine must run bandwidth-bound code
+	// faster than the reference.
+	if got := Scale(base, ref, m26, BandwidthBound); got >= base {
+		t.Fatalf("M2-6 bandwidth-scaled %v, want < %v", got, base)
+	}
+	// Scaling to itself is identity for bandwidth-bound work.
+	if got := Scale(base, ref, ref, BandwidthBound); got != base {
+		t.Fatalf("self-scaling changed the time: %v", got)
+	}
+	if got := Scale(base, ref, m26, LatencyBound); got >= base {
+		t.Fatalf("faster-clocked machine modeled slower: %v", got)
+	}
+}
+
+func TestScaleParallel(t *testing.T) {
+	ref := Reference()
+	single := 100 * time.Millisecond
+	p4 := ScaleParallel(single, ref, 4, true, BandwidthBound)
+	if p4 >= single || p4 <= single/8 {
+		t.Fatalf("4-core scaling implausible: %v", p4)
+	}
+	// Requesting more cores than the machine has clamps.
+	if got := ScaleParallel(single, ref, 99, true, BandwidthBound); got != p4 {
+		t.Fatalf("core clamping broken: %v vs %v", got, p4)
+	}
+	// Unpinned on a multi-socket machine is slower than pinned.
+	var m412 Spec
+	for _, m := range Catalogue() {
+		if m.Name == "M4-12" {
+			m412 = m
+		}
+	}
+	pinned := ScaleParallel(single, m412, 48, true, BandwidthBound)
+	free := ScaleParallel(single, m412, 48, false, BandwidthBound)
+	if free <= pinned {
+		t.Fatalf("unpinned (%v) not slower than pinned (%v) on NUMA", free, pinned)
+	}
+	if got := ScaleParallel(single, ref, 0, true, LatencyBound); got != single {
+		t.Fatalf("cores<1 not clamped to 1: %v", got)
+	}
+}
+
+func TestScaleSelfIdentityLatency(t *testing.T) {
+	// The latency model's clock and memory terms are normalized so that
+	// scaling a measurement onto the same machine is the identity.
+	ref := Reference()
+	base := 250 * time.Millisecond
+	if got := Scale(base, ref, ref, LatencyBound); got != base {
+		t.Fatalf("self-scaling latency-bound: %v, want %v", got, base)
+	}
+}
+
+func TestBandwidthSaturationCap(t *testing.T) {
+	// A single-node machine cannot exceed ~4.5x bandwidth-bound speedup
+	// no matter the core count.
+	m := Reference()
+	m.Cores = 64
+	single := 100 * time.Millisecond
+	got := ScaleParallel(single, m, 64, true, BandwidthBound)
+	if float64(single)/float64(got) > 4.6 {
+		t.Fatalf("bandwidth-bound speedup %.1f exceeds the node saturation cap",
+			float64(single)/float64(got))
+	}
+	// Latency-bound work is not capped that way.
+	lat := ScaleParallel(single, m, 64, true, LatencyBound)
+	if float64(single)/float64(lat) < 10 {
+		t.Fatalf("latency-bound speedup %.1f unexpectedly capped", float64(single)/float64(lat))
+	}
+}
+
+func TestEnergyJoules(t *testing.T) {
+	if j := EnergyJoules(100, 2*time.Second); j != 200 {
+		t.Fatalf("energy=%f, want 200", j)
+	}
+}

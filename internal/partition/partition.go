@@ -1,0 +1,172 @@
+// Package partition computes k-way vertex partitions of road networks
+// for the arc-flags application (Section VII-B.b). The paper uses
+// dedicated partitioners ([24]–[27]); flags only need cells that are
+// connected and reasonably balanced with small boundaries, so this
+// package implements the classic k-center heuristic: farthest-point
+// seeding by BFS hops followed by a multi-source BFS Voronoi growth.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phast/internal/graph"
+)
+
+// Cells computes a partition of g into k connected cells and returns the
+// cell index of each vertex. g should be connected (vertices unreachable
+// from every seed are assigned to cell of the nearest... they end up in
+// the cell of whichever seed's BFS reaches them; fully isolated vertices
+// are placed in cell 0).
+func Cells(g *graph.Graph, k int, seed int64) ([]int32, error) {
+	n := g.NumVertices()
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be positive, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("partition: k=%d exceeds n=%d", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	und := undirected(g)
+
+	// Farthest-point sampling: each new seed maximizes the BFS-hop
+	// distance to the nearest existing seed.
+	seeds := make([]int32, 0, k)
+	seeds = append(seeds, int32(rng.Intn(n)))
+	hop := make([]int32, n)
+	queue := make([]int32, 0, n)
+	bfsFrom := func(starts []int32) {
+		for i := range hop {
+			hop[i] = -1
+		}
+		queue = queue[:0]
+		for _, s := range starts {
+			hop[s] = 0
+			queue = append(queue, s)
+		}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range und.Arcs(v) {
+				if hop[w.Head] < 0 {
+					hop[w.Head] = hop[v] + 1
+					queue = append(queue, w.Head)
+				}
+			}
+		}
+	}
+	for len(seeds) < k {
+		bfsFrom(seeds)
+		far, farHop := int32(-1), int32(-1)
+		for v := 0; v < n; v++ {
+			if hop[v] > farHop {
+				far, farHop = int32(v), hop[v]
+			}
+		}
+		if farHop <= 0 {
+			// Graph smaller than k or disconnected remainder: spread the
+			// remaining seeds over unseeded vertices arbitrarily.
+			used := make(map[int32]bool, len(seeds))
+			for _, s := range seeds {
+				used[s] = true
+			}
+			for v := int32(0); int(v) < n && len(seeds) < k; v++ {
+				if !used[v] {
+					seeds = append(seeds, v)
+					used[v] = true
+				}
+			}
+			break
+		}
+		seeds = append(seeds, far)
+	}
+
+	// Voronoi growth: simultaneous BFS from all seeds; every vertex joins
+	// the cell of the seed that reaches it first, which keeps each cell
+	// connected (a vertex is always labeled from a same-cell neighbor).
+	cells := make([]int32, n)
+	for i := range cells {
+		cells[i] = -1
+	}
+	queue = queue[:0]
+	for i, s := range seeds {
+		cells[s] = int32(i)
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range und.Arcs(v) {
+			if cells[w.Head] < 0 {
+				cells[w.Head] = cells[v]
+				queue = append(queue, w.Head)
+			}
+		}
+	}
+	for v := range cells {
+		if cells[v] < 0 {
+			cells[v] = 0 // isolated vertex
+		}
+	}
+	return cells, nil
+}
+
+// undirected returns a graph whose adjacency is the union of out- and
+// in-neighbors of g (weights are irrelevant for hop BFS).
+func undirected(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, a := range g.Arcs(v) {
+			b.MustAddArc(v, a.Head, 1)
+			b.MustAddArc(a.Head, v, 1)
+		}
+	}
+	return b.BuildDeduped()
+}
+
+// Boundary returns, for each cell, the vertices of that cell with an
+// incoming arc from another cell — the roots of the reverse shortest
+// path trees that arc-flags preprocessing builds (the paper's "boundary
+// vertices").
+func Boundary(g *graph.Graph, cells []int32, k int) [][]int32 {
+	rev := g.Transpose()
+	out := make([][]int32, k)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		c := cells[v]
+		for _, a := range rev.Arcs(v) {
+			if cells[a.Head] != c {
+				out[c] = append(out[c], v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes a partition for reporting: cell sizes and the total
+// number of boundary vertices.
+type Stats struct {
+	K             int
+	MinSize       int
+	MaxSize       int
+	BoundaryCount int
+}
+
+// Summarize computes Stats for a partition.
+func Summarize(g *graph.Graph, cells []int32, k int) Stats {
+	sizes := make([]int, k)
+	for _, c := range cells {
+		sizes[c]++
+	}
+	st := Stats{K: k, MinSize: int(^uint(0) >> 1)}
+	for _, s := range sizes {
+		if s < st.MinSize {
+			st.MinSize = s
+		}
+		if s > st.MaxSize {
+			st.MaxSize = s
+		}
+	}
+	for _, b := range Boundary(g, cells, k) {
+		st.BoundaryCount += len(b)
+	}
+	return st
+}

@@ -1,0 +1,151 @@
+package partition
+
+import (
+	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/roadnet"
+)
+
+func testNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Params{Width: 24, Height: 20, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Graph
+}
+
+func TestCellsCoverAndConnected(t *testing.T) {
+	g := testNet(t)
+	const k = 8
+	cells, err := Cells(g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != g.NumVertices() {
+		t.Fatalf("len(cells)=%d", len(cells))
+	}
+	seen := make([]bool, k)
+	for v, c := range cells {
+		if c < 0 || int(c) >= k {
+			t.Fatalf("vertex %d in cell %d", v, c)
+		}
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("cell %d empty", c)
+		}
+	}
+	// Connectivity: the subgraph induced by each cell must have one
+	// component (treating arcs as undirected).
+	for c := int32(0); c < k; c++ {
+		keep := make([]bool, g.NumVertices())
+		cnt := 0
+		for v, cc := range cells {
+			if cc == c {
+				keep[v] = true
+				cnt++
+			}
+		}
+		sub, _, _ := graph.InducedSubgraph(g, keep)
+		if _, comps := graph.ComponentLabels(sub); comps != 1 {
+			t.Fatalf("cell %d has %d components (%d vertices)", c, comps, cnt)
+		}
+	}
+}
+
+func TestCellsDeterministicAndBalancedEnough(t *testing.T) {
+	g := testNet(t)
+	a, err := Cells(g, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cells(g, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+	st := Summarize(g, a, 6)
+	if st.MaxSize > 10*st.MinSize {
+		t.Fatalf("wildly unbalanced cells: min=%d max=%d", st.MinSize, st.MaxSize)
+	}
+	if st.BoundaryCount == 0 || st.BoundaryCount >= g.NumVertices()/2 {
+		t.Fatalf("boundary count %d implausible for n=%d", st.BoundaryCount, g.NumVertices())
+	}
+}
+
+func TestBoundaryExact(t *testing.T) {
+	g := testNet(t)
+	const k = 5
+	cells, err := Cells(g, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := Boundary(g, cells, k)
+	inBoundary := map[int32]bool{}
+	for c, bs := range boundary {
+		for _, v := range bs {
+			if cells[v] != int32(c) {
+				t.Fatalf("boundary vertex %d listed under cell %d but lives in %d", v, c, cells[v])
+			}
+			inBoundary[v] = true
+		}
+	}
+	// Brute force: v is boundary iff some arc (u,v) crosses cells.
+	rev := g.Transpose()
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		want := false
+		for _, a := range rev.Arcs(v) {
+			if cells[a.Head] != cells[v] {
+				want = true
+				break
+			}
+		}
+		if want != inBoundary[v] {
+			t.Fatalf("boundary status of %d wrong: got %v", v, inBoundary[v])
+		}
+	}
+}
+
+func TestCellsEdgeCases(t *testing.T) {
+	g := testNet(t)
+	if _, err := Cells(g, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Cells(g, g.NumVertices()+1, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	cells, err := Cells(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c != 0 {
+			t.Fatal("k=1 must put everything in cell 0")
+		}
+	}
+}
+
+func TestCellsTinyGraph(t *testing.T) {
+	g, err := graph.FromArcs(3, [][3]int64{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Cells(g, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, c := range cells {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("k=n should give singleton cells, got %v", cells)
+	}
+}

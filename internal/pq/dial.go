@@ -1,0 +1,150 @@
+package pq
+
+// Dial is Dial's single-level bucket queue [20]: an array of C+1 circular
+// buckets, where C is the maximum arc weight. Dijkstra's keys are
+// monotone and any queued key lies in [min, min+C], so the bucket of key
+// k is k mod (C+1) and ExtractMin scans forward from the last minimum.
+//
+// Buckets are intrusive doubly-linked lists over per-vertex next/prev
+// arrays, so DecreaseKey is O(1) and no allocation happens after
+// construction — the paper notes this implementation is comparable to
+// the smart queue on one core and scales better on multiple cores.
+type Dial struct {
+	c       uint32  // maximum arc weight
+	buckets []int32 // head vertex of each bucket, -1 if empty
+	next    []int32
+	prev    []int32
+	key     []uint32
+	in      []bool
+	used    []int32 // vertices touched since Reset
+	size    int
+	cur     uint32 // key of the last extracted minimum
+	started bool
+}
+
+// NewDial returns a bucket queue for vertex IDs in [0,n) and arc weights
+// up to maxArcWeight.
+func NewDial(n int, maxArcWeight uint32) *Dial {
+	d := &Dial{
+		c:       maxArcWeight,
+		buckets: make([]int32, maxArcWeight+1),
+		next:    make([]int32, n),
+		prev:    make([]int32, n),
+		key:     make([]uint32, n),
+		in:      make([]bool, n),
+	}
+	for i := range d.buckets {
+		d.buckets[i] = -1
+	}
+	return d
+}
+
+func (d *Dial) bucketOf(key uint32) uint32 { return key % (d.c + 1) }
+
+// Insert implements Queue. Keys must satisfy the monotone window
+// invariant key ∈ [cur, cur+C] once extraction has started.
+func (d *Dial) Insert(v int32, key uint32) {
+	if d.started && (key < d.cur || key > d.cur+d.c) {
+		panic("pq: Dial key outside monotone window")
+	}
+	b := d.bucketOf(key)
+	head := d.buckets[b]
+	d.next[v] = head
+	d.prev[v] = -1
+	if head >= 0 {
+		d.prev[head] = v
+	}
+	d.buckets[b] = v
+	d.key[v] = key
+	d.in[v] = true
+	d.used = append(d.used, v)
+	d.size++
+}
+
+func (d *Dial) unlink(v int32) {
+	b := d.bucketOf(d.key[v])
+	if d.prev[v] >= 0 {
+		d.next[d.prev[v]] = d.next[v]
+	} else {
+		d.buckets[b] = d.next[v]
+	}
+	if d.next[v] >= 0 {
+		d.prev[d.next[v]] = d.prev[v]
+	}
+}
+
+// DecreaseKey implements Queue.
+func (d *Dial) DecreaseKey(v int32, key uint32) {
+	if key > d.key[v] {
+		panic("pq: DecreaseKey would increase key")
+	}
+	d.unlink(v)
+	d.size--
+	d.in[v] = false
+	d.Insert(v, key)
+}
+
+// Update implements Queue.
+func (d *Dial) Update(v int32, key uint32) {
+	if d.in[v] {
+		d.DecreaseKey(v, key)
+	} else {
+		d.Insert(v, key)
+	}
+}
+
+// ExtractMin implements Queue. It scans at most C+1 buckets starting at
+// the previous minimum; total scan work over a Dijkstra run is O(nC) in
+// the worst case and O(maxDist) in practice.
+func (d *Dial) ExtractMin() (int32, uint32) {
+	if d.size == 0 {
+		panic("pq: ExtractMin on empty Dial queue")
+	}
+	if !d.started {
+		d.started = true
+		// Find the smallest queued key to anchor the window.
+		min := uint32(0)
+		first := true
+		for _, v := range d.used {
+			if d.in[v] && (first || d.key[v] < min) {
+				min, first = d.key[v], false
+			}
+		}
+		d.cur = min
+	}
+	for {
+		b := d.bucketOf(d.cur)
+		for v := d.buckets[b]; v >= 0; v = d.next[v] {
+			if d.key[v] == d.cur {
+				d.unlink(v)
+				d.in[v] = false
+				d.size--
+				return v, d.cur
+			}
+		}
+		d.cur++
+	}
+}
+
+// Contains implements Queue.
+func (d *Dial) Contains(v int32) bool { return d.in[v] }
+
+// Len implements Queue.
+func (d *Dial) Len() int { return d.size }
+
+// Empty implements Queue.
+func (d *Dial) Empty() bool { return d.size == 0 }
+
+// Reset implements Queue.
+func (d *Dial) Reset() {
+	for _, v := range d.used {
+		if d.in[v] {
+			d.unlink(v)
+			d.in[v] = false
+		}
+	}
+	d.used = d.used[:0]
+	d.size = 0
+	d.cur = 0
+	d.started = false
+}

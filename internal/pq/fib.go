@@ -1,0 +1,255 @@
+package pq
+
+// FibHeap is a Fibonacci heap [19] (Fredman–Tarjan), the structure
+// behind Dijkstra's O(m + n log n) bound that the paper cites in
+// Section II-A. Amortized O(1) Insert/DecreaseKey and O(log n)
+// ExtractMin. In practice its pointer structure loses to the flat
+// array queues on road networks — which is exactly why the paper
+// benchmarks buckets and heaps instead — but it completes the queue
+// family and serves as another cross-checked reference implementation.
+//
+// Nodes are preallocated per vertex; all links are int32 indices into
+// flat arrays, so Reset is O(touched) and no pointers burden the GC.
+type FibHeap struct {
+	key    []uint32
+	parent []int32
+	child  []int32 // one child; siblings form a circular doubly-linked list
+	left   []int32
+	right  []int32
+	degree []int16
+	marked []bool
+	in     []bool
+	min    int32
+	size   int
+	used   []int32
+	// scratch for consolidation, sized ~log_phi(n)+2
+	ranks []int32
+}
+
+// NewFibHeap returns an empty Fibonacci heap for vertex IDs in [0,n).
+func NewFibHeap(n int) *FibHeap {
+	h := &FibHeap{
+		key:    make([]uint32, n),
+		parent: make([]int32, n),
+		child:  make([]int32, n),
+		left:   make([]int32, n),
+		right:  make([]int32, n),
+		degree: make([]int16, n),
+		marked: make([]bool, n),
+		in:     make([]bool, n),
+		min:    -1,
+		ranks:  make([]int32, 64),
+	}
+	return h
+}
+
+// Insert implements Queue.
+func (h *FibHeap) Insert(v int32, key uint32) {
+	h.key[v] = key
+	h.parent[v] = -1
+	h.child[v] = -1
+	h.degree[v] = 0
+	h.marked[v] = false
+	h.in[v] = true
+	h.used = append(h.used, v)
+	h.addRoot(v)
+	h.size++
+}
+
+// addRoot splices v into the root list and updates the minimum.
+func (h *FibHeap) addRoot(v int32) {
+	if h.min < 0 {
+		h.left[v] = v
+		h.right[v] = v
+		h.min = v
+		return
+	}
+	// insert to the right of min
+	r := h.right[h.min]
+	h.right[h.min] = v
+	h.left[v] = h.min
+	h.right[v] = r
+	h.left[r] = v
+	if h.key[v] < h.key[h.min] {
+		h.min = v
+	}
+}
+
+// removeFromList unlinks v from its sibling ring.
+func (h *FibHeap) removeFromList(v int32) {
+	l, r := h.left[v], h.right[v]
+	h.right[l] = r
+	h.left[r] = l
+}
+
+// DecreaseKey implements Queue.
+func (h *FibHeap) DecreaseKey(v int32, key uint32) {
+	if key > h.key[v] {
+		panic("pq: DecreaseKey would increase key")
+	}
+	h.key[v] = key
+	p := h.parent[v]
+	if p >= 0 && h.key[v] < h.key[p] {
+		h.cut(v, p)
+		h.cascadingCut(p)
+	}
+	if h.key[v] < h.key[h.min] {
+		h.min = v
+	}
+}
+
+// cut detaches v from parent p and makes it a root.
+func (h *FibHeap) cut(v, p int32) {
+	if h.child[p] == v {
+		if h.right[v] != v {
+			h.child[p] = h.right[v]
+		} else {
+			h.child[p] = -1
+		}
+	}
+	h.removeFromList(v)
+	h.degree[p]--
+	h.parent[v] = -1
+	h.marked[v] = false
+	h.addRoot(v)
+}
+
+func (h *FibHeap) cascadingCut(v int32) {
+	for {
+		p := h.parent[v]
+		if p < 0 {
+			return
+		}
+		if !h.marked[v] {
+			h.marked[v] = true
+			return
+		}
+		h.cut(v, p)
+		v = p
+	}
+}
+
+// Update implements Queue.
+func (h *FibHeap) Update(v int32, key uint32) {
+	if h.in[v] {
+		h.DecreaseKey(v, key)
+	} else {
+		h.Insert(v, key)
+	}
+}
+
+// ExtractMin implements Queue.
+func (h *FibHeap) ExtractMin() (int32, uint32) {
+	if h.size == 0 {
+		panic("pq: ExtractMin on empty FibHeap")
+	}
+	z := h.min
+	// Promote z's children to roots.
+	if c := h.child[z]; c >= 0 {
+		for {
+			next := h.right[c]
+			h.parent[c] = -1
+			h.marked[c] = false
+			last := c == next || next == h.child[z]
+			h.left[c] = c
+			h.right[c] = c
+			h.addRoot(c)
+			if last {
+				break
+			}
+			c = next
+		}
+		h.child[z] = -1
+	}
+	// Remove z from the root list.
+	if h.right[z] == z {
+		h.min = -1
+	} else {
+		h.min = h.right[z]
+		h.removeFromList(z)
+	}
+	h.in[z] = false
+	h.size--
+	if h.min >= 0 {
+		h.consolidate()
+	}
+	return z, h.key[z]
+}
+
+// consolidate links roots of equal degree until all degrees are unique,
+// then rebuilds the root list and minimum.
+func (h *FibHeap) consolidate() {
+	for i := range h.ranks {
+		h.ranks[i] = -1
+	}
+	// Walk the current root ring, collecting roots first (the ring is
+	// rewired during linking).
+	var roots []int32
+	v := h.min
+	for {
+		roots = append(roots, v)
+		v = h.right[v]
+		if v == h.min {
+			break
+		}
+	}
+	for _, x := range roots {
+		for {
+			d := h.degree[x]
+			y := h.ranks[d]
+			if y < 0 {
+				h.ranks[d] = x
+				break
+			}
+			h.ranks[d] = -1
+			if h.key[y] < h.key[x] || (h.key[y] == h.key[x] && y < x) {
+				x, y = y, x
+			}
+			// y becomes a child of x.
+			h.removeFromList(y)
+			h.parent[y] = x
+			h.marked[y] = false
+			if c := h.child[x]; c < 0 {
+				h.child[x] = y
+				h.left[y] = y
+				h.right[y] = y
+			} else {
+				r := h.right[c]
+				h.right[c] = y
+				h.left[y] = c
+				h.right[y] = r
+				h.left[r] = y
+			}
+			h.degree[x]++
+		}
+	}
+	// Rebuild the root ring from the rank table.
+	h.min = -1
+	for _, x := range h.ranks {
+		if x < 0 {
+			continue
+		}
+		h.left[x] = x
+		h.right[x] = x
+		h.addRoot(x)
+	}
+}
+
+// Contains implements Queue.
+func (h *FibHeap) Contains(v int32) bool { return h.in[v] }
+
+// Len implements Queue.
+func (h *FibHeap) Len() int { return h.size }
+
+// Empty implements Queue.
+func (h *FibHeap) Empty() bool { return h.size == 0 }
+
+// Reset implements Queue.
+func (h *FibHeap) Reset() {
+	for _, v := range h.used {
+		h.in[v] = false
+	}
+	h.used = h.used[:0]
+	h.min = -1
+	h.size = 0
+}

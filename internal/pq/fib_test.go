@@ -1,0 +1,121 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFibHeapCascadingCuts(t *testing.T) {
+	// Build a deliberately deep structure by consolidating, then cut
+	// repeatedly from the same subtree to trigger cascading cuts.
+	h := NewFibHeap(64)
+	for v := int32(0); v < 32; v++ {
+		h.Insert(v, uint32(100+v))
+	}
+	// Force consolidation.
+	v, k := h.ExtractMin()
+	if v != 0 || k != 100 {
+		t.Fatalf("got (%d,%d), want (0,100)", v, k)
+	}
+	// Decrease several deep keys below everything else; each must become
+	// the new minimum immediately.
+	for i, v := range []int32{31, 30, 29, 28, 27} {
+		h.DecreaseKey(v, uint32(10-i))
+		if got, _ := peekFib(h); got != v {
+			t.Fatalf("after decrease %d: min=%d", v, got)
+		}
+	}
+	// Full drain must come out sorted.
+	prev := uint32(0)
+	for !h.Empty() {
+		_, k := h.ExtractMin()
+		if k < prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+	}
+}
+
+func peekFib(h *FibHeap) (int32, uint32) {
+	v, k := h.ExtractMin()
+	h.Insert(v, k)
+	return v, k
+}
+
+func TestFibHeapReinsertAfterExtract(t *testing.T) {
+	h := NewFibHeap(4)
+	h.Insert(1, 5)
+	h.ExtractMin()
+	h.Insert(1, 3) // reuse the same node
+	v, k := h.ExtractMin()
+	if v != 1 || k != 3 {
+		t.Fatalf("got (%d,%d)", v, k)
+	}
+	if !h.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+// TestFibHeapStressAgainstBinary replays a long random workload against
+// both the Fibonacci and binary heaps. Under key ties the two heaps may
+// extract different vertices, so the comparison tracks the key multiset
+// (which must stay identical) rather than vertex identities; vertices
+// are only inserted when absent from both heaps and only decreased when
+// present in both, which keeps per-vertex keys synchronized.
+func TestFibHeapStressAgainstBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 512
+	fib := NewFibHeap(n)
+	bin := NewBinaryHeap(n)
+	curKey := make([]uint32, n)
+	counts := map[uint32]int{}
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			v := int32(rng.Intn(n))
+			if !fib.Contains(v) && !bin.Contains(v) {
+				k := uint32(rng.Intn(1 << 20))
+				fib.Insert(v, k)
+				bin.Insert(v, k)
+				curKey[v] = k
+				counts[k]++
+			}
+		case 1:
+			v := int32(rng.Intn(n))
+			if fib.Contains(v) && bin.Contains(v) {
+				nk := uint32(rng.Int63n(int64(curKey[v]) + 1))
+				fib.DecreaseKey(v, nk)
+				bin.DecreaseKey(v, nk)
+				counts[curKey[v]]--
+				counts[nk]++
+				curKey[v] = nk
+			}
+		default:
+			if fib.Empty() {
+				continue
+			}
+			_, fk := fib.ExtractMin()
+			_, bk := bin.ExtractMin()
+			if fk != bk {
+				t.Fatalf("step %d: fib key %d, binary key %d", step, fk, bk)
+			}
+			if counts[fk] <= 0 {
+				t.Fatalf("step %d: extracted key %d not in reference multiset", step, fk)
+			}
+			counts[fk]--
+			if fib.Len() != bin.Len() {
+				t.Fatalf("step %d: sizes diverged: fib %d bin %d", step, fib.Len(), bin.Len())
+			}
+		}
+	}
+}
+
+func TestFibHeapEmptyExtractPanics(t *testing.T) {
+	h := NewFibHeap(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extract from empty heap did not panic")
+		}
+	}()
+	h.ExtractMin()
+}

@@ -1,0 +1,81 @@
+// Package pq implements the priority queues the paper benchmarks
+// Dijkstra's algorithm with (Section II-A and Table I):
+//
+//   - BinaryHeap: the textbook array heap, O(m log n) Dijkstra.
+//   - KHeap: a 4-ary heap (the "k-heap" of [18]), shallower and more
+//     cache-friendly than the binary heap.
+//   - Dial: Dial's single-level bucket queue [20], O(m + nC).
+//   - RadixHeap: a monotone multi-level bucket structure standing in for
+//     the "smart queue" [3]; O(m + n log C) worst case, linear in
+//     practice on road networks.
+//
+// All queues store uint32 keys for int32 vertex handles in [0,n), support
+// Insert / DecreaseKey / ExtractMin / Reset, and are reusable across many
+// shortest-path computations without reallocation (Reset is O(size), not
+// O(n)), which matters when building n trees.
+package pq
+
+// Queue is the interface Dijkstra's algorithm drives.
+//
+// Keys passed to ExtractMin are non-decreasing over the lifetime of a
+// Dijkstra run, which Dial and RadixHeap rely on (monotone queues); the
+// heaps do not care.
+type Queue interface {
+	// Insert adds v with the given key. v must not be in the queue.
+	Insert(v int32, key uint32)
+	// DecreaseKey lowers the key of v, which must be in the queue.
+	DecreaseKey(v int32, key uint32)
+	// Update inserts v or decreases its key, whichever applies.
+	Update(v int32, key uint32)
+	// ExtractMin removes and returns a minimum-key element.
+	// It must not be called on an empty queue.
+	ExtractMin() (v int32, key uint32)
+	// Contains reports whether v is currently queued.
+	Contains(v int32) bool
+	// Len returns the number of queued elements.
+	Len() int
+	// Empty reports Len() == 0.
+	Empty() bool
+	// Reset empties the queue for reuse, in time proportional to the
+	// number of elements that passed through it since the last Reset.
+	Reset()
+}
+
+// Kind names a queue implementation; the experiment driver sweeps it.
+type Kind string
+
+const (
+	KindBinaryHeap Kind = "binary heap"
+	KindKHeap      Kind = "4-heap"
+	KindFibonacci  Kind = "Fibonacci heap"
+	KindDial       Kind = "Dial"
+	KindTwoLevel   Kind = "2-level buckets"
+	KindRadix      Kind = "smart queue"
+)
+
+// Kinds lists the implementations in Table I order (the experiment
+// driver adds the 2-level bucket row; the 4-ary and Fibonacci heaps are
+// reference implementations outside the paper's table).
+var Kinds = []Kind{KindBinaryHeap, KindDial, KindTwoLevel, KindRadix}
+
+// New constructs a queue of the given kind for vertex IDs in [0,n).
+// maxArcWeight is required by the bucket-based queues (Dial needs C+1
+// buckets; the radix heap only needs it to size its bucket count).
+func New(kind Kind, n int, maxArcWeight uint32) Queue {
+	switch kind {
+	case KindBinaryHeap:
+		return NewBinaryHeap(n)
+	case KindKHeap:
+		return NewKHeap(n)
+	case KindFibonacci:
+		return NewFibHeap(n)
+	case KindDial:
+		return NewDial(n, maxArcWeight)
+	case KindTwoLevel:
+		return NewTwoLevel(n, maxArcWeight)
+	case KindRadix:
+		return NewRadixHeap(n)
+	default:
+		panic("pq: unknown queue kind " + string(kind))
+	}
+}

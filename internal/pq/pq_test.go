@@ -1,0 +1,240 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// allKinds includes the 4-heap and Fibonacci heap, which Table I omits
+// but the package provides; every implementation must satisfy the same
+// contract.
+var allKinds = []Kind{KindBinaryHeap, KindKHeap, KindFibonacci, KindDial, KindTwoLevel, KindRadix}
+
+func newQueue(t *testing.T, kind Kind, n int, maxW uint32) Queue {
+	t.Helper()
+	return New(kind, n, maxW)
+}
+
+func TestExtractMinOrder(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			q := newQueue(t, kind, 10, 100)
+			keys := []uint32{37, 5, 99, 0, 42, 5, 88, 17, 63, 21}
+			for v, k := range keys {
+				q.Insert(int32(v), k)
+			}
+			sorted := append([]uint32(nil), keys...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for i, want := range sorted {
+				if q.Empty() {
+					t.Fatalf("queue empty after %d extractions", i)
+				}
+				_, k := q.ExtractMin()
+				if k != want {
+					t.Fatalf("extraction %d: key=%d, want %d", i, k, want)
+				}
+			}
+			if !q.Empty() {
+				t.Fatal("queue not empty at the end")
+			}
+		})
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			q := newQueue(t, kind, 4, 100)
+			q.Insert(0, 50)
+			q.Insert(1, 60)
+			q.Insert(2, 70)
+			q.DecreaseKey(2, 10)
+			v, k := q.ExtractMin()
+			if v != 2 || k != 10 {
+				t.Fatalf("got (%d,%d), want (2,10)", v, k)
+			}
+			q.Update(1, 20) // decrease via Update
+			q.Update(3, 30) // insert via Update
+			v, k = q.ExtractMin()
+			if v != 1 || k != 20 {
+				t.Fatalf("got (%d,%d), want (1,20)", v, k)
+			}
+			v, k = q.ExtractMin()
+			if v != 3 || k != 30 {
+				t.Fatalf("got (%d,%d), want (3,30)", v, k)
+			}
+		})
+	}
+}
+
+func TestContainsLen(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			q := newQueue(t, kind, 5, 10)
+			if q.Contains(3) || q.Len() != 0 || !q.Empty() {
+				t.Fatal("fresh queue not empty")
+			}
+			q.Insert(3, 7)
+			if !q.Contains(3) || q.Len() != 1 {
+				t.Fatal("Insert not reflected")
+			}
+			q.ExtractMin()
+			if q.Contains(3) || q.Len() != 0 {
+				t.Fatal("ExtractMin not reflected")
+			}
+		})
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			q := newQueue(t, kind, 8, 50)
+			for round := 0; round < 3; round++ {
+				q.Insert(1, 40)
+				q.Insert(2, 20)
+				q.Reset()
+				if !q.Empty() || q.Contains(1) || q.Contains(2) {
+					t.Fatalf("round %d: Reset left state behind", round)
+				}
+				// After reset the monotone queues must accept small keys again.
+				q.Insert(3, 1)
+				v, k := q.ExtractMin()
+				if v != 3 || k != 1 {
+					t.Fatalf("round %d: got (%d,%d)", round, v, k)
+				}
+				q.Reset()
+			}
+		})
+	}
+}
+
+// TestMonotoneSequenceAgainstReference drives each queue with a random
+// monotone workload (as Dijkstra would) and cross-checks every extraction
+// against a straightforward reference implementation.
+func TestMonotoneSequenceAgainstReference(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			const n = 200
+			const maxW = 64
+			for trial := 0; trial < 20; trial++ {
+				q := newQueue(t, kind, n, maxW)
+				ref := map[int32]uint32{}
+				last := uint32(0)
+				inserted := int32(0)
+				for step := 0; step < 500; step++ {
+					switch {
+					case inserted < n && (len(ref) == 0 || rng.Intn(3) != 0):
+						key := last + uint32(rng.Intn(maxW+1))
+						q.Insert(inserted, key)
+						ref[inserted] = key
+						inserted++
+					case rng.Intn(2) == 0 && len(ref) > 0:
+						// decrease a random element, staying >= last
+						var v int32 = -1
+						for cand := range ref {
+							v = cand
+							break
+						}
+						if ref[v] > last {
+							nk := last + uint32(rng.Intn(int(ref[v]-last)+1))
+							q.DecreaseKey(v, nk)
+							ref[v] = nk
+						}
+					default:
+						if len(ref) == 0 {
+							continue
+						}
+						v, k := q.ExtractMin()
+						want := uint32(1<<32 - 1)
+						for _, rk := range ref {
+							if rk < want {
+								want = rk
+							}
+						}
+						if k != want {
+							t.Fatalf("trial %d step %d: extracted key %d, want %d", trial, step, k, want)
+						}
+						if ref[v] != k {
+							t.Fatalf("trial %d step %d: vertex %d had key %d, queue said %d", trial, step, v, ref[v], k)
+						}
+						delete(ref, v)
+						last = k
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDialWindowPanic(t *testing.T) {
+	q := NewDial(4, 10)
+	q.Insert(0, 5)
+	q.ExtractMin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dial accepted key outside monotone window")
+		}
+	}()
+	q.Insert(1, 100) // window is [5,15]
+}
+
+func TestRadixMonotonePanic(t *testing.T) {
+	q := NewRadixHeap(4)
+	q.Insert(0, 50)
+	q.ExtractMin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RadixHeap accepted key below last minimum")
+		}
+	}()
+	q.Insert(1, 10)
+}
+
+func TestDecreaseKeyIncreasePanics(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			q := newQueue(t, kind, 2, 100)
+			q.Insert(0, 10)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("DecreaseKey accepted a larger key")
+				}
+			}()
+			q.DecreaseKey(0, 20)
+		})
+	}
+}
+
+func TestDuplicateKeysAllExtracted(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			q := newQueue(t, kind, 6, 10)
+			for v := int32(0); v < 6; v++ {
+				q.Insert(v, 7)
+			}
+			seen := map[int32]bool{}
+			for i := 0; i < 6; i++ {
+				v, k := q.ExtractMin()
+				if k != 7 {
+					t.Fatalf("key=%d, want 7", k)
+				}
+				if seen[v] {
+					t.Fatalf("vertex %d extracted twice", v)
+				}
+				seen[v] = true
+			}
+		})
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an unknown kind")
+		}
+	}()
+	New(Kind("bogus"), 1, 1)
+}

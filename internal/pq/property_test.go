@@ -1,0 +1,158 @@
+package pq
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// monotoneWorkload is a quick.Generator producing a Dijkstra-like
+// monotone operation sequence: interleaved inserts (keys within the
+// current window), decreases and extractions.
+type monotoneWorkload struct {
+	maxW uint32
+	ops  []op
+}
+
+type op struct {
+	kind  int    // 0 insert, 1 decrease, 2 extract
+	delta uint32 // offset from the window base
+}
+
+// Generate implements quick.Generator.
+func (monotoneWorkload) Generate(rng *rand.Rand, size int) reflect.Value {
+	w := monotoneWorkload{maxW: uint32(1 + rng.Intn(100))}
+	nOps := 10 + rng.Intn(200)
+	for i := 0; i < nOps; i++ {
+		w.ops = append(w.ops, op{
+			kind:  rng.Intn(3),
+			delta: uint32(rng.Int63n(int64(w.maxW) + 1)),
+		})
+	}
+	return reflect.ValueOf(w)
+}
+
+// TestQuickAllQueuesAgree replays each generated workload against all
+// four queue implementations simultaneously and demands identical
+// extraction keys (extraction identity may differ under ties, so only
+// keys and membership are compared) plus agreement with a linear-scan
+// reference.
+func TestQuickAllQueuesAgree(t *testing.T) {
+	prop := func(w monotoneWorkload) bool {
+		const n = 256
+		queues := make([]Queue, len(allKinds))
+		for i, k := range allKinds {
+			queues[i] = New(k, n, w.maxW)
+		}
+		ref := map[int32]uint32{}
+		last := uint32(0)
+		next := int32(0)
+		for _, o := range w.ops {
+			switch {
+			case o.kind == 0 && next < n:
+				key := last + o.delta
+				for _, q := range queues {
+					q.Insert(next, key)
+				}
+				ref[next] = key
+				next++
+			case o.kind == 1 && len(ref) > 0:
+				// Decrease an arbitrary member toward the window base.
+				// Under key ties the queues may have extracted different
+				// elements, so only decrease vertices every queue still
+				// holds.
+				var v int32 = -1
+				for cand := range ref {
+					v = cand
+					break
+				}
+				everywhere := true
+				for _, q := range queues {
+					if !q.Contains(v) {
+						everywhere = false
+						break
+					}
+				}
+				if everywhere && ref[v] > last {
+					nk := last + o.delta%(ref[v]-last+1)
+					if nk > ref[v] {
+						nk = ref[v]
+					}
+					for _, q := range queues {
+						q.DecreaseKey(v, nk)
+					}
+					ref[v] = nk
+				}
+			case o.kind == 2 && len(ref) > 0:
+				want := ^uint32(0)
+				for _, k := range ref {
+					if k < want {
+						want = k
+					}
+				}
+				for qi, q := range queues {
+					v, k := q.ExtractMin()
+					if k != want {
+						t.Logf("%s extracted key %d, want %d", allKinds[qi], k, want)
+						return false
+					}
+					if qi == 0 {
+						if ref[v] != k {
+							t.Logf("extracted %d with key %d, reference says %d", v, k, ref[v])
+							return false
+						}
+						// Remove the element the first queue chose; other
+						// queues may pick a different same-key element,
+						// only keys are compared.
+						delete(ref, v)
+					}
+				}
+				last = want
+			}
+			for qi := 1; qi < len(queues); qi++ {
+				if queues[qi].Len() != queues[0].Len() {
+					t.Logf("%s length %d, %s length %d",
+						allKinds[qi], queues[qi].Len(), allKinds[0], queues[0].Len())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHeapSortProperty: inserting arbitrary keys and draining any
+// queue yields them in sorted order (heaps accept non-monotone inserts;
+// the bucket queues are fed pre-sorted offsets to stay in-window).
+func TestQuickHeapSortProperty(t *testing.T) {
+	prop := func(keys []uint32) bool {
+		if len(keys) > 512 {
+			keys = keys[:512]
+		}
+		for _, kind := range []Kind{KindBinaryHeap, KindKHeap, KindFibonacci} {
+			q := New(kind, len(keys)+1, 0)
+			for i, k := range keys {
+				q.Insert(int32(i), k)
+			}
+			sorted := append([]uint32(nil), keys...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, want := range sorted {
+				if _, got := q.ExtractMin(); got != want {
+					return false
+				}
+			}
+			if !q.Empty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package pq
+
+import "math/bits"
+
+// RadixHeap is a monotone multi-level bucket queue in the style of the
+// "smart queue" of [3] (multi-level buckets with Ahuja–Mehlhorn–Orlin
+// radix structure): bucket i holds elements whose key first differs from
+// the last extracted minimum in bit i-1, so there are at most 33 buckets
+// and each element is moved at most O(log C) times overall. ExtractMin
+// amortizes to O(log C) and the whole Dijkstra run to O(m + n log C);
+// like the smart queue, it is close to linear on road networks.
+type RadixHeap struct {
+	buckets [34][]int32
+	bucket  []int8  // bucket[v], -1 if absent
+	slot    []int32 // index of v within its bucket slice
+	key     []uint32
+	used    []int32
+	size    int
+	last    uint32 // key of the last extracted minimum
+}
+
+// NewRadixHeap returns a radix heap for vertex IDs in [0,n).
+func NewRadixHeap(n int) *RadixHeap {
+	r := &RadixHeap{
+		bucket: make([]int8, n),
+		slot:   make([]int32, n),
+		key:    make([]uint32, n),
+	}
+	for i := range r.bucket {
+		r.bucket[i] = -1
+	}
+	return r
+}
+
+func (r *RadixHeap) bucketIndex(key uint32) int8 {
+	return int8(bits.Len32(key ^ r.last)) // 0 iff key == last
+}
+
+func (r *RadixHeap) place(v int32, key uint32) {
+	b := r.bucketIndex(key)
+	r.bucket[v] = b
+	r.slot[v] = int32(len(r.buckets[b]))
+	r.key[v] = key
+	r.buckets[b] = append(r.buckets[b], v)
+}
+
+// Insert implements Queue. Keys must be ≥ the last extracted minimum
+// (Dijkstra guarantees this).
+func (r *RadixHeap) Insert(v int32, key uint32) {
+	if key < r.last {
+		panic("pq: RadixHeap key below last extracted minimum")
+	}
+	r.place(v, key)
+	r.used = append(r.used, v)
+	r.size++
+}
+
+func (r *RadixHeap) remove(v int32) {
+	b := r.bucket[v]
+	s := r.slot[v]
+	bk := r.buckets[b]
+	lastV := bk[len(bk)-1]
+	bk[s] = lastV
+	r.slot[lastV] = s
+	r.buckets[b] = bk[:len(bk)-1]
+	r.bucket[v] = -1
+}
+
+// DecreaseKey implements Queue.
+func (r *RadixHeap) DecreaseKey(v int32, key uint32) {
+	if key > r.key[v] {
+		panic("pq: DecreaseKey would increase key")
+	}
+	if key < r.last {
+		panic("pq: RadixHeap key below last extracted minimum")
+	}
+	r.remove(v)
+	r.place(v, key)
+}
+
+// Update implements Queue.
+func (r *RadixHeap) Update(v int32, key uint32) {
+	if r.bucket[v] >= 0 {
+		r.DecreaseKey(v, key)
+	} else {
+		r.Insert(v, key)
+	}
+}
+
+// ExtractMin implements Queue.
+func (r *RadixHeap) ExtractMin() (int32, uint32) {
+	if r.size == 0 {
+		panic("pq: ExtractMin on empty RadixHeap")
+	}
+	if len(r.buckets[0]) == 0 {
+		// Find the lowest non-empty bucket, locate its minimum key, make
+		// that the new reference point and redistribute: every element of
+		// bucket i now differs from the new minimum in a bit below i-1,
+		// so it falls into a strictly lower bucket. This is the step that
+		// bounds each element to O(log C) moves in total.
+		i := 1
+		for len(r.buckets[i]) == 0 {
+			i++
+		}
+		min := r.key[r.buckets[i][0]]
+		for _, v := range r.buckets[i][1:] {
+			if r.key[v] < min {
+				min = r.key[v]
+			}
+		}
+		r.last = min
+		moved := r.buckets[i]
+		r.buckets[i] = nil
+		for _, v := range moved {
+			r.place(v, r.key[v])
+		}
+	}
+	b0 := r.buckets[0]
+	v := b0[len(b0)-1]
+	r.buckets[0] = b0[:len(b0)-1]
+	r.bucket[v] = -1
+	r.size--
+	return v, r.key[v]
+}
+
+// Contains implements Queue.
+func (r *RadixHeap) Contains(v int32) bool { return r.bucket[v] >= 0 }
+
+// Len implements Queue.
+func (r *RadixHeap) Len() int { return r.size }
+
+// Empty implements Queue.
+func (r *RadixHeap) Empty() bool { return r.size == 0 }
+
+// Reset implements Queue.
+func (r *RadixHeap) Reset() {
+	for _, v := range r.used {
+		r.bucket[v] = -1
+	}
+	for i := range r.buckets {
+		r.buckets[i] = r.buckets[i][:0]
+	}
+	r.used = r.used[:0]
+	r.size = 0
+	r.last = 0
+}

@@ -1,0 +1,254 @@
+package pq
+
+// TwoLevel is a two-level bucket queue — the classic multi-level bucket
+// structure of [21] (Denardo–Fox, here with L=2) that the "smart queue"
+// [3] builds on. The key window above the last extracted minimum is
+// split into a unit-width "low" range of b buckets and b+1 wide "high"
+// buckets of width b each, with b = ceil(√(C+1)); when the low range is
+// exhausted the first non-empty wide bucket is expanded into it. Each
+// element is moved at most once from a wide to a unit bucket, and
+// ExtractMin scans O(√C) buckets instead of Dial's O(C).
+//
+// Invariants: topBase == lowBase + b at all times; unit buckets below
+// the cursor are empty; expansion only runs on an empty low range.
+type TwoLevel struct {
+	b         uint32  // bucket width = number of unit buckets
+	topN      uint32  // number of wide buckets (b+1)
+	lowBase   uint32  // key of unit bucket 0
+	topBase   uint32  // key of wide bucket 0 == lowBase + b
+	lowCur    uint32  // scan cursor into the unit buckets
+	low       []int32 // unit buckets: head vertex or -1
+	high      []int32 // wide buckets: head vertex or -1
+	next      []int32
+	prev      []int32
+	key       []uint32
+	where     []int8 // -1 absent, 0 low, 1 high
+	used      []int32
+	size      int
+	started   bool
+	extracted bool // monotone window is only binding after the first ExtractMin
+}
+
+// NewTwoLevel returns a two-level bucket queue for vertex IDs in [0,n)
+// and arc weights up to maxArcWeight.
+func NewTwoLevel(n int, maxArcWeight uint32) *TwoLevel {
+	b := uint32(1)
+	for b*b < maxArcWeight+1 {
+		b++
+	}
+	q := &TwoLevel{
+		b:     b,
+		topN:  b + 1,
+		next:  make([]int32, n),
+		prev:  make([]int32, n),
+		key:   make([]uint32, n),
+		where: make([]int8, n),
+	}
+	q.low = make([]int32, b)
+	q.high = make([]int32, q.topN)
+	for i := range q.low {
+		q.low[i] = -1
+	}
+	for i := range q.high {
+		q.high[i] = -1
+	}
+	for i := range q.where {
+		q.where[i] = -1
+	}
+	return q
+}
+
+func (q *TwoLevel) push(list []int32, idx uint32, v int32) {
+	head := list[idx]
+	q.next[v] = head
+	q.prev[v] = -1
+	if head >= 0 {
+		q.prev[head] = v
+	}
+	list[idx] = v
+}
+
+func (q *TwoLevel) unlink(v int32) {
+	var list []int32
+	var idx uint32
+	if q.where[v] == 0 {
+		list = q.low
+		idx = q.key[v] - q.lowBase
+	} else {
+		list = q.high
+		idx = (q.key[v] - q.topBase) / q.b
+	}
+	if q.prev[v] >= 0 {
+		q.next[q.prev[v]] = q.next[v]
+	} else {
+		list[idx] = q.next[v]
+	}
+	if q.next[v] >= 0 {
+		q.prev[q.next[v]] = q.prev[v]
+	}
+}
+
+// place files v under its key into the unit or wide range.
+func (q *TwoLevel) place(v int32, key uint32) {
+	if key < q.lowBase {
+		panic("pq: TwoLevel key below monotone window")
+	}
+	q.key[v] = key
+	if key < q.topBase {
+		q.where[v] = 0
+		q.push(q.low, key-q.lowBase, v)
+		return
+	}
+	idx := (key - q.topBase) / q.b
+	if idx >= q.topN {
+		panic("pq: TwoLevel key outside monotone window")
+	}
+	q.where[v] = 1
+	q.push(q.high, idx, v)
+}
+
+// Insert implements Queue.
+func (q *TwoLevel) Insert(v int32, key uint32) {
+	if !q.started {
+		q.lowBase = key
+		q.topBase = key + q.b
+		q.lowCur = 0
+		q.started = true
+	} else if key < q.lowBase {
+		q.reanchor(key)
+	}
+	q.place(v, key)
+	q.used = append(q.used, v)
+	q.size++
+}
+
+// DecreaseKey implements Queue.
+func (q *TwoLevel) DecreaseKey(v int32, key uint32) {
+	if key > q.key[v] {
+		panic("pq: DecreaseKey would increase key")
+	}
+	q.unlink(v)
+	// Mark v absent before a possible reanchor so the rebuild does not
+	// re-file it a second time with its stale key.
+	q.where[v] = -1
+	if key < q.lowBase {
+		q.reanchor(key)
+	}
+	q.place(v, key)
+}
+
+// reanchor rebuilds the window around a smaller base key. Dijkstra
+// never needs this after the first extraction (keys are monotone), so
+// it is only legal pre-extraction — matching Dial's behavior of fixing
+// its window at the first ExtractMin.
+func (q *TwoLevel) reanchor(key uint32) {
+	if q.extracted {
+		panic("pq: TwoLevel key below monotone window")
+	}
+	var members []int32
+	var keys []uint32
+	for _, v := range q.used {
+		if q.where[v] >= 0 {
+			members = append(members, v)
+			keys = append(keys, q.key[v])
+			q.unlink(v)
+			q.where[v] = -1
+		}
+	}
+	q.lowBase = key
+	q.topBase = key + q.b
+	q.lowCur = 0
+	for i, v := range members {
+		q.place(v, keys[i])
+	}
+}
+
+// Update implements Queue.
+func (q *TwoLevel) Update(v int32, key uint32) {
+	if q.where[v] >= 0 {
+		q.DecreaseKey(v, key)
+	} else {
+		q.Insert(v, key)
+	}
+}
+
+// ExtractMin implements Queue.
+func (q *TwoLevel) ExtractMin() (int32, uint32) {
+	if q.size == 0 {
+		panic("pq: ExtractMin on empty TwoLevel queue")
+	}
+	q.extracted = true
+	for {
+		for off := q.lowCur; off < q.b; off++ {
+			if v := q.low[off]; v >= 0 {
+				q.low[off] = q.next[v]
+				if q.next[v] >= 0 {
+					q.prev[q.next[v]] = -1
+				}
+				q.where[v] = -1
+				q.size--
+				q.lowCur = off // monotone: later keys land at >= off
+				return v, q.key[v]
+			}
+		}
+		// Low range exhausted: expand the first non-empty wide bucket.
+		expanded := false
+		for t := uint32(0); t < q.topN; t++ {
+			if q.high[t] < 0 {
+				continue
+			}
+			base := q.topBase + t*q.b
+			v := q.high[t]
+			q.high[t] = -1
+			// Advance the window before re-filing so place() uses the
+			// new bases; all moved keys lie in [base, base+b).
+			shift := t + 1
+			for s := uint32(0); s+shift < q.topN; s++ {
+				q.high[s] = q.high[s+shift]
+			}
+			for s := q.topN - shift; s < q.topN; s++ {
+				q.high[s] = -1
+			}
+			q.lowBase = base
+			q.topBase = base + q.b
+			q.lowCur = 0
+			for v >= 0 {
+				nxt := q.next[v]
+				q.where[v] = 0
+				q.push(q.low, q.key[v]-base, v)
+				v = nxt
+			}
+			expanded = true
+			break
+		}
+		if !expanded {
+			panic("pq: TwoLevel lost elements (corrupt state)")
+		}
+	}
+}
+
+// Contains implements Queue.
+func (q *TwoLevel) Contains(v int32) bool { return q.where[v] >= 0 }
+
+// Len implements Queue.
+func (q *TwoLevel) Len() int { return q.size }
+
+// Empty implements Queue.
+func (q *TwoLevel) Empty() bool { return q.size == 0 }
+
+// Reset implements Queue.
+func (q *TwoLevel) Reset() {
+	for _, v := range q.used {
+		if q.where[v] >= 0 {
+			q.unlink(v)
+			q.where[v] = -1
+		}
+	}
+	q.used = q.used[:0]
+	q.size = 0
+	q.lowBase = 0
+	q.topBase = 0
+	q.lowCur = 0
+	q.started = false
+	q.extracted = false
+}

@@ -1,0 +1,158 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkTwoLevelInvariants walks the bucket structure and verifies that
+// every reference member is linked exactly where its key says it should
+// be — the check that caught a double-filing bug in the pre-extraction
+// reanchor path.
+func checkTwoLevelInvariants(t *testing.T, q *TwoLevel, ref map[int32]uint32, step int) {
+	t.Helper()
+	for v, k := range ref {
+		if q.where[v] < 0 {
+			t.Fatalf("step %d: member %d (key %d) marked absent", step, v, k)
+		}
+		if q.key[v] != k {
+			t.Fatalf("step %d: member %d has key %d, want %d", step, v, q.key[v], k)
+		}
+		var list []int32
+		var idx uint32
+		if q.where[v] == 0 {
+			list, idx = q.low, k-q.lowBase
+		} else {
+			list, idx = q.high, (k-q.topBase)/q.b
+		}
+		if int(idx) >= len(list) {
+			t.Fatalf("step %d: member %d key %d files outside its level (lowBase=%d topBase=%d)",
+				step, v, k, q.lowBase, q.topBase)
+		}
+		found := false
+		for x := list[idx]; x >= 0; x = q.next[x] {
+			if x == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("step %d: member %d key %d not linked in bucket %d", step, v, k, idx)
+		}
+	}
+	if q.Len() != len(ref) {
+		t.Fatalf("step %d: Len()=%d, reference has %d", step, q.Len(), len(ref))
+	}
+}
+
+// TestTwoLevelStructuralInvariants replays random monotone workloads
+// (including pre-extraction decreases that force reanchoring) and
+// validates the full bucket structure after every operation.
+func TestTwoLevelStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200
+	const maxW = 64
+	for trial := 0; trial < 20; trial++ {
+		q := NewTwoLevel(n, maxW)
+		ref := map[int32]uint32{}
+		last := uint32(0)
+		inserted := int32(0)
+		for step := 0; step < 600; step++ {
+			switch {
+			case inserted < n && (len(ref) == 0 || rng.Intn(3) != 0):
+				key := last + uint32(rng.Intn(maxW+1))
+				q.Insert(inserted, key)
+				ref[inserted] = key
+				inserted++
+			case rng.Intn(2) == 0 && len(ref) > 0:
+				var v int32 = -1
+				for cand := range ref {
+					v = cand
+					break
+				}
+				if ref[v] > last {
+					nk := last + uint32(rng.Intn(int(ref[v]-last)+1))
+					q.DecreaseKey(v, nk)
+					ref[v] = nk
+				}
+			default:
+				if len(ref) == 0 {
+					continue
+				}
+				v, k := q.ExtractMin()
+				want := ^uint32(0)
+				for _, rk := range ref {
+					if rk < want {
+						want = rk
+					}
+				}
+				if k != want || ref[v] != k {
+					t.Fatalf("trial %d step %d: extracted (%d,%d), reference min %d / key %d",
+						trial, step, v, k, want, ref[v])
+				}
+				delete(ref, v)
+				last = k
+			}
+			checkTwoLevelInvariants(t, q, ref, step)
+		}
+	}
+}
+
+// TestTwoLevelPreExtractionReanchor pins the regression: a decrease
+// below the anchored window before any extraction must rebuild the
+// window without double-filing the decreased element.
+func TestTwoLevelPreExtractionReanchor(t *testing.T) {
+	q := NewTwoLevel(8, 64)
+	q.Insert(0, 57)
+	q.Insert(1, 37)
+	q.DecreaseKey(0, 35)
+	q.Insert(2, 49)
+	q.Insert(3, 31)
+	q.Insert(4, 46)
+	q.DecreaseKey(1, 2) // below the window anchored at 57: reanchor
+	want := []uint32{2, 31, 35, 46, 49}
+	for i, w := range want {
+		v, k := q.ExtractMin()
+		if k != w {
+			t.Fatalf("extraction %d: key %d, want %d", i, k, w)
+		}
+		if q.Contains(v) {
+			t.Fatalf("extracted %d still contained", v)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestTwoLevelExpansionAcrossManyWindows(t *testing.T) {
+	// Push keys spanning several expansion rounds and drain.
+	q := NewTwoLevel(128, 100)
+	keys := make([]uint32, 0, 100)
+	rng := rand.New(rand.NewSource(7))
+	for v := int32(0); v < 100; v++ {
+		k := uint32(rng.Intn(101))
+		q.Insert(v, k)
+		keys = append(keys, k)
+	}
+	prev := uint32(0)
+	for range keys {
+		_, k := q.ExtractMin()
+		if k < prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestTwoLevelMonotoneWindowPanic(t *testing.T) {
+	q := NewTwoLevel(4, 16)
+	q.Insert(0, 5)
+	q.ExtractMin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TwoLevel accepted key below window after extraction")
+		}
+	}()
+	q.Insert(1, 1)
+}

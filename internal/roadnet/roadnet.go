@@ -1,0 +1,287 @@
+// Package roadnet generates synthetic road networks that stand in for
+// the proprietary benchmark instances of the paper (PTV Europe, 18M
+// vertices / 42M arcs, and TIGER USA, 24M / 58M; see DESIGN.md).
+//
+// The generator produces a jittered grid with a three-tier speed
+// hierarchy — local streets everywhere, arterials every few cells, and
+// sparse highways — plus random dropping of local edges for
+// irregularity. This reproduces the structural properties PHAST
+// exploits: low highway dimension (long shortest paths concentrate on
+// the few fast edges, so CH hierarchies are shallow, ~100–400 levels
+// with geometric level-size decay), small average degree (~2.3 arcs per
+// vertex after dropping), and strong locality. Both metrics of Section
+// VIII-G are supported: travel times (deciseconds) and travel distances
+// (meters).
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"phast/internal/graph"
+)
+
+// Metric selects the arc length semantics.
+type Metric int
+
+const (
+	// TravelTime weights arcs with traversal time in tenths of seconds
+	// (the DIMACS convention); fast roads are shortcuts.
+	TravelTime Metric = iota
+	// TravelDistance weights arcs with their geometric length in meters;
+	// the hierarchy is much weaker, as in the paper (410 levels vs 140).
+	TravelDistance
+)
+
+func (m Metric) String() string {
+	if m == TravelDistance {
+		return "distance"
+	}
+	return "time"
+}
+
+// RoadClass is the tier of a road edge.
+type RoadClass uint8
+
+const (
+	Local RoadClass = iota
+	Arterial
+	Highway
+)
+
+// speedKMH maps road classes to speeds.
+var speedKMH = [3]float64{30, 70, 120}
+
+// Params configures generation. The zero value is invalid; use a preset
+// or fill Width/Height at minimum (DefaultizeParams fills the rest).
+type Params struct {
+	// Width and Height are the grid dimensions; the network has about
+	// Width*Height vertices (minus dropped fragments).
+	Width, Height int
+	// CellMeters is the grid spacing (default 1000m).
+	CellMeters float64
+	// JitterFrac displaces each vertex by up to this fraction of a cell
+	// in each axis (default 0.35).
+	JitterFrac float64
+	// ArterialEvery: rows/columns divisible by this carry arterials
+	// (default 8).
+	ArterialEvery int
+	// HighwayEvery: rows/columns divisible by this carry highways
+	// (default 32). Must be a multiple of ArterialEvery to nest tiers.
+	HighwayEvery int
+	// DropLocalProb removes this fraction of local edges (default 0.15).
+	DropLocalProb float64
+	// OneWayProb turns this fraction of the surviving local edges into
+	// one-way streets (a single arc in a random direction), as in real
+	// city grids; the largest strongly connected component is kept so
+	// every query stays answerable. Default 0 (fully bidirected).
+	OneWayProb float64
+	// Metric selects time or distance weights.
+	Metric Metric
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.CellMeters == 0 {
+		p.CellMeters = 1000
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.35
+	}
+	if p.ArterialEvery == 0 {
+		p.ArterialEvery = 8
+	}
+	if p.HighwayEvery == 0 {
+		p.HighwayEvery = 32
+	}
+	if p.DropLocalProb == 0 {
+		p.DropLocalProb = 0.15
+	}
+	return p
+}
+
+// Coord is a planar vertex position in meters.
+type Coord struct{ X, Y float64 }
+
+// Network is a generated road network: the graph (largest connected
+// component, bidirected), vertex coordinates, and provenance.
+type Network struct {
+	Graph  *graph.Graph
+	Coords []Coord
+	Params Params
+	// ClassCounts counts generated undirected edges per road class
+	// (before component extraction).
+	ClassCounts [3]int
+}
+
+// Generate builds a network from p. It returns an error for degenerate
+// dimensions.
+func Generate(p Params) (*Network, error) {
+	p = p.withDefaults()
+	if p.Width < 2 || p.Height < 2 {
+		return nil, fmt.Errorf("roadnet: grid %dx%d too small", p.Width, p.Height)
+	}
+	if p.Width*p.Height > (1<<31)/4 {
+		return nil, fmt.Errorf("roadnet: grid %dx%d exceeds int32 vertex IDs", p.Width, p.Height)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	w, h := p.Width, p.Height
+	n := w * h
+	coords := make([]Coord, n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			jx := (rng.Float64()*2 - 1) * p.JitterFrac * p.CellMeters
+			jy := (rng.Float64()*2 - 1) * p.JitterFrac * p.CellMeters
+			coords[y*w+x] = Coord{X: float64(x)*p.CellMeters + jx, Y: float64(y)*p.CellMeters + jy}
+		}
+	}
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	lineClass := func(i int) RoadClass {
+		switch {
+		case i%p.HighwayEvery == 0:
+			return Highway
+		case i%p.ArterialEvery == 0:
+			return Arterial
+		default:
+			return Local
+		}
+	}
+	b := graph.NewBuilder(n)
+	var classCounts [3]int
+	addEdge := func(u, v int32, class RoadClass) {
+		if class == Local && rng.Float64() < p.DropLocalProb {
+			return
+		}
+		du := coords[u]
+		dv := coords[v]
+		length := math.Hypot(du.X-dv.X, du.Y-dv.Y)
+		if length < 1 {
+			length = 1
+		}
+		var weight uint32
+		if p.Metric == TravelDistance {
+			weight = uint32(math.Round(length))
+		} else {
+			// time in tenths of seconds: length[m] / (speed[km/h]/3.6) * 10
+			secs := length / (speedKMH[class] / 3.6)
+			weight = uint32(math.Round(secs * 10))
+			if weight == 0 {
+				weight = 1
+			}
+		}
+		if class == Local && p.OneWayProb > 0 && rng.Float64() < p.OneWayProb {
+			if rng.Intn(2) == 0 {
+				u, v = v, u
+			}
+			b.MustAddArc(u, v, weight)
+		} else {
+			b.MustAddArc(u, v, weight)
+			b.MustAddArc(v, u, weight)
+		}
+		classCounts[class]++
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addEdge(id(x, y), id(x+1, y), lineClass(y))
+			}
+			if y+1 < h {
+				addEdge(id(x, y), id(x, y+1), lineClass(x))
+			}
+		}
+	}
+	g := b.Build()
+	var newToOld []int32
+	var sub *graph.Graph
+	if p.OneWayProb > 0 {
+		// One-way streets break symmetry: only mutual reachability
+		// guarantees answerable queries.
+		sub, _, newToOld = graph.LargestSCC(g)
+	} else {
+		sub, _, newToOld = graph.LargestComponent(g)
+	}
+	subCoords := make([]Coord, sub.NumVertices())
+	for nw, old := range newToOld {
+		subCoords[nw] = coords[old]
+	}
+	return &Network{Graph: sub, Coords: subCoords, Params: p, ClassCounts: classCounts}, nil
+}
+
+// Preset names a ready-made instance family.
+type Preset string
+
+const (
+	// PresetEuropeXS..XL scale the Europe-like instance (denser arterial
+	// grid, like the compact European road fabric).
+	PresetEuropeXS Preset = "europe-xs" // ~4k vertices
+	PresetEuropeS  Preset = "europe-s"  // ~16k vertices
+	PresetEuropeM  Preset = "europe-m"  // ~66k vertices
+	PresetEuropeL  Preset = "europe-l"  // ~262k vertices
+	// PresetUSA mirrors the TIGER instance: ~1/3 more vertices than the
+	// Europe instance of the same tier and a sparser fast-road fabric.
+	PresetUSAXS Preset = "usa-xs" // ~5k vertices
+	PresetUSAS  Preset = "usa-s"  // ~21k vertices
+	PresetUSAM  Preset = "usa-m"  // ~87k vertices
+	PresetUSAL  Preset = "usa-l"  // ~350k vertices
+)
+
+// Presets lists all presets.
+var Presets = []Preset{
+	PresetEuropeXS, PresetEuropeS, PresetEuropeM, PresetEuropeL,
+	PresetUSAXS, PresetUSAS, PresetUSAM, PresetUSAL,
+}
+
+// USACounterpart returns the USA preset of the same size tier as the
+// given Europe preset (Table VII pairs the two continents per tier).
+func USACounterpart(p Preset) Preset {
+	switch p {
+	case PresetEuropeXS:
+		return PresetUSAXS
+	case PresetEuropeS:
+		return PresetUSAS
+	case PresetEuropeM:
+		return PresetUSAM
+	case PresetEuropeL:
+		return PresetUSAL
+	default:
+		return p
+	}
+}
+
+// PresetParams returns the generation parameters of a preset with the
+// given metric. Unknown presets return an error.
+func PresetParams(name Preset, metric Metric) (Params, error) {
+	base := Params{Metric: metric, Seed: 20110516} // IPDPS 2011 anchor seed
+	switch name {
+	case PresetEuropeXS:
+		base.Width, base.Height = 64, 64
+	case PresetEuropeS:
+		base.Width, base.Height = 128, 128
+	case PresetEuropeM:
+		base.Width, base.Height = 256, 256
+	case PresetEuropeL:
+		base.Width, base.Height = 512, 512
+	case PresetUSAXS:
+		base.Width, base.Height, base.ArterialEvery, base.HighwayEvery, base.Seed = 80, 66, 10, 40, 19900101
+	case PresetUSAS:
+		base.Width, base.Height, base.ArterialEvery, base.HighwayEvery, base.Seed = 160, 132, 10, 40, 19900101
+	case PresetUSAM:
+		base.Width, base.Height, base.ArterialEvery, base.HighwayEvery, base.Seed = 320, 272, 10, 40, 19900101
+	case PresetUSAL:
+		base.Width, base.Height, base.ArterialEvery, base.HighwayEvery, base.Seed = 640, 546, 10, 40, 19900101
+	default:
+		return Params{}, fmt.Errorf("roadnet: unknown preset %q", name)
+	}
+	return base, nil
+}
+
+// GeneratePreset is PresetParams followed by Generate.
+func GeneratePreset(name Preset, metric Metric) (*Network, error) {
+	p, err := PresetParams(name, metric)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p)
+}

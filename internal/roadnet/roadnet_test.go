@@ -1,0 +1,217 @@
+package roadnet
+
+import (
+	"testing"
+
+	"phast/internal/graph"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	net, err := Generate(Params{Width: 64, Height: 48, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	n := g.NumVertices()
+	if n < 64*48*8/10 || n > 64*48 {
+		t.Fatalf("n=%d, expected close to %d", n, 64*48)
+	}
+	avg := graph.AvgDegree(g)
+	if avg < 2.5 || avg > 4.0 {
+		t.Fatalf("average degree %.2f outside road-network range", avg)
+	}
+	if len(net.Coords) != n {
+		t.Fatalf("coords length %d != n %d", len(net.Coords), n)
+	}
+	if net.ClassCounts[Highway] == 0 || net.ClassCounts[Arterial] == 0 || net.ClassCounts[Local] == 0 {
+		t.Fatalf("missing road classes: %v", net.ClassCounts)
+	}
+	// Largest component extraction leaves one weak component.
+	if _, count := graph.ComponentLabels(g); count != 1 {
+		t.Fatalf("network has %d components, want 1", count)
+	}
+}
+
+func TestGenerateBidirected(t *testing.T) {
+	net, err := Generate(Params{Width: 16, Height: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, a := range g.Arcs(v) {
+			w, ok := g.FindArc(a.Head, v)
+			if !ok || w != a.Weight {
+				t.Fatalf("arc (%d,%d,%d) has no symmetric partner", v, a.Head, a.Weight)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Params{Width: 32, Height: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{Width: 32, Height: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := Generate(Params{Width: 32, Height: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Equal(c.Graph) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestMetricsDiffer(t *testing.T) {
+	timeNet, err := Generate(Params{Width: 24, Height: 24, Seed: 3, Metric: TravelTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distNet, err := Generate(Params{Width: 24, Height: 24, Seed: 3, Metric: TravelDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same topology, different weights.
+	if timeNet.Graph.NumArcs() != distNet.Graph.NumArcs() {
+		t.Fatalf("metrics changed topology: %d vs %d arcs",
+			timeNet.Graph.NumArcs(), distNet.Graph.NumArcs())
+	}
+	same := true
+	ta, da := timeNet.Graph.ArcList(), distNet.Graph.ArcList()
+	for i := range ta {
+		if ta[i].Weight != da[i].Weight {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("time and distance metrics produced identical weights")
+	}
+}
+
+func TestHighwayEdgesAreFasterThanLocal(t *testing.T) {
+	// With the time metric, a trip along a highway row must beat the same
+	// geometric distance on local streets by roughly the speed ratio.
+	net, err := Generate(Params{Width: 96, Height: 96, Seed: 4, DropLocalProb: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.ClassCounts[Highway] == 0 {
+		t.Fatal("no highway edges generated")
+	}
+	// Speed encoding sanity: a 1km local edge takes ~120 ds, highway ~30 ds.
+	g := net.Graph
+	minW, maxW := graph.MaxArcWeight(g), uint32(0)
+	for _, a := range g.ArcList() {
+		if a.Weight < minW {
+			minW = a.Weight
+		}
+		if a.Weight > maxW {
+			maxW = a.Weight
+		}
+	}
+	if maxW < 3*minW {
+		t.Fatalf("weight spread too small for a 3-tier hierarchy: [%d,%d]", minW, maxW)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Params{Width: 1, Height: 5}); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+	if _, err := Generate(Params{Width: 1 << 16, Height: 1 << 16}); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, preset := range Presets {
+		p, err := PresetParams(preset, TravelTime)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if p.Width < 2 || p.Height < 2 {
+			t.Fatalf("%s: bad params %+v", preset, p)
+		}
+	}
+	if _, err := PresetParams("nope", TravelTime); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	net, err := GeneratePreset(PresetEuropeXS, TravelTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.NumVertices() < 3000 {
+		t.Fatalf("europe-xs suspiciously small: %d", net.Graph.NumVertices())
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if TravelTime.String() != "time" || TravelDistance.String() != "distance" {
+		t.Fatal("metric strings wrong")
+	}
+}
+
+func TestUSACounterpartMapping(t *testing.T) {
+	pairs := map[Preset]Preset{
+		PresetEuropeXS: PresetUSAXS,
+		PresetEuropeS:  PresetUSAS,
+		PresetEuropeM:  PresetUSAM,
+		PresetEuropeL:  PresetUSAL,
+	}
+	for eu, us := range pairs {
+		if got := USACounterpart(eu); got != us {
+			t.Fatalf("USACounterpart(%s)=%s, want %s", eu, got, us)
+		}
+	}
+	// Non-Europe presets map to themselves.
+	if got := USACounterpart(PresetUSAS); got != PresetUSAS {
+		t.Fatalf("USACounterpart(usa-s)=%s", got)
+	}
+}
+
+func TestOneWayStreets(t *testing.T) {
+	net, err := Generate(Params{Width: 24, Height: 24, Seed: 9, OneWayProb: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	// Some arcs must lack a symmetric partner now.
+	asym := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, a := range g.Arcs(v) {
+			if _, ok := g.FindArc(a.Head, v); !ok {
+				asym++
+			}
+		}
+	}
+	if asym == 0 {
+		t.Fatal("OneWayProb produced no one-way arcs")
+	}
+	// The kept component must be strongly connected: every vertex
+	// reaches vertex 0 and is reached from it.
+	if _, count := graph.SCCLabels(g); count != 1 {
+		t.Fatalf("network has %d SCCs, want 1", count)
+	}
+}
+
+func TestOneWayDeterministic(t *testing.T) {
+	a, err := Generate(Params{Width: 16, Height: 16, Seed: 3, OneWayProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{Width: 16, Height: 16, Seed: 3, OneWayProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Fatal("one-way generation not deterministic")
+	}
+}

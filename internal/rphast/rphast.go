@@ -1,0 +1,203 @@
+// Package rphast implements RPHAST — restricted PHAST — the one-to-many
+// extension of the paper's algorithm (sketched in its applications and
+// developed by the same authors as "Faster Batched Shortest Paths in
+// Road Networks"). Many workloads (distance tables for logistics,
+// k-nearest-neighbor queries, arc-flag style preprocessing toward a
+// region) need distances from many sources to a *fixed* target set T,
+// not to every vertex.
+//
+// RPHAST splits PHAST's source-independent sweep once more: a target
+// selection phase extracts, from the downward graph G↓, exactly the
+// vertices that can reach T (the only vertices whose labels can
+// influence a label in T) and re-packs their incoming arcs into a small
+// contiguous CSR in sweep order. A query is then an ordinary upward CH
+// search followed by a linear sweep over the restricted structure —
+// proportional to |selection|, not n.
+package rphast
+
+import (
+	"fmt"
+
+	"phast/internal/core"
+	"phast/internal/graph"
+)
+
+// Selection is the preprocessed restriction of the downward graph to the
+// ancestors of a target set. It is immutable and shareable; per-query
+// state lives in Query objects.
+type Selection struct {
+	eng *core.Engine // used only for its shared hierarchy/ID mappings
+
+	// verts lists the selected engine IDs in sweep (increasing) order.
+	verts []int32
+	// localOf maps engine ID -> index in verts, -1 if unselected.
+	localOf []int32
+	// first/arcs form a local CSR: arcs[first[i]:first[i+1]] are the
+	// incoming downward arcs of verts[i], with Head holding the *local*
+	// index of the tail (always < i: the restricted sweep is topological).
+	first []int32
+	arcs  []graph.Arc
+	// targetLocal holds the local indices of the requested targets,
+	// aligned with the targets slice passed to NewSelection.
+	targetLocal []int32
+}
+
+// NewSelection extracts the restricted downward graph for the given
+// targets (original vertex IDs). The engine must use the reordered sweep
+// mode (the default). Typical road-network selections are a small
+// multiple of |targets| thanks to the shallow hierarchy.
+func NewSelection(eng *core.Engine, targets []int32) (*Selection, error) {
+	if eng.Mode() != core.SweepReordered {
+		return nil, fmt.Errorf("rphast: engine must use SweepReordered, got %v", eng.Mode())
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("rphast: empty target set")
+	}
+	n := eng.NumVertices()
+	downIn := eng.Hierarchy().DownIn
+	s := &Selection{
+		eng:     eng,
+		localOf: make([]int32, n),
+	}
+	for i := range s.localOf {
+		s.localOf[i] = -1
+	}
+
+	// Mark all ancestors of T in G↓ with a DFS over incoming arcs: the
+	// tails of a selected vertex are exactly the vertices whose labels
+	// its scan reads.
+	marked := make([]bool, n)
+	stack := make([]int32, 0, len(targets)*4)
+	for _, t := range targets {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("rphast: target %d out of range [0,%d)", t, n)
+		}
+		ev := eng.EngineID(t)
+		if !marked[ev] {
+			marked[ev] = true
+			stack = append(stack, ev)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range downIn.Arcs(v) {
+			if !marked[a.Head] {
+				marked[a.Head] = true
+				stack = append(stack, a.Head)
+			}
+		}
+	}
+
+	// Collect the selection in sweep order (ascending engine ID) and
+	// re-pack the restricted arcs with local tail indices. Tails are
+	// always selected and always precede their heads (Lemma 4.1), so the
+	// local CSR is itself a valid sweep schedule.
+	for v := int32(0); v < int32(n); v++ {
+		if marked[v] {
+			s.localOf[v] = int32(len(s.verts))
+			s.verts = append(s.verts, v)
+		}
+	}
+	s.first = make([]int32, len(s.verts)+1)
+	for i, v := range s.verts {
+		s.first[i+1] = s.first[i] + int32(len(downIn.Arcs(v)))
+	}
+	s.arcs = make([]graph.Arc, s.first[len(s.verts)])
+	for i, v := range s.verts {
+		dst := s.arcs[s.first[i]:s.first[i+1]]
+		for j, a := range downIn.Arcs(v) {
+			dst[j] = graph.Arc{Head: s.localOf[a.Head], Weight: a.Weight}
+		}
+	}
+	s.targetLocal = make([]int32, len(targets))
+	for i, t := range targets {
+		s.targetLocal[i] = s.localOf[eng.EngineID(t)]
+	}
+	return s, nil
+}
+
+// Size returns the number of selected vertices — the per-query sweep
+// cost, versus n for unrestricted PHAST.
+func (s *Selection) Size() int { return len(s.verts) }
+
+// NumArcs returns the number of restricted downward arcs.
+func (s *Selection) NumArcs() int { return len(s.arcs) }
+
+// Query computes one-to-many distances against one Selection. Not safe
+// for concurrent use; create one per goroutine.
+type Query struct {
+	sel  *Selection
+	eng  *core.Engine
+	dist []uint32
+}
+
+// NewQuery creates a solver bound to the selection, with its own engine
+// clone for the upward searches.
+func NewQuery(s *Selection) *Query {
+	return &Query{
+		sel:  s,
+		eng:  s.eng.Clone(),
+		dist: make([]uint32, len(s.verts)),
+	}
+}
+
+// Run computes the distances from source (an original vertex ID) to
+// every selected vertex: an upward CH search plus a sweep over the
+// restricted arcs only.
+func (q *Query) Run(source int32) {
+	s := q.sel
+	verts, dists := q.eng.UpwardSearchSpace(source, nil, nil)
+	// Seed: labels of upward-search vertices that are in the selection;
+	// everything else is implicitly infinite. The seeds arrive before the
+	// sweep touches any label, so no per-query clearing of q.dist is
+	// needed beyond the sweep's own writes.
+	for i := range q.dist {
+		q.dist[i] = graph.Inf
+	}
+	for i, v := range verts {
+		if l := s.localOf[v]; l >= 0 {
+			q.dist[l] = dists[i]
+		}
+	}
+	dist := q.dist
+	for i := range s.verts {
+		best := uint64(dist[i])
+		for j := s.first[i]; j < s.first[i+1]; j++ {
+			a := s.arcs[j]
+			if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+				best = nd
+			}
+		}
+		dist[i] = uint32(best)
+	}
+}
+
+// Dist returns the distance to the i-th target passed to NewSelection,
+// from the last Run's source.
+func (q *Query) Dist(i int) uint32 { return q.dist[q.sel.targetLocal[i]] }
+
+// DistTo returns the distance to an arbitrary original vertex if it is
+// in the selection; ok is false otherwise.
+func (q *Query) DistTo(v int32) (uint32, bool) {
+	l := q.sel.localOf[q.eng.EngineID(v)]
+	if l < 0 {
+		return graph.Inf, false
+	}
+	return q.dist[l], true
+}
+
+// Table computes the full |sources| x |targets| distance table.
+func Table(s *Selection, sources []int32) [][]uint32 {
+	q := NewQuery(s)
+	out := make([][]uint32, len(sources))
+	for i, src := range sources {
+		q.Run(src)
+		row := make([]uint32, len(s.targetLocal))
+		for j := range row {
+			row[j] = q.Dist(j)
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package rphast
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/roadnet"
+	"phast/internal/sssp"
+)
+
+func setup(t testing.TB) (*graph.Graph, *core.Engine) {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Params{Width: 30, Height: 26, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ch.Build(net.Graph, ch.Options{Workers: 1})
+	e, err := core.NewEngine(h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Graph, e
+}
+
+func TestQueryMatchesDijkstra(t *testing.T) {
+	g, eng := setup(t)
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for trial := 0; trial < 5; trial++ {
+		targets := make([]int32, 1+rng.Intn(20))
+		for i := range targets {
+			targets[i] = int32(rng.Intn(n))
+		}
+		sel, err := NewSelection(eng, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := NewQuery(sel)
+		for k := 0; k < 5; k++ {
+			s := int32(rng.Intn(n))
+			q.Run(s)
+			d.Run(s)
+			for i, tgt := range targets {
+				if got, want := q.Dist(i), d.Dist(tgt); got != want {
+					t.Fatalf("trial %d: dist(%d->%d)=%d, want %d", trial, s, tgt, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectionSmallerThanGraph(t *testing.T) {
+	g, eng := setup(t)
+	sel, err := NewSelection(eng, []int32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Size() >= g.NumVertices() {
+		t.Fatalf("selection of one target covers the whole graph (%d of %d)",
+			sel.Size(), g.NumVertices())
+	}
+	if sel.Size() < 1 || sel.NumArcs() < 0 {
+		t.Fatalf("degenerate selection: %d vertices, %d arcs", sel.Size(), sel.NumArcs())
+	}
+	// More targets cannot shrink the selection.
+	sel2, err := NewSelection(eng, []int32{5, 100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Size() < sel.Size() {
+		t.Fatal("superset of targets produced a smaller selection")
+	}
+}
+
+func TestDistToSelectedAndUnselected(t *testing.T) {
+	g, eng := setup(t)
+	sel, err := NewSelection(eng, []int32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(sel)
+	q.Run(10)
+	if d, ok := q.DistTo(3); !ok || d == graph.Inf {
+		t.Fatalf("target 3 not resolvable: %d %v", d, ok)
+	}
+	// Find some vertex outside the selection.
+	found := false
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if _, ok := q.DistTo(v); !ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("selection covered the whole graph")
+	}
+}
+
+func TestRepeatedRunsNoStaleState(t *testing.T) {
+	g, eng := setup(t)
+	targets := []int32{1, 50, 333}
+	sel, err := NewSelection(eng, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(sel)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for _, s := range []int32{0, 700, 0, 333, 1} {
+		q.Run(s)
+		d.Run(s)
+		for i, tgt := range targets {
+			if q.Dist(i) != d.Dist(tgt) {
+				t.Fatalf("src %d target %d: %d != %d", s, tgt, q.Dist(i), d.Dist(tgt))
+			}
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	g, eng := setup(t)
+	targets := []int32{2, 44, 97}
+	sources := []int32{0, 11, 23, 500}
+	sel, err := NewSelection(eng, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Table(sel, sources)
+	d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+	for i, s := range sources {
+		d.Run(s)
+		for j, tgt := range targets {
+			if tab[i][j] != d.Dist(tgt) {
+				t.Fatalf("table[%d][%d]=%d, want %d", i, j, tab[i][j], d.Dist(tgt))
+			}
+		}
+	}
+}
+
+func TestSelectionValidation(t *testing.T) {
+	_, eng := setup(t)
+	if _, err := NewSelection(eng, nil); err == nil {
+		t.Fatal("empty target set accepted")
+	}
+	if _, err := NewSelection(eng, []int32{-1}); err == nil {
+		t.Fatal("negative target accepted")
+	}
+	if _, err := NewSelection(eng, []int32{1 << 30}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	h := eng.Hierarchy()
+	rankEng, err := core.NewEngine(h, core.Options{Mode: core.SweepRankOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSelection(rankEng, []int32{0}); err == nil {
+		t.Fatal("rank-order engine accepted")
+	}
+}
+
+func TestDisconnectedTarget(t *testing.T) {
+	// Island target: distance from the mainland must be Inf.
+	b := graph.NewBuilder(5)
+	b.MustAddArc(0, 1, 3)
+	b.MustAddArc(1, 0, 3)
+	b.MustAddArc(2, 3, 4)
+	b.MustAddArc(3, 2, 4)
+	g := b.Build()
+	h := ch.Build(g, ch.Options{Workers: 1})
+	eng, err := core.NewEngine(h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelection(eng, []int32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(sel)
+	q.Run(0)
+	if d := q.Dist(0); d != graph.Inf {
+		t.Fatalf("cross-island distance %d, want Inf", d)
+	}
+	q.Run(2)
+	if d := q.Dist(0); d != 4 {
+		t.Fatalf("island-internal distance %d, want 4", d)
+	}
+}

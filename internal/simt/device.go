@@ -1,0 +1,197 @@
+// Package simt is a software model of the GPU that Section VI of the
+// paper targets (an NVIDIA GTX 580, Fermi). The real hardware is not
+// available in this environment, so GPHAST's kernels execute here
+// instead: the simulator runs every thread of every launch for real —
+// results are exact — while tracking how the threads would have mapped
+// onto the machine:
+//
+//   - threads are grouped into 32-wide warps executing in lockstep
+//     (SIMT); per-warp issued instructions are the per-thread maximum,
+//     modeling predicated execution, and warps whose threads disagree
+//     are counted as divergent;
+//   - every Load/Store is traced; the accesses of a warp's threads at
+//     the same instruction slot are coalesced into 128-byte DRAM
+//     transactions, exactly the efficiency constraint Section VI
+//     designs the kernels around;
+//   - a cost model converts transaction and instruction counts into a
+//     modeled kernel time, max(memory time, compute time) + launch
+//     overhead, reflecting that GPHAST is bandwidth-bound;
+//   - host↔device copies are metered against a PCIe model (the paper
+//     copies the ~2KB CH search space per tree);
+//   - allocations are charged against the card's memory (1.5 GB),
+//     reproducing the memory column of Table III.
+package simt
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// DeviceSpec is the modeled hardware.
+type DeviceSpec struct {
+	Name             string
+	NumSMs           int     // streaming multiprocessors (cores in the paper's wording)
+	WarpSize         int     // threads executing in lockstep
+	CoreClockMHz     float64 // shader clock
+	MemBandwidthGBs  float64 // peak DRAM bandwidth
+	MemoryBytes      int64   // on-board RAM
+	TransactionBytes int64   // DRAM transaction (coalescing segment) size
+	PCIeBandwidthGBs float64 // host<->device copy bandwidth
+	PCIeLatency      time.Duration
+	LaunchOverhead   time.Duration // per kernel launch
+	IPCPerSM         float64       // warp instructions issued per SM per cycle
+	// BandwidthEfficiency derates peak DRAM bandwidth to a sustainable
+	// fraction (real kernels do not hit the pin rate).
+	BandwidthEfficiency float64
+}
+
+// GTX580 returns the specification of the paper's primary card
+// (Section VI / VIII-D).
+func GTX580() DeviceSpec {
+	return DeviceSpec{
+		Name:                "NVIDIA GTX 580",
+		NumSMs:              16,
+		WarpSize:            32,
+		CoreClockMHz:        772,
+		MemBandwidthGBs:     192.4,
+		MemoryBytes:         1536 << 20,
+		TransactionBytes:    128,
+		PCIeBandwidthGBs:    6.0,
+		PCIeLatency:         8 * time.Microsecond,
+		LaunchOverhead:      4 * time.Microsecond,
+		IPCPerSM:            1.0,
+		BandwidthEfficiency: 0.75,
+	}
+}
+
+// GTX480 returns the predecessor card used in Table VI: one fewer SM and
+// lower core (701 vs 772 MHz) and memory (1848 vs 2004 MHz) clocks.
+func GTX480() DeviceSpec {
+	s := GTX580()
+	s.Name = "NVIDIA GTX 480"
+	s.NumSMs = 15
+	s.CoreClockMHz = 701
+	s.MemBandwidthGBs = 192.4 * 1848 / 2004
+	return s
+}
+
+// RunStats accumulates execution statistics across launches and copies.
+type RunStats struct {
+	Kernels           int
+	Threads           int64
+	Warps             int64
+	WarpInstructions  int64
+	LoadTransactions  int64
+	StoreTransactions int64
+	BytesMoved        int64 // device DRAM traffic implied by transactions
+	DivergentWarps    int64
+	HostCopies        int
+	HostBytes         int64
+	ModeledTime       time.Duration
+}
+
+// Device is a simulated GPU instance.
+type Device struct {
+	spec     DeviceSpec
+	used     int64
+	nextBase int64
+	stats    RunStats
+	workers  int
+	pool     []*Thread
+}
+
+// NewDevice creates a device with the given spec, simulating kernels
+// with up to GOMAXPROCS host goroutines.
+func NewDevice(spec DeviceSpec) *Device {
+	w := runtime.GOMAXPROCS(0)
+	d := &Device{spec: spec, workers: w, nextBase: 1 << 20}
+	d.pool = make([]*Thread, w)
+	for i := range d.pool {
+		d.pool[i] = &Thread{}
+	}
+	return d
+}
+
+// Spec returns the modeled hardware description.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Stats returns the accumulated statistics.
+func (d *Device) Stats() RunStats { return d.stats }
+
+// ResetStats zeroes the accumulated statistics (allocations persist).
+func (d *Device) ResetStats() { d.stats = RunStats{} }
+
+// MemoryUsed reports bytes currently allocated on the device.
+func (d *Device) MemoryUsed() int64 { return d.used }
+
+// Buffer is a device-resident array of 32-bit words.
+type Buffer struct {
+	name string
+	base int64 // simulated byte address, for coalescing analysis
+	data []uint32
+	dev  *Device
+}
+
+// Alloc reserves a device buffer of n words, failing when the card's
+// memory would be exceeded — the constraint that bounds k in Table III.
+func (d *Device) Alloc(name string, n int) (*Buffer, error) {
+	bytes := int64(n) * 4
+	if d.used+bytes > d.spec.MemoryBytes {
+		return nil, fmt.Errorf("simt: allocating %q (%d MB) exceeds device memory (%d of %d MB used)",
+			name, bytes>>20, d.used>>20, d.spec.MemoryBytes>>20)
+	}
+	d.used += bytes
+	b := &Buffer{name: name, base: d.nextBase, data: make([]uint32, n), dev: d}
+	// Keep buffers segment-aligned and non-overlapping in the simulated
+	// address space.
+	d.nextBase += (bytes + d.spec.TransactionBytes) / d.spec.TransactionBytes * d.spec.TransactionBytes
+	return b, nil
+}
+
+// Free releases the buffer's device memory.
+func (d *Device) Free(b *Buffer) {
+	if b.data != nil {
+		d.used -= int64(len(b.data)) * 4
+		b.data = nil
+	}
+}
+
+// Len returns the buffer length in words.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// CopyIn transfers words from the host into the buffer at offset,
+// metering the PCIe model.
+func (b *Buffer) CopyIn(offset int, words []uint32) {
+	copy(b.data[offset:], words)
+	b.dev.meterCopy(int64(len(words)) * 4)
+}
+
+// CopyOut transfers words from the buffer into the host slice.
+func (b *Buffer) CopyOut(offset int, words []uint32) {
+	copy(words, b.data[offset:offset+len(words)])
+	b.dev.meterCopy(int64(len(words)) * 4)
+}
+
+// CopyOutStrided transfers count words starting at start with the given
+// stride (in words) into dst, metering only the words moved — the
+// strided-DMA readback GPHAST uses to fetch one tree's labels out of a
+// k-interleaved label array.
+func (b *Buffer) CopyOutStrided(start, stride, count int, dst []uint32) {
+	for i := 0; i < count; i++ {
+		dst[i] = b.data[start+i*stride]
+	}
+	b.dev.meterCopy(int64(count) * 4)
+}
+
+// HostData exposes the backing array without metering; tests and
+// assertions use it, kernels and production code must not.
+func (b *Buffer) HostData() []uint32 { return b.data }
+
+func (d *Device) meterCopy(bytes int64) {
+	d.stats.HostCopies++
+	d.stats.HostBytes += bytes
+	t := d.spec.PCIeLatency +
+		time.Duration(float64(bytes)/(d.spec.PCIeBandwidthGBs*1e9)*float64(time.Second))
+	d.stats.ModeledTime += t
+}

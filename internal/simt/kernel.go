@@ -1,0 +1,198 @@
+package simt
+
+import (
+	"sync"
+	"time"
+)
+
+// Thread is the per-thread kernel context. Kernels read and write device
+// memory exclusively through it so the simulator can observe the access
+// pattern. A kernel must only write locations no other thread of the
+// same launch reads or writes (GPHAST's kernels have this property: one
+// thread owns one distance label); the simulator does not order threads
+// within a launch.
+type Thread struct {
+	// Global is the global thread index in [0, threads).
+	Global int32
+	instr  int64
+	acc    []access
+}
+
+type access struct {
+	addr  int64
+	store bool
+}
+
+// Load reads word i of b, tracing the access.
+func (t *Thread) Load(b *Buffer, i int32) uint32 {
+	t.acc = append(t.acc, access{addr: b.base + int64(i)*4})
+	t.instr++
+	return b.data[i]
+}
+
+// Store writes word i of b, tracing the access.
+func (t *Thread) Store(b *Buffer, i int32, v uint32) {
+	t.acc = append(t.acc, access{addr: b.base + int64(i)*4, store: true})
+	t.instr++
+	b.data[i] = v
+}
+
+// ALU accounts n arithmetic/control instructions to the thread (loads and
+// stores meter themselves).
+func (t *Thread) ALU(n int) { t.instr += int64(n) }
+
+func (t *Thread) reset(global int32) {
+	t.Global = global
+	t.instr = 0
+	t.acc = t.acc[:0]
+}
+
+// KernelFunc is the body executed by every thread of a launch.
+type KernelFunc func(t *Thread)
+
+// KernelStats summarizes one launch.
+type KernelStats struct {
+	Threads           int
+	Warps             int
+	WarpInstructions  int64
+	LoadTransactions  int64
+	StoreTransactions int64
+	DivergentWarps    int64
+	ModeledTime       time.Duration
+}
+
+// Launch executes kernel over `threads` threads grouped into warps,
+// gathers coalescing statistics and charges the cost model. Warps are
+// simulated concurrently on host goroutines; statistics are
+// deterministic because they are aggregated per warp.
+func (d *Device) Launch(name string, threads int, kernel KernelFunc) KernelStats {
+	ws := d.spec.WarpSize
+	warps := (threads + ws - 1) / ws
+	type partial struct {
+		warpInstr, loadTx, storeTx, divergent int64
+	}
+	parts := make([]partial, d.workers)
+
+	var wg sync.WaitGroup
+	chunk := (warps + d.workers - 1) / d.workers
+	runWorker := func(worker, wlo, whi int) {
+		th := d.pool[worker]
+		// Per-warp scratch shared across this worker's warps.
+		instr := make([]int64, ws)
+		accs := make([][]access, ws)
+		segs := map[int64]struct{}{}
+		p := &parts[worker]
+		for w := wlo; w < whi; w++ {
+			lanes := ws
+			if rem := threads - w*ws; rem < lanes {
+				lanes = rem
+			}
+			maxSlots := 0
+			var warpMax int64
+			divergent := false
+			for lane := 0; lane < lanes; lane++ {
+				th.reset(int32(w*ws + lane))
+				kernel(th)
+				instr[lane] = th.instr
+				accs[lane] = append(accs[lane][:0], th.acc...)
+				if th.instr != instr[0] {
+					divergent = true
+				}
+				if th.instr > warpMax {
+					warpMax = th.instr
+				}
+				if len(th.acc) > maxSlots {
+					maxSlots = len(th.acc)
+				}
+			}
+			// Lockstep coalescing: the j-th access of each lane belongs to
+			// the same warp-wide memory instruction; count the distinct
+			// TransactionBytes segments it touches, loads and stores
+			// separately.
+			for slot := 0; slot < maxSlots; slot++ {
+				for _, isStore := range [2]bool{false, true} {
+					clear(segs)
+					for lane := 0; lane < lanes; lane++ {
+						if slot >= len(accs[lane]) {
+							if lanes > 1 {
+								divergent = true
+							}
+							continue
+						}
+						a := accs[lane][slot]
+						if a.store != isStore {
+							continue
+						}
+						segs[a.addr/d.spec.TransactionBytes] = struct{}{}
+					}
+					if isStore {
+						p.storeTx += int64(len(segs))
+					} else {
+						p.loadTx += int64(len(segs))
+					}
+				}
+			}
+			p.warpInstr += warpMax
+			if divergent {
+				p.divergent++
+			}
+		}
+	}
+	if d.workers == 1 || warps <= 1 {
+		runWorker(0, 0, warps)
+	} else {
+		for worker := 0; worker < d.workers; worker++ {
+			wlo, whi := worker*chunk, (worker+1)*chunk
+			if whi > warps {
+				whi = warps
+			}
+			if wlo >= whi {
+				continue
+			}
+			wg.Add(1)
+			go func(worker, wlo, whi int) {
+				defer wg.Done()
+				runWorker(worker, wlo, whi)
+			}(worker, wlo, whi)
+		}
+		wg.Wait()
+	}
+
+	var ks KernelStats
+	ks.Threads = threads
+	ks.Warps = warps
+	for _, p := range parts {
+		ks.WarpInstructions += p.warpInstr
+		ks.LoadTransactions += p.loadTx
+		ks.StoreTransactions += p.storeTx
+		ks.DivergentWarps += p.divergent
+	}
+	ks.ModeledTime = d.modelKernelTime(ks)
+
+	d.stats.Kernels++
+	d.stats.Threads += int64(threads)
+	d.stats.Warps += int64(warps)
+	d.stats.WarpInstructions += ks.WarpInstructions
+	d.stats.LoadTransactions += ks.LoadTransactions
+	d.stats.StoreTransactions += ks.StoreTransactions
+	d.stats.BytesMoved += (ks.LoadTransactions + ks.StoreTransactions) * d.spec.TransactionBytes
+	d.stats.DivergentWarps += ks.DivergentWarps
+	d.stats.ModeledTime += ks.ModeledTime
+	return ks
+}
+
+// modelKernelTime converts launch statistics into time on the modeled
+// card: the kernel is limited by either DRAM bandwidth or issue
+// throughput (GPHAST saturates the former; Section VI), plus the fixed
+// launch overhead (one launch per level, so ~140 launches per tree).
+func (d *Device) modelKernelTime(ks KernelStats) time.Duration {
+	bytes := float64((ks.LoadTransactions + ks.StoreTransactions) * d.spec.TransactionBytes)
+	memSec := bytes / (d.spec.MemBandwidthGBs * 1e9 * d.spec.BandwidthEfficiency)
+	cycles := float64(ks.WarpInstructions) / (float64(d.spec.NumSMs) * d.spec.IPCPerSM)
+	compSec := cycles / (d.spec.CoreClockMHz * 1e6)
+	sec := memSec
+	if compSec > sec {
+		sec = compSec
+	}
+	return d.spec.LaunchOverhead + time.Duration(sec*float64(time.Second))
+}

@@ -1,0 +1,259 @@
+package simt
+
+import (
+	"testing"
+	"time"
+)
+
+func testDevice() *Device {
+	return NewDevice(GTX580())
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	d := testDevice()
+	b, err := d.Alloc("x", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemoryUsed() != 4096 {
+		t.Fatalf("used=%d, want 4096", d.MemoryUsed())
+	}
+	d.Free(b)
+	if d.MemoryUsed() != 0 {
+		t.Fatalf("used=%d after free", d.MemoryUsed())
+	}
+	d.Free(b) // double free is a no-op
+	if d.MemoryUsed() != 0 {
+		t.Fatal("double free changed accounting")
+	}
+}
+
+func TestAllocExceedsMemory(t *testing.T) {
+	spec := GTX580()
+	spec.MemoryBytes = 1 << 10
+	d := NewDevice(spec)
+	if _, err := d.Alloc("big", 1<<20); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+}
+
+func TestBuffersDoNotOverlapInAddressSpace(t *testing.T) {
+	d := testDevice()
+	a, _ := d.Alloc("a", 100)
+	b, _ := d.Alloc("b", 100)
+	endA := a.base + int64(a.Len())*4
+	if b.base < endA {
+		t.Fatalf("buffers overlap: a=[%d,%d) b starts at %d", a.base, endA, b.base)
+	}
+	if b.base%d.Spec().TransactionBytes != 0 {
+		t.Fatalf("buffer base %d not segment aligned", b.base)
+	}
+}
+
+func TestKernelComputesAndStores(t *testing.T) {
+	d := testDevice()
+	in, _ := d.Alloc("in", 1000)
+	out, _ := d.Alloc("out", 1000)
+	host := make([]uint32, 1000)
+	for i := range host {
+		host[i] = uint32(i)
+	}
+	in.CopyIn(0, host)
+	ks := d.Launch("double", 1000, func(t *Thread) {
+		v := t.Load(in, t.Global)
+		t.ALU(1)
+		t.Store(out, t.Global, 2*v)
+	})
+	res := make([]uint32, 1000)
+	out.CopyOut(0, res)
+	for i, v := range res {
+		if v != uint32(2*i) {
+			t.Fatalf("out[%d]=%d, want %d", i, v, 2*i)
+		}
+	}
+	if ks.Threads != 1000 || ks.Warps != (1000+31)/32 {
+		t.Fatalf("threads=%d warps=%d", ks.Threads, ks.Warps)
+	}
+	if ks.ModeledTime <= 0 {
+		t.Fatal("no modeled time")
+	}
+}
+
+func TestCoalescedVsScatteredTransactions(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 32*64)
+	coalesced := d.Launch("coalesced", 32, func(t *Thread) {
+		t.Load(buf, t.Global) // 32 consecutive words: one 128B transaction
+	})
+	scattered := d.Launch("scattered", 32, func(t *Thread) {
+		t.Load(buf, t.Global*64) // one word per segment: 32 transactions
+	})
+	if coalesced.LoadTransactions != 1 {
+		t.Fatalf("coalesced access produced %d transactions, want 1", coalesced.LoadTransactions)
+	}
+	if scattered.LoadTransactions != 32 {
+		t.Fatalf("scattered access produced %d transactions, want 32", scattered.LoadTransactions)
+	}
+	if scattered.ModeledTime <= coalesced.ModeledTime {
+		t.Fatal("scattered access not modeled slower than coalesced")
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 64)
+	uniform := d.Launch("uniform", 32, func(t *Thread) {
+		t.ALU(3)
+		t.Store(buf, t.Global, 1)
+	})
+	if uniform.DivergentWarps != 0 {
+		t.Fatalf("uniform kernel flagged divergent")
+	}
+	divergent := d.Launch("divergent", 32, func(t *Thread) {
+		if t.Global%2 == 0 {
+			t.ALU(10)
+		}
+		t.Store(buf, t.Global, 1)
+	})
+	if divergent.DivergentWarps != 1 {
+		t.Fatalf("divergent warps=%d, want 1", divergent.DivergentWarps)
+	}
+	// Predicated execution: warp pays the max lane cost, not the sum.
+	if divergent.WarpInstructions != 10+1 {
+		t.Fatalf("warp instructions=%d, want 11", divergent.WarpInstructions)
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 128)
+	d.Launch("k1", 128, func(t *Thread) { t.Store(buf, t.Global, 0) })
+	d.Launch("k2", 128, func(t *Thread) { t.Load(buf, t.Global) })
+	s := d.Stats()
+	if s.Kernels != 2 || s.Threads != 256 {
+		t.Fatalf("stats=%+v", s)
+	}
+	if s.BytesMoved == 0 || s.ModeledTime == 0 {
+		t.Fatal("no traffic/time recorded")
+	}
+	d.ResetStats()
+	if d.Stats().Kernels != 0 || d.Stats().ModeledTime != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if d.MemoryUsed() == 0 {
+		t.Fatal("reset should not free allocations")
+	}
+}
+
+func TestHostCopyMetering(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 1024)
+	words := make([]uint32, 512)
+	buf.CopyIn(0, words)
+	buf.CopyOut(256, words[:256])
+	s := d.Stats()
+	if s.HostCopies != 2 {
+		t.Fatalf("copies=%d, want 2", s.HostCopies)
+	}
+	if s.HostBytes != 512*4+256*4 {
+		t.Fatalf("bytes=%d", s.HostBytes)
+	}
+	if s.ModeledTime < 2*d.Spec().PCIeLatency {
+		t.Fatal("copy latency not charged")
+	}
+}
+
+func TestPartialWarpAndZeroThreads(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 40)
+	ks := d.Launch("partial", 40, func(t *Thread) { t.Store(buf, t.Global, uint32(t.Global)) })
+	if ks.Warps != 2 {
+		t.Fatalf("warps=%d, want 2", ks.Warps)
+	}
+	for i, v := range buf.HostData() {
+		if v != uint32(i) {
+			t.Fatalf("buf[%d]=%d", i, v)
+		}
+	}
+	ks = d.Launch("empty", 0, func(t *Thread) { t.ALU(1) })
+	if ks.Warps != 0 || ks.WarpInstructions != 0 {
+		t.Fatalf("empty launch stats: %+v", ks)
+	}
+}
+
+func TestBandwidthBoundTimeModel(t *testing.T) {
+	// A launch moving B bytes cannot be modeled faster than
+	// B/effective-bandwidth.
+	d := testDevice()
+	n := 1 << 18
+	buf, _ := d.Alloc("buf", n)
+	ks := d.Launch("stream", n, func(t *Thread) { t.Load(buf, t.Global) })
+	bytes := float64(ks.LoadTransactions * d.Spec().TransactionBytes)
+	minSec := bytes / (d.Spec().MemBandwidthGBs * 1e9 * d.Spec().BandwidthEfficiency)
+	if ks.ModeledTime < time.Duration(minSec*float64(time.Second)) {
+		t.Fatalf("modeled time %v below bandwidth bound %v s", ks.ModeledTime, minSec)
+	}
+}
+
+func TestLaunchStatsDeterministic(t *testing.T) {
+	// Stats are aggregated per warp, so concurrent simulation must give
+	// identical numbers run to run.
+	run := func() KernelStats {
+		d := testDevice()
+		in, _ := d.Alloc("in", 4096)
+		out, _ := d.Alloc("out", 4096)
+		return d.Launch("k", 4096, func(t *Thread) {
+			v := t.Load(in, (t.Global*7)%4096) // scattered reads
+			if t.Global%3 == 0 {
+				t.ALU(4)
+			}
+			t.Store(out, t.Global, v+1) // each thread owns its own slot
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stats differ across identical launches:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCopyOutStrided(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 20)
+	host := make([]uint32, 20)
+	for i := range host {
+		host[i] = uint32(i * 10)
+	}
+	buf.CopyIn(0, host)
+	before := d.Stats().HostBytes
+	dst := make([]uint32, 5)
+	buf.CopyOutStrided(1, 4, 5, dst) // elements 1,5,9,13,17
+	want := []uint32{10, 50, 90, 130, 170}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst=%v, want %v", dst, want)
+		}
+	}
+	if d.Stats().HostBytes-before != 5*4 {
+		t.Fatalf("strided copy metered %d bytes, want 20", d.Stats().HostBytes-before)
+	}
+}
+
+func TestThreadALUAccounting(t *testing.T) {
+	d := testDevice()
+	buf, _ := d.Alloc("buf", 32)
+	ks := d.Launch("alu", 32, func(t *Thread) {
+		t.ALU(5)
+		t.Store(buf, t.Global, 1) // 1 instruction
+	})
+	if ks.WarpInstructions != 6 {
+		t.Fatalf("warp instructions=%d, want 6 (5 ALU + 1 store)", ks.WarpInstructions)
+	}
+}
+
+func TestGTX480SlowerThanGTX580(t *testing.T) {
+	s80, s48 := GTX580(), GTX480()
+	if s48.NumSMs >= s80.NumSMs || s48.CoreClockMHz >= s80.CoreClockMHz ||
+		s48.MemBandwidthGBs >= s80.MemBandwidthGBs {
+		t.Fatalf("GTX480 spec not strictly weaker: %+v vs %+v", s48, s80)
+	}
+}

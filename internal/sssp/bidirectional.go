@@ -1,0 +1,85 @@
+package sssp
+
+import (
+	"phast/internal/graph"
+	"phast/internal/pq"
+)
+
+// Bidirectional is the bidirectional variant of Dijkstra's algorithm for
+// point-to-point queries: a forward search from s on G and a backward
+// search from t on the transpose, alternating by smaller queue minimum,
+// stopping when the sum of the two minima reaches the best meeting-point
+// value µ. It is the baseline that arc flags (Section VII-B.b) speed up.
+type Bidirectional struct {
+	fwd *Dijkstra
+	bwd *Dijkstra
+}
+
+// NewBidirectional creates a solver over g; the transpose is built once.
+func NewBidirectional(g *graph.Graph, kind pq.Kind) *Bidirectional {
+	return &Bidirectional{
+		fwd: NewDijkstra(g, kind),
+		bwd: NewDijkstra(g.Transpose(), kind),
+	}
+}
+
+// Query returns the s→t distance, or graph.Inf if t is unreachable.
+func (b *Bidirectional) Query(s, t int32) uint32 {
+	f, r := b.fwd, b.bwd
+	f.version++
+	r.version++
+	f.q.Reset()
+	r.q.Reset()
+	f.setDist(s, 0, -1)
+	f.q.Insert(s, 0)
+	r.setDist(t, 0, -1)
+	r.q.Insert(t, 0)
+	mu := graph.Inf
+	for !f.q.Empty() || !r.q.Empty() {
+		// Alternate by smaller frontier minimum; a side with an empty
+		// queue can no longer improve µ on its own but the other side may.
+		side := f
+		if f.q.Empty() || (!r.q.Empty() && minKey(r.q) < minKey(f.q)) {
+			side = r
+		}
+		v, dv := side.q.ExtractMin()
+		if dv >= mu {
+			break
+		}
+		for _, a := range side.g.Arcs(v) {
+			nd := graph.AddSat(dv, a.Weight)
+			if nd < side.Dist(a.Head) {
+				side.setDist(a.Head, nd, v)
+				side.q.Update(a.Head, nd)
+			}
+			other := r
+			if side == r {
+				other = f
+			}
+			if od := other.Dist(a.Head); od != graph.Inf {
+				if m := graph.AddSat(nd, od); m < mu {
+					mu = m
+				}
+			}
+		}
+		// v itself may be a meeting point settled by both sides.
+		other := r
+		if side == r {
+			other = f
+		}
+		if od := other.Dist(v); od != graph.Inf {
+			if m := graph.AddSat(dv, od); m < mu {
+				mu = m
+			}
+		}
+	}
+	return mu
+}
+
+// minKey peeks at the queue minimum by extracting and reinserting.
+// All queue kinds tolerate reinsertion at the same key.
+func minKey(q pq.Queue) uint32 {
+	v, k := q.ExtractMin()
+	q.Insert(v, k)
+	return k
+}

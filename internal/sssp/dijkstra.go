@@ -1,0 +1,131 @@
+// Package sssp implements the baseline single-source shortest path
+// algorithms PHAST is compared against: Dijkstra's algorithm (Section
+// II-A) over any of the priority queues in internal/pq, breadth-first
+// search, and the bidirectional point-to-point variant.
+//
+// Solvers hold all per-run state and are reusable: repeated Run calls do
+// not reallocate and reinitialize labels implicitly via version stamps,
+// so building many trees with one solver is allocation-free after warmup.
+package sssp
+
+import (
+	"phast/internal/graph"
+	"phast/internal/pq"
+)
+
+// Dijkstra is a reusable solver for full shortest-path trees.
+type Dijkstra struct {
+	g       *graph.Graph
+	q       pq.Queue
+	dist    []uint32
+	parent  []int32
+	stamp   []int32
+	version int32
+	scanned int // vertices scanned in the last Run
+}
+
+// NewDijkstra creates a solver over g using the given queue kind.
+func NewDijkstra(g *graph.Graph, kind pq.Kind) *Dijkstra {
+	n := g.NumVertices()
+	return &Dijkstra{
+		g:      g,
+		q:      pq.New(kind, n, graph.MaxArcWeight(g)),
+		dist:   make([]uint32, n),
+		parent: make([]int32, n),
+		stamp:  make([]int32, n),
+	}
+}
+
+// Run computes the shortest-path tree from s. Previous results become
+// invalid.
+func (d *Dijkstra) Run(s int32) {
+	d.run(s, -1)
+}
+
+// RunTarget runs from s until t is scanned (or the queue empties) and
+// returns the distance to t. Labels of scanned vertices remain queryable.
+func (d *Dijkstra) RunTarget(s, t int32) uint32 {
+	d.run(s, t)
+	return d.Dist(t)
+}
+
+func (d *Dijkstra) run(s, t int32) {
+	d.version++
+	d.q.Reset()
+	d.scanned = 0
+	d.setDist(s, 0, -1)
+	d.q.Insert(s, 0)
+	for !d.q.Empty() {
+		v, dv := d.q.ExtractMin()
+		d.scanned++
+		if v == t {
+			return
+		}
+		for _, a := range d.g.Arcs(v) {
+			nd := graph.AddSat(dv, a.Weight)
+			if nd < d.Dist(a.Head) {
+				d.setDist(a.Head, nd, v)
+				d.q.Update(a.Head, nd)
+			}
+		}
+	}
+}
+
+func (d *Dijkstra) setDist(v int32, dist uint32, parent int32) {
+	d.dist[v] = dist
+	d.parent[v] = parent
+	d.stamp[v] = d.version
+}
+
+// Dist returns the distance label of v from the last Run, or graph.Inf
+// if v was not reached.
+func (d *Dijkstra) Dist(v int32) uint32 {
+	if d.stamp[v] != d.version {
+		return graph.Inf
+	}
+	return d.dist[v]
+}
+
+// Parent returns v's parent in the shortest-path tree, or -1 for the
+// source and unreached vertices.
+func (d *Dijkstra) Parent(v int32) int32 {
+	if d.stamp[v] != d.version {
+		return -1
+	}
+	return d.parent[v]
+}
+
+// Scanned returns the number of vertices scanned by the last Run.
+func (d *Dijkstra) Scanned() int { return d.scanned }
+
+// CopyDistances writes all n labels (graph.Inf for unreached) into buf,
+// which must have length n. This is the output format shared with PHAST
+// so results compare element-wise.
+func (d *Dijkstra) CopyDistances(buf []uint32) {
+	for v := range buf {
+		buf[v] = d.Dist(int32(v))
+	}
+}
+
+// Distances is CopyDistances into a fresh slice.
+func (d *Dijkstra) Distances() []uint32 {
+	buf := make([]uint32, d.g.NumVertices())
+	d.CopyDistances(buf)
+	return buf
+}
+
+// PathTo reconstructs the s→v path of the last Run as a vertex sequence,
+// or nil if v is unreached.
+func (d *Dijkstra) PathTo(v int32) []int32 {
+	if d.Dist(v) == graph.Inf {
+		return nil
+	}
+	var rev []int32
+	for u := v; u >= 0; u = d.Parent(u) {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

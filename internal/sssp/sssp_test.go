@@ -1,0 +1,254 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/pq"
+)
+
+// bruteForce is a Bellman–Ford reference, the simplest possible oracle.
+func bruteForce(g *graph.Graph, s int32) []uint32 {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[s] = 0
+	for round := 0; round < n; round++ {
+		changed := false
+		for v := int32(0); v < int32(n); v++ {
+			if dist[v] == graph.Inf {
+				continue
+			}
+			for _, a := range g.Arcs(v) {
+				if nd := graph.AddSat(dist[v], a.Weight); nd < dist[a.Head] {
+					dist[a.Head] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func randomGraph(rng *rand.Rand, n, m, maxW int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.MustAddArc(int32(rng.Intn(n)), int32(rng.Intn(n)), uint32(rng.Intn(maxW+1)))
+	}
+	return b.Build()
+}
+
+func TestDijkstraMatchesBruteForceAllQueues(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, kind := range []pq.Kind{pq.KindBinaryHeap, pq.KindKHeap, pq.KindFibonacci, pq.KindDial, pq.KindTwoLevel, pq.KindRadix} {
+		t.Run(string(kind), func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				n := 2 + rng.Intn(60)
+				g := randomGraph(rng, n, rng.Intn(5*n), 30)
+				d := NewDijkstra(g, kind)
+				s := int32(rng.Intn(n))
+				d.Run(s)
+				want := bruteForce(g, s)
+				for v := int32(0); v < int32(n); v++ {
+					if got := d.Dist(v); got != want[v] {
+						t.Fatalf("trial %d: dist(%d→%d)=%d, want %d", trial, s, v, got, want[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDijkstraReuseAcrossSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomGraph(rng, 80, 400, 50)
+	d := NewDijkstra(g, pq.KindDial)
+	for trial := 0; trial < 10; trial++ {
+		s := int32(rng.Intn(80))
+		d.Run(s)
+		want := bruteForce(g, s)
+		for v := int32(0); v < 80; v++ {
+			if d.Dist(v) != want[v] {
+				t.Fatalf("stale state: dist(%d→%d)=%d, want %d", s, v, d.Dist(v), want[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraParentTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 50, 250, 20)
+	d := NewDijkstra(g, pq.KindBinaryHeap)
+	s := int32(3)
+	d.Run(s)
+	for v := int32(0); v < 50; v++ {
+		dv := d.Dist(v)
+		p := d.Parent(v)
+		switch {
+		case v == s:
+			if p != -1 {
+				t.Fatalf("source has parent %d", p)
+			}
+		case dv == graph.Inf:
+			if p != -1 {
+				t.Fatalf("unreached vertex %d has parent %d", v, p)
+			}
+		default:
+			w, ok := g.FindArc(p, v)
+			if !ok {
+				t.Fatalf("parent arc (%d,%d) does not exist", p, v)
+			}
+			// FindArc returns the min parallel weight; the tree arc weight
+			// is exactly dist(v)-dist(p) and min weight cannot exceed it.
+			if graph.AddSat(d.Dist(p), w) > dv {
+				t.Fatalf("parent arc too long: d(%d)=%d w=%d d(%d)=%d", p, d.Dist(p), w, v, dv)
+			}
+		}
+	}
+}
+
+func TestDijkstraPathTo(t *testing.T) {
+	g, err := graph.FromArcs(4, [][3]int64{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDijkstra(g, pq.KindBinaryHeap)
+	d.Run(0)
+	path := d.PathTo(3)
+	want := []int32{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path=%v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path=%v, want %v", path, want)
+		}
+	}
+	if d.PathTo(0)[0] != 0 || len(d.PathTo(0)) != 1 {
+		t.Fatalf("path to source=%v", d.PathTo(0))
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g, err := graph.FromArcs(3, [][3]int64{{0, 1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDijkstra(g, pq.KindRadix)
+	d.Run(0)
+	if d.Dist(2) != graph.Inf {
+		t.Fatalf("dist(2)=%d, want Inf", d.Dist(2))
+	}
+	if d.PathTo(2) != nil {
+		t.Fatal("path to unreachable vertex")
+	}
+	if d.Scanned() != 2 {
+		t.Fatalf("scanned=%d, want 2", d.Scanned())
+	}
+}
+
+func TestRunTargetStopsEarlyButIsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := randomGraph(rng, 60, 300, 25)
+	d := NewDijkstra(g, pq.KindBinaryHeap)
+	full := NewDijkstra(g, pq.KindBinaryHeap)
+	for trial := 0; trial < 20; trial++ {
+		s, tt := int32(rng.Intn(60)), int32(rng.Intn(60))
+		got := d.RunTarget(s, tt)
+		full.Run(s)
+		if got != full.Dist(tt) {
+			t.Fatalf("RunTarget(%d,%d)=%d, want %d", s, tt, got, full.Dist(tt))
+		}
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g, err := graph.FromArcs(5, [][3]int64{{0, 1, 9}, {1, 2, 9}, {0, 2, 9}, {2, 3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBFS(g)
+	b.Run(0)
+	wantHops := []uint32{0, 1, 1, 2, graph.Inf}
+	for v, want := range wantHops {
+		if got := b.Hops(int32(v)); got != want {
+			t.Fatalf("hops(%d)=%d, want %d", v, got, want)
+		}
+	}
+	if b.Reached() != 4 {
+		t.Fatalf("reached=%d, want 4", b.Reached())
+	}
+	if b.Parent(0) != -1 || b.Parent(4) != -1 {
+		t.Fatal("parent of source/unreached should be -1")
+	}
+	if p := b.Parent(3); p != 2 {
+		t.Fatalf("parent(3)=%d, want 2", p)
+	}
+}
+
+func TestBFSReuse(t *testing.T) {
+	g, err := graph.FromArcs(3, [][3]int64{{0, 1, 1}, {1, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBFS(g)
+	b.Run(0)
+	b.Run(2)
+	if b.Hops(0) != graph.Inf || b.Hops(2) != 0 {
+		t.Fatal("stale labels after rerun")
+	}
+}
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(5*n), 40)
+		bi := NewBidirectional(g, pq.KindBinaryHeap)
+		d := NewDijkstra(g, pq.KindBinaryHeap)
+		for q := 0; q < 5; q++ {
+			s, tt := int32(rng.Intn(n)), int32(rng.Intn(n))
+			got := bi.Query(s, tt)
+			d.Run(s)
+			if want := d.Dist(tt); got != want {
+				t.Fatalf("trial %d: bidi(%d,%d)=%d, want %d", trial, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestBidirectionalSameSourceTarget(t *testing.T) {
+	g, err := graph.FromArcs(2, [][3]int64{{0, 1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := NewBidirectional(g, pq.KindBinaryHeap)
+	if d := bi.Query(1, 1); d != 0 {
+		t.Fatalf("d(1,1)=%d, want 0", d)
+	}
+	if d := bi.Query(1, 0); d != graph.Inf {
+		t.Fatalf("d(1,0)=%d, want Inf", d)
+	}
+}
+
+func TestCopyDistances(t *testing.T) {
+	g, err := graph.FromArcs(3, [][3]int64{{0, 1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDijkstra(g, pq.KindBinaryHeap)
+	d.Run(0)
+	buf := d.Distances()
+	want := []uint32{0, 4, graph.Inf}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("Distances=%v, want %v", buf, want)
+		}
+	}
+}

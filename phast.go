@@ -1,0 +1,99 @@
+// Package phast is a Go implementation of PHAST — "Hardware-Accelerated
+// Shortest Path Trees" (Delling, Goldberg, Nowatzyk, Werneck; IPDPS
+// 2011) — a single-source shortest path algorithm for road networks and
+// other graphs of low highway dimension that, after a contraction-
+// hierarchies preprocessing phase, computes every distance from a source
+// with one tiny upward search plus one cache-friendly linear sweep.
+//
+// The package exposes:
+//
+//   - graph construction (builders, DIMACS files, a synthetic
+//     road-network generator),
+//   - Preprocess/Engine: PHAST trees (sequential, multi-core,
+//     multi-source per sweep) and contraction-hierarchy point-to-point
+//     queries,
+//   - GPUEngine: the GPHAST pipeline on a simulated SIMT GPU,
+//   - the paper's applications: graph diameter, arc flags, reach and
+//     betweenness centrality.
+//
+// See README.md for a tour and DESIGN.md for the paper-to-code map.
+package phast
+
+import (
+	"io"
+
+	"phast/internal/dimacs"
+	"phast/internal/graph"
+	"phast/internal/roadnet"
+)
+
+// Inf is the distance label of an unreachable vertex.
+const Inf = graph.Inf
+
+// Graph is an immutable directed graph with non-negative 32-bit arc
+// lengths in adjacency-array form.
+type Graph = graph.Graph
+
+// Arc is one outgoing arc: head vertex and length.
+type Arc = graph.Arc
+
+// Builder accumulates arcs and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder creates a graph builder for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromArcs builds a graph from (tail, head, weight) triples.
+func FromArcs(n int, triples [][3]int64) (*Graph, error) {
+	return graph.FromArcs(n, triples)
+}
+
+// ReadDIMACS parses a 9th-DIMACS-challenge .gr stream (the distribution
+// format of the paper's Europe/USA benchmark instances).
+func ReadDIMACS(r io.Reader) (*Graph, error) { return dimacs.ReadGraph(r) }
+
+// WriteDIMACS serializes a graph as a .gr stream.
+func WriteDIMACS(w io.Writer, g *Graph, comments ...string) error {
+	return dimacs.WriteGraph(w, g, comments...)
+}
+
+// Metric selects road-network arc weights: travel time or distance.
+type Metric = roadnet.Metric
+
+// Road-network weight metrics.
+const (
+	TravelTime     = roadnet.TravelTime
+	TravelDistance = roadnet.TravelDistance
+)
+
+// RoadParams configures the synthetic road-network generator.
+type RoadParams = roadnet.Params
+
+// RoadNetwork is a generated road network (graph + coordinates).
+type RoadNetwork = roadnet.Network
+
+// RoadPreset names a ready-made instance family (europe-xs … usa-l).
+type RoadPreset = roadnet.Preset
+
+// Road-network presets, scaled stand-ins for the paper's PTV Europe and
+// TIGER USA instances.
+const (
+	EuropeXS = roadnet.PresetEuropeXS
+	EuropeS  = roadnet.PresetEuropeS
+	EuropeM  = roadnet.PresetEuropeM
+	EuropeL  = roadnet.PresetEuropeL
+	USAXS    = roadnet.PresetUSAXS
+	USAS     = roadnet.PresetUSAS
+	USAM     = roadnet.PresetUSAM
+	USAL     = roadnet.PresetUSAL
+)
+
+// GenerateRoadNetwork builds a synthetic road network from parameters.
+func GenerateRoadNetwork(p RoadParams) (*RoadNetwork, error) {
+	return roadnet.Generate(p)
+}
+
+// GenerateRoadNetworkPreset builds one of the named instances.
+func GenerateRoadNetworkPreset(name RoadPreset, metric Metric) (*RoadNetwork, error) {
+	return roadnet.GeneratePreset(name, metric)
+}

@@ -1,0 +1,48 @@
+package phast
+
+import "phast/internal/rphast"
+
+// TargetSelection is a preprocessed restriction of the downward graph to
+// a fixed target set — RPHAST, the one-to-many extension: queries sweep
+// only the vertices that can influence the targets, so a source-to-T
+// computation costs O(|selection|) instead of O(n).
+type TargetSelection struct {
+	sel *rphast.Selection
+}
+
+// SelectTargets preprocesses a target set (original vertex IDs) for
+// repeated one-to-many queries. The selection is immutable and can be
+// shared; obtain per-goroutine cursors with NewQuery.
+func (e *Engine) SelectTargets(targets []int32) (*TargetSelection, error) {
+	sel, err := rphast.NewSelection(e.core, targets)
+	if err != nil {
+		return nil, err
+	}
+	return &TargetSelection{sel: sel}, nil
+}
+
+// Size returns the number of selected vertices (the per-query cost).
+func (t *TargetSelection) Size() int { return t.sel.Size() }
+
+// Table computes the full |sources| x |targets| distance table.
+func (t *TargetSelection) Table(sources []int32) [][]uint32 {
+	return rphast.Table(t.sel, sources)
+}
+
+// NewQuery returns a reusable one-to-many solver over the selection.
+func (t *TargetSelection) NewQuery() *TargetQuery {
+	return &TargetQuery{q: rphast.NewQuery(t.sel)}
+}
+
+// TargetQuery answers one-to-many queries against one TargetSelection.
+// Not safe for concurrent use.
+type TargetQuery struct {
+	q *rphast.Query
+}
+
+// Run computes distances from source to every selected vertex.
+func (q *TargetQuery) Run(source int32) { q.q.Run(source) }
+
+// Dist returns the distance to the i-th target of the selection from
+// the last Run's source.
+func (q *TargetQuery) Dist(i int) uint32 { return q.q.Dist(i) }
