@@ -9,18 +9,24 @@
 //	phast -preset europe-s -info                instance + hierarchy info
 //	phast -preset europe-m -save-ch europe.ch   cache preprocessing
 //	phast -load-ch europe.ch -trees 1000        reuse it
+//	phast -preset europe-s -replay q.txt        serve a query file through
+//	                                            the batching tree server
 //
 // One of -graph, -preset or -load-ch selects the instance; -source,
-// -query, -trees and -info select the work (combinable).
+// -query, -trees, -replay and -info select the work (combinable).
+// A -replay file holds one source vertex per line ('#' starts a
+// comment); -clients and -batch shape the concurrent server load.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"phast"
@@ -39,6 +45,9 @@ type config struct {
 	info      bool
 	seed      int64
 	parallel  bool
+	replay    string
+	clients   int
+	batch     int
 }
 
 func main() {
@@ -54,6 +63,9 @@ func main() {
 	flag.BoolVar(&c.info, "info", false, "print instance and hierarchy statistics")
 	flag.Int64Var(&c.seed, "seed", 42, "random seed for -trees")
 	flag.BoolVar(&c.parallel, "parallel", false, "use the intra-level parallel sweep")
+	flag.StringVar(&c.replay, "replay", "", "replay a query file (one source per line) through the tree server")
+	flag.IntVar(&c.clients, "clients", 8, "concurrent client goroutines for -replay")
+	flag.IntVar(&c.batch, "batch", 16, "max sources per server sweep for -replay")
 	flag.Parse()
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "phast:", err)
@@ -143,7 +155,99 @@ func run(c config) error {
 		fmt.Printf("%d trees: %v total, %v per tree\n",
 			c.trees, total.Round(time.Millisecond), total/time.Duration(c.trees))
 	}
+	if c.replay != "" {
+		if err := replayQueries(eng, c); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// replayQueries fires every source in the replay file at a TreeServer
+// from c.clients concurrent goroutines — the CLI face of the batching
+// serving layer — and reports throughput plus server statistics.
+func replayQueries(eng *phast.Engine, c config) error {
+	sources, err := readQueryFile(c.replay, eng.NumVertices())
+	if err != nil {
+		return err
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("replay file %s holds no queries", c.replay)
+	}
+	if c.clients < 1 {
+		return fmt.Errorf("-clients must be positive, got %d", c.clients)
+	}
+	srv, err := eng.Serve(&phast.ServeOptions{MaxBatch: c.batch})
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	start := time.Now()
+	for w := 0; w < c.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(sources); i += c.clients {
+				res, err := srv.Query(nil, sources[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				res.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Close()
+	if firstErr != nil {
+		return firstErr
+	}
+	st := srv.Stats()
+	fmt.Printf("replayed %d queries with %d clients: %v total, %.0f queries/s\n",
+		len(sources), c.clients, elapsed.Round(time.Millisecond),
+		float64(st.Queries)/elapsed.Seconds())
+	fmt.Printf("server: %d batches, mean occupancy %.2f/%d, queue high water %d\n",
+		st.Batches, st.MeanBatchOccupancy, c.batch, st.QueueHighWater)
+	return nil
+}
+
+// readQueryFile parses a replay file: one source vertex per line, blank
+// lines and '#' comments ignored. Every source must lie in [0,n).
+func readQueryFile(path string, n int) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sources []int32
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed source %q", path, line, text)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%s:%d: source %d out of range [0,%d)", path, line, v, n)
+		}
+		sources = append(sources, int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sources, nil
 }
 
 func buildEngine(c config) (*phast.Engine, error) {

@@ -93,3 +93,65 @@ func TestSaveLoadHierarchyCLI(t *testing.T) {
 		t.Fatal("missing hierarchy file accepted")
 	}
 }
+
+func TestReadQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.txt")
+	body := "# replay sources\n3\n 7 # inline comment\n\n0\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sources, err := readQueryFile(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 7, 0}
+	if len(sources) != len(want) {
+		t.Fatalf("got %v, want %v", sources, want)
+	}
+	for i := range want {
+		if sources[i] != want[i] {
+			t.Fatalf("got %v, want %v", sources, want)
+		}
+	}
+	for name, bad := range map[string]string{
+		"malformed":    "abc\n",
+		"out of range": "10\n",
+		"negative":     "-1\n",
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readQueryFile(path, 10); err == nil {
+			t.Fatalf("%s source accepted", name)
+		}
+	}
+	if _, err := readQueryFile(filepath.Join(dir, "missing.txt"), 10); err == nil {
+		t.Fatal("missing replay file accepted")
+	}
+}
+
+func TestReplayEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.txt")
+	if err := os.WriteFile(path, []byte("0\n1\n2\n3\n4\n5\n6\n7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := config{preset: "europe-xs", metric: "time", seed: 1,
+		replay: path, clients: 4, batch: 4}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	c.clients = 0
+	if err := run(c); err == nil {
+		t.Fatal("-clients 0 accepted")
+	}
+	c.clients = 2
+	c.replay = filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(c.replay, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(c); err == nil {
+		t.Fatal("empty replay file accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"phast/internal/ch"
 	"phast/internal/core"
+	"phast/internal/server"
 )
 
 // Options configures Preprocess. The zero value matches the paper's
@@ -153,3 +154,52 @@ func (e *Engine) EnableQueryStalling() { e.query.EnableStalling() }
 // QueryPath returns the s→t shortest path as original-graph vertices
 // (shortcuts unpacked), or nil if unreachable.
 func (e *Engine) QueryPath(s, t int32) []int32 { return e.query.Path(s, t) }
+
+// CopyDistances writes the labels of the last tree into buf indexed by
+// vertex ID. The copy stays valid across later sweeps on this engine —
+// the read-back form to use for results that cross goroutines.
+func (e *Engine) CopyDistances(buf []uint32) { e.core.CopyDistances(buf) }
+
+// TreeServer is the goroutine-safe serving layer: it batches concurrent
+// tree requests into multi-source sweeps over a pool of engine clones
+// (Section IV-B batching × Section V parallelism). See Engine.Serve.
+type TreeServer = server.TreeServer
+
+// TreeResult is one tree computed by a TreeServer; its distance buffer
+// is a private pooled copy (call Release when done).
+type TreeResult = server.TreeResult
+
+// ServeOptions configures Engine.Serve; the zero value selects the
+// defaults documented on server.Options (MaxBatch 16, GOMAXPROCS
+// engines, 200µs linger, blocking backpressure).
+type ServeOptions = server.Options
+
+// ServerStats is the atomic counter snapshot returned by
+// TreeServer.Stats.
+type ServerStats = server.Stats
+
+// Overload policies for ServeOptions.Overload.
+const (
+	BlockOnFull  = server.BlockOnFull
+	RejectOnFull = server.RejectOnFull
+)
+
+// Serving-layer sentinel errors.
+var (
+	// ErrServerOverloaded is returned by TreeServer.Query under the
+	// RejectOnFull policy when the request queue is full.
+	ErrServerOverloaded = server.ErrOverloaded
+	// ErrServerClosed is returned by TreeServer.Query after Close.
+	ErrServerClosed = server.ErrClosed
+)
+
+// Serve starts a concurrent tree server over this engine's preprocessed
+// data. The server owns its own pool of engine clones, so e remains
+// usable from its own goroutine. opt may be nil. Close the server to
+// release its goroutines.
+func (e *Engine) Serve(opt *ServeOptions) (*TreeServer, error) {
+	if opt == nil {
+		opt = &ServeOptions{}
+	}
+	return server.New(e.core, *opt)
+}

@@ -202,23 +202,35 @@ func (e *Engine) Dist(v int32) uint32 {
 }
 
 // RawDistances exposes the engine-ID-indexed label array of the last
-// tree. Hot consumers (benchmarks, applications) iterate it directly;
-// they must not modify it while reusing the engine.
+// tree. Hot consumers (benchmarks, applications) iterate it directly.
+//
+// Aliasing contract: the returned slice is the engine's working buffer,
+// not a snapshot. The next Tree/TreeParallel/TreeWithParents call on
+// this engine silently overwrites it (MultiTree additionally invalidates
+// it semantically), and callers must never modify it. Results that must
+// outlive the next sweep — anything handed to another goroutine, queued,
+// or cached — must be copied out with CopyDistances first.
 func (e *Engine) RawDistances() []uint32 { return e.dist }
 
-// DistancesInto writes the labels of the last tree into buf indexed by
-// original vertex ID. len(buf) must be n.
-func (e *Engine) DistancesInto(buf []uint32) {
+// CopyDistances writes the labels of the last tree into buf indexed by
+// original vertex ID (graph.Inf marks unreached vertices). len(buf) must
+// be n. Unlike RawDistances, buf is a private snapshot: it stays valid
+// across later sweeps on this engine, which is the read-back form every
+// concurrent consumer (e.g. internal/server) must use.
+func (e *Engine) CopyDistances(buf []uint32) {
 	if e.lastMulti {
-		panic("core: last computation was MultiTree; read labels with MultiDist")
+		panic("core: last computation was MultiTree; read labels with CopyLaneDistances")
 	}
 	if len(buf) != e.s.n {
-		panic("core: DistancesInto buffer has wrong length")
+		panic("core: CopyDistances buffer has wrong length")
 	}
 	for orig := range buf {
 		buf[orig] = e.dist[e.s.toEngine[orig]]
 	}
 }
+
+// DistancesInto is CopyDistances under its historical name.
+func (e *Engine) DistancesInto(buf []uint32) { e.CopyDistances(buf) }
 
 // Source returns the original ID of the last tree's source, or -1.
 func (e *Engine) Source() int32 {

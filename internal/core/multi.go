@@ -50,7 +50,34 @@ func (e *Engine) MultiDist(i int, v int32) uint32 {
 
 // RawMultiDistances exposes the engine-ID-indexed label array of the
 // last MultiTree: the k labels of engine vertex v start at index v*k.
+//
+// Aliasing contract: like RawDistances, this is the engine's working
+// buffer. The next MultiTree/MultiTreeParallel call overwrites it (and a
+// call with a different k changes its layout); copy any lane that must
+// survive with CopyLaneDistances.
 func (e *Engine) RawMultiDistances() []uint32 { return e.kdist }
+
+// CopyLaneDistances writes the labels of tree i of the last
+// MultiTree/MultiTreeParallel call into buf indexed by original vertex
+// ID (graph.Inf marks unreached vertices). len(buf) must be n. buf is a
+// private snapshot that stays valid across later sweeps on this engine —
+// the safe read-back for results that cross a goroutine or batch
+// boundary.
+func (e *Engine) CopyLaneDistances(i int, buf []uint32) {
+	if !e.lastMulti {
+		panic("core: last computation was not MultiTree; read labels with CopyDistances")
+	}
+	if i < 0 || i >= e.k {
+		panic("core: CopyLaneDistances lane out of range")
+	}
+	if len(buf) != e.s.n {
+		panic("core: CopyLaneDistances buffer has wrong length")
+	}
+	k, kd, toEngine := e.k, e.kdist, e.s.toEngine
+	for orig := range buf {
+		buf[orig] = kd[int(toEngine[orig])*k+i]
+	}
+}
 
 // chSearchLane runs the upward search for lane i of k. The first time a
 // vertex is touched this round all of its k lanes are set to Inf before

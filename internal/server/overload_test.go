@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/graph"
+)
+
+// White-box overload tests. Emergent queue overflow cannot be provoked
+// reliably on a small machine — the scheduler's direct channel handoffs
+// serialize client, dispatcher and executor — so these tests wedge the
+// executor via testHookBatchStart and fill each pipeline stage by hand.
+
+func overloadEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(90))
+	b := graph.NewBuilder(16)
+	for i := int32(0); i < 15; i++ {
+		w := uint32(1 + rng.Intn(9))
+		b.MustAddArc(i, i+1, w)
+		b.MustAddArc(i+1, i, w)
+	}
+	h := ch.Build(b.Build(), ch.Options{Workers: 1})
+	e, err := core.NewEngine(h, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// waitQueueDepth polls until the request queue shows depth want.
+func waitQueueDepth(t *testing.T, s *TreeServer, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().QueueDepth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (now %d)", want, s.Stats().QueueDepth)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRejectOnFullDeterministic fills every stage of the pipeline —
+// executor (wedged on the hook), batch channel, dispatcher's blocked
+// hand-off, request queue — and asserts the next query is rejected with
+// ErrOverloaded while all queued ones complete once the wedge lifts.
+func TestRejectOnFullDeterministic(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	old := testHookBatchStart
+	testHookBatchStart = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	defer func() { testHookBatchStart = old }()
+
+	s, err := New(overloadEngine(t), Options{
+		MaxBatch: 1, Engines: 1, QueueSize: 1,
+		Linger: -1, Overload: RejectOnFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Pipeline capacity before rejection: 1 wedged in the executor,
+	// 1 in the batch channel buffer, 1 held by the blocked dispatcher,
+	// 1 in the request queue.
+	type outcome struct {
+		res *TreeResult
+		err error
+	}
+	results := make(chan outcome, 4)
+	fire := func() {
+		go func() {
+			res, err := s.Query(context.Background(), 3)
+			results <- outcome{res, err}
+		}()
+	}
+	fire() // q1 -> executor
+	<-entered
+	fire() // q2 -> batch channel buffer
+	waitQueueDepth(t, s, 0)
+	fire() // q3 -> dispatcher, blocked sending the batch
+	waitQueueDepth(t, s, 0)
+	fire() // q4 -> request queue
+	waitQueueDepth(t, s, 1)
+
+	if _, err := s.Query(context.Background(), 3); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full pipeline returned %v, want ErrOverloaded", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("Stats().Rejected=%d, want 1", st.Rejected)
+	}
+
+	close(gate) // lift the wedge; later batches pass the hook instantly
+	for i := 0; i < 4; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("queued query %d failed after wedge lifted: %v", i, o.err)
+		}
+		if o.res.Dist(3) != 0 {
+			t.Fatalf("queued query %d: wrong tree", i)
+		}
+		o.res.Release()
+	}
+	<-entered // drain hook signals (≥1 more batch ran)
+	if st := s.Stats(); st.Queries != 4 || st.Rejected != 1 {
+		t.Fatalf("Stats=%+v, want 4 served / 1 rejected", st)
+	}
+}
+
+// TestBlockOnFullWaitsInsteadOfRejecting wedges the pipeline the same
+// way under the blocking policy and checks the overflow query waits
+// (respecting its context) rather than failing.
+func TestBlockOnFullWaitsInsteadOfRejecting(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	old := testHookBatchStart
+	testHookBatchStart = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	defer func() { testHookBatchStart = old }()
+
+	s, err := New(overloadEngine(t), Options{
+		MaxBatch: 1, Engines: 1, QueueSize: 1, Linger: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	results := make(chan error, 8)
+	fire := func() {
+		go func() {
+			res, err := s.Query(context.Background(), 5)
+			if err == nil {
+				res.Release()
+			}
+			results <- err
+		}()
+	}
+	fire()
+	<-entered
+	fire()
+	waitQueueDepth(t, s, 0)
+	fire()
+	waitQueueDepth(t, s, 0)
+	fire()
+	waitQueueDepth(t, s, 1)
+
+	// Overflow with an expiring context: must block, then surface the
+	// deadline rather than ErrOverloaded.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := s.Query(ctx, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked overflow query returned %v, want DeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Rejected != 0 {
+		t.Fatalf("blocking policy counted %d rejections", st.Rejected)
+	}
+
+	close(gate)
+	for i := 0; i < 4; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued query %d failed: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package server is the concurrent serving layer over the PHAST core
+// engine: a goroutine-safe TreeServer that owns a pool of cloned
+// core.Engine cursors over one shared hierarchy and batches concurrent
+// tree requests into multi-source sweeps.
+//
+// The design follows the paper's throughput argument directly. A single
+// PHAST tree is bandwidth-bound on the linear sweep; Section IV-B shows
+// that sweeping k sources at once amortizes that bandwidth because the k
+// labels of a vertex are contiguous and the downward arcs are read once
+// per batch instead of once per tree. TreeServer therefore never runs
+// one sweep per request: a dispatcher goroutine collects concurrent
+// requests into batches of up to MaxBatch sources (with a small linger
+// window so a lone request does not wait forever), hands each batch to a
+// pooled engine running MultiTreeParallel (Section IV-B × Section V),
+// and fans the per-lane results back out to the callers. Results are
+// copied into pooled buffers via CopyLaneDistances, so callers never
+// alias engine state and engines are immediately reusable.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phast/internal/core"
+)
+
+// Sentinel errors returned by Query/QueryMany.
+var (
+	// ErrClosed is returned once Close has begun; in-flight requests
+	// still complete.
+	ErrClosed = errors.New("server: closed")
+	// ErrOverloaded is returned under the RejectOnFull policy when the
+	// request queue is full.
+	ErrOverloaded = errors.New("server: request queue full")
+)
+
+// OverloadPolicy selects what Query does when the bounded request queue
+// is full.
+type OverloadPolicy int
+
+const (
+	// BlockOnFull makes Query wait (respecting its context) until the
+	// queue has room — backpressure by blocking, the default.
+	BlockOnFull OverloadPolicy = iota
+	// RejectOnFull makes Query fail fast with ErrOverloaded so callers
+	// can shed load.
+	RejectOnFull
+)
+
+// Options configures New. The zero value selects the defaults below.
+type Options struct {
+	// MaxBatch is the largest number of sources swept together (k of
+	// Section IV-B). 0 selects 16, the largest k the paper's multi-tree
+	// lane discussion evaluates.
+	MaxBatch int
+	// Engines is the number of pooled engine clones, i.e. the number of
+	// batches that can be in flight at once. 0 selects GOMAXPROCS.
+	Engines int
+	// QueueSize bounds the request queue. 0 selects 4·MaxBatch·Engines.
+	QueueSize int
+	// Linger is how long the dispatcher holds an under-full batch open
+	// waiting for more requests. 0 selects 200µs; negative disables
+	// lingering (batches form only from already-queued requests).
+	Linger time.Duration
+	// Overload selects blocking (default) or ErrOverloaded when the
+	// queue is full.
+	Overload OverloadPolicy
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxBatch < 0 || o.Engines < 0 || o.QueueSize < 0 {
+		return o, fmt.Errorf("server: negative option (MaxBatch=%d Engines=%d QueueSize=%d)",
+			o.MaxBatch, o.Engines, o.QueueSize)
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 16
+	}
+	if o.Engines == 0 {
+		o.Engines = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize == 0 {
+		o.QueueSize = 4 * o.MaxBatch * o.Engines
+	}
+	if o.Linger == 0 {
+		o.Linger = 200 * time.Microsecond
+	}
+	if o.Overload != BlockOnFull && o.Overload != RejectOnFull {
+		return o, fmt.Errorf("server: unknown overload policy %d", o.Overload)
+	}
+	return o, nil
+}
+
+// TreeResult is one shortest-path tree computed by the server. Its
+// distance buffer is private to the caller — it never aliases engine
+// state — and pooled: call Release when done to recycle it.
+type TreeResult struct {
+	source int32
+	dist   []uint32
+	srv    *TreeServer
+}
+
+// Source returns the tree's source vertex.
+func (r *TreeResult) Source() int32 { return r.source }
+
+// Dist returns the distance label of vertex v (graph.Inf if unreached).
+func (r *TreeResult) Dist(v int32) uint32 { return r.dist[v] }
+
+// Distances returns all n labels indexed by original vertex ID. The
+// slice is owned by the result: it is valid until Release.
+func (r *TreeResult) Distances() []uint32 { return r.dist }
+
+// Release returns the result's buffer to the server's pool. The result
+// and its Distances slice must not be used afterwards. Release is
+// idempotent; forgetting to call it only costs an allocation.
+func (r *TreeResult) Release() {
+	s := r.srv
+	if s == nil {
+		return
+	}
+	r.srv = nil
+	s.resultPool.Put(r)
+}
+
+// request is one pending Query. done has capacity 1 and receives exactly
+// one result (value or error) from an executor, so abandoning callers
+// (context cancellation) never block the executor.
+type request struct {
+	ctx    context.Context
+	source int32
+	done   chan result
+}
+
+type result struct {
+	res *TreeResult
+	err error
+}
+
+// Stats is an atomic snapshot of server counters, the first
+// observability hook of the serving layer.
+type Stats struct {
+	// Queries is the number of results computed and delivered.
+	Queries uint64
+	// Rejected counts ErrOverloaded rejections (RejectOnFull only).
+	Rejected uint64
+	// Canceled counts requests whose context was canceled before their
+	// result was copied out.
+	Canceled uint64
+	// Batches is the number of multi-source sweeps executed.
+	Batches uint64
+	// MeanBatchOccupancy is mean sources per executed sweep (0 if none);
+	// MaxBatch is the ceiling, 1 means batching never engaged.
+	MeanBatchOccupancy float64
+	// QueueDepth is the current number of queued requests.
+	QueueDepth int
+	// QueueHighWater is the maximum queue depth observed.
+	QueueHighWater int
+}
+
+// TreeServer batches concurrent tree queries into multi-source PHAST
+// sweeps over a pool of engine clones. All methods are safe for
+// concurrent use.
+type TreeServer struct {
+	opt Options
+	n   int
+
+	// mu serializes Query admission against Close: Query holds the read
+	// lock across its enqueue so Close (write lock) cannot close the
+	// requests channel mid-send.
+	mu       sync.RWMutex
+	closed   bool
+	requests chan request
+	batches  chan []request
+	wg       sync.WaitGroup // dispatcher + executors
+
+	resultPool sync.Pool
+
+	queries    atomic.Uint64
+	rejected   atomic.Uint64
+	canceled   atomic.Uint64
+	batchCount atomic.Uint64
+	occupancy  atomic.Uint64
+	queueDepth atomic.Int64
+	queueHW    atomic.Int64
+}
+
+// New starts a TreeServer over proto's preprocessed data. proto itself
+// is never swept — the server clones it Engines times — so the caller
+// may keep using it (from one goroutine, as usual).
+func New(proto *core.Engine, opt Options) (*TreeServer, error) {
+	o, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &TreeServer{
+		opt:      o,
+		n:        proto.NumVertices(),
+		requests: make(chan request, o.QueueSize),
+		batches:  make(chan []request, o.Engines),
+	}
+	s.resultPool.New = func() any {
+		return &TreeResult{dist: make([]uint32, s.n)}
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	for i := 0; i < o.Engines; i++ {
+		eng := proto.Clone()
+		s.wg.Add(1)
+		go s.executor(eng)
+	}
+	return s, nil
+}
+
+// NumVertices returns n.
+func (s *TreeServer) NumVertices() int { return s.n }
+
+// Query computes the shortest-path tree from source, batching it with
+// concurrently arriving requests. It blocks until the result is ready,
+// ctx is done, or the server is closed. The returned result is a private
+// copy; Release it when done.
+func (s *TreeServer) Query(ctx context.Context, source int32) (*TreeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if source < 0 || int(source) >= s.n {
+		return nil, fmt.Errorf("server: source %d out of range [0,%d)", source, s.n)
+	}
+	r := request{ctx: ctx, source: source, done: make(chan result, 1)}
+	if err := s.enqueue(ctx, r); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-r.done:
+		return res.res, res.err
+	case <-ctx.Done():
+		// The executor will still see the canceled context and send an
+		// error (or, in a narrow race, a result that the pool recycles
+		// lazily via GC). Nothing blocks on our departure.
+		return nil, ctx.Err()
+	}
+}
+
+// QueryMany computes one tree per source. The sources are enqueued
+// individually so the dispatcher can pack them — together with other
+// callers' requests — into full sweeps. Either every result is returned
+// (in source order, each needing Release) or none is and an error tells
+// why.
+func (s *TreeServer) QueryMany(ctx context.Context, sources []int32) ([]*TreeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, src := range sources {
+		if src < 0 || int(src) >= s.n {
+			return nil, fmt.Errorf("server: source %d out of range [0,%d)", src, s.n)
+		}
+	}
+	reqs := make([]request, len(sources))
+	for i, src := range sources {
+		reqs[i] = request{ctx: ctx, source: src, done: make(chan result, 1)}
+	}
+	enqueued := 0
+	var firstErr error
+	for i := range reqs {
+		if err := s.enqueue(ctx, reqs[i]); err != nil {
+			firstErr = err
+			break
+		}
+		enqueued++
+	}
+	// Every enqueued request receives exactly one result even when ctx
+	// is canceled or the server closes, so this collection loop always
+	// terminates.
+	results := make([]*TreeResult, 0, enqueued)
+	for i := 0; i < enqueued; i++ {
+		res := <-reqs[i].done
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		if res.res != nil {
+			results = append(results, res.res)
+		}
+	}
+	if firstErr != nil {
+		for _, r := range results {
+			r.Release()
+		}
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func (s *TreeServer) enqueue(ctx context.Context, r request) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.opt.Overload == RejectOnFull {
+		select {
+		case s.requests <- r:
+		default:
+			s.rejected.Add(1)
+			return ErrOverloaded
+		}
+	} else {
+		select {
+		case s.requests <- r:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	d := s.queueDepth.Add(1)
+	for {
+		hw := s.queueHW.Load()
+		if d <= hw || s.queueHW.CompareAndSwap(hw, d) {
+			return nil
+		}
+	}
+}
+
+// Close stops admission, drains every queued and in-flight request
+// (each still receives its result), waits for the dispatcher and all
+// executors to exit, and returns. Safe to call concurrently and more
+// than once; Query calls racing with Close either complete normally or
+// return ErrClosed.
+func (s *TreeServer) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.requests)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *TreeServer) Stats() Stats {
+	st := Stats{
+		Queries:        s.queries.Load(),
+		Rejected:       s.rejected.Load(),
+		Canceled:       s.canceled.Load(),
+		Batches:        s.batchCount.Load(),
+		QueueDepth:     int(s.queueDepth.Load()),
+		QueueHighWater: int(s.queueHW.Load()),
+	}
+	if st.Batches > 0 {
+		st.MeanBatchOccupancy = float64(s.occupancy.Load()) / float64(st.Batches)
+	}
+	return st
+}
+
+// dispatch collects requests into batches of up to MaxBatch sources. The
+// first request of a batch opens a linger window; the batch is flushed
+// when it fills, the window expires, or the server is draining.
+func (s *TreeServer) dispatch() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	for {
+		r, ok := <-s.requests
+		if !ok {
+			return
+		}
+		s.queueDepth.Add(-1)
+		batch := make([]request, 1, s.opt.MaxBatch)
+		batch[0] = r
+		if s.opt.Linger > 0 && s.opt.MaxBatch > 1 {
+			t := time.NewTimer(s.opt.Linger)
+		linger:
+			for len(batch) < s.opt.MaxBatch {
+				select {
+				case r, ok := <-s.requests:
+					if !ok {
+						break linger
+					}
+					s.queueDepth.Add(-1)
+					batch = append(batch, r)
+				case <-t.C:
+					break linger
+				}
+			}
+			t.Stop()
+		} else {
+		greedy:
+			for len(batch) < s.opt.MaxBatch {
+				select {
+				case r, ok := <-s.requests:
+					if !ok {
+						break greedy
+					}
+					s.queueDepth.Add(-1)
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		s.batches <- batch
+		// A batch cut short by channel close leaves the outer receive to
+		// observe !ok (buffered requests drain first) and return.
+	}
+}
+
+// testHookBatchStart runs at the top of every executor batch; tests
+// substitute it to wedge the pipeline deterministically (overload and
+// drain scenarios are unreachable by timing alone on a small machine).
+var testHookBatchStart = func() {}
+
+// executor owns one pooled engine clone and serves batches until the
+// dispatcher closes the batch channel.
+func (s *TreeServer) executor(eng *core.Engine) {
+	defer s.wg.Done()
+	sources := make([]int32, 0, s.opt.MaxBatch)
+	live := make([]request, 0, s.opt.MaxBatch)
+	for batch := range s.batches {
+		testHookBatchStart()
+		live = live[:0]
+		for _, r := range batch {
+			if err := r.ctx.Err(); err != nil {
+				s.canceled.Add(1)
+				r.done <- result{err: err}
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		sources = sources[:0]
+		for _, r := range live {
+			sources = append(sources, r.source)
+		}
+		eng.MultiTreeParallel(sources)
+		s.batchCount.Add(1)
+		s.occupancy.Add(uint64(len(live)))
+		for i, r := range live {
+			if err := r.ctx.Err(); err != nil {
+				s.canceled.Add(1)
+				r.done <- result{err: err}
+				continue
+			}
+			res := s.resultPool.Get().(*TreeResult)
+			res.srv = s
+			res.source = r.source
+			eng.CopyLaneDistances(i, res.dist)
+			r.done <- result{res: res}
+			s.queries.Add(1)
+		}
+	}
+}

@@ -442,3 +442,73 @@ func TestPresetFacade(t *testing.T) {
 		t.Fatal("bogus preset accepted")
 	}
 }
+
+// TestServeFacade drives the public serving layer end to end: Serve a
+// preprocessed engine, mix Query and QueryMany from several goroutines,
+// verify every tree against Dijkstra, and close cleanly.
+func TestServeFacade(t *testing.T) {
+	net := testNetwork(t)
+	g := net.Graph
+	e := testEngine(t, g)
+	srv, err := e.Serve(&phast.ServeOptions{MaxBatch: 8, Engines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	n := g.NumVertices()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
+			for q := 0; q < 10; q++ {
+				s := int32(rng.Intn(n))
+				res, err := srv.Query(nil, s)
+				if err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+				d.Run(s)
+				for v := int32(0); v < int32(n); v += 5 {
+					if res.Dist(v) != d.Dist(v) {
+						t.Errorf("src %d: dist(%d)=%d, want %d", s, v, res.Dist(v), d.Dist(v))
+						res.Release()
+						return
+					}
+				}
+				res.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The engine's own cursor stays usable beside the server.
+	e.Tree(0)
+	if e.Dist(0) != 0 {
+		t.Fatal("engine cursor broken while serving")
+	}
+	results, err := srv.QueryMany(nil, []int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]uint32, n)
+	for _, res := range results {
+		e.Tree(res.Source())
+		e.CopyDistances(buf)
+		for v := range buf {
+			if res.Dist(int32(v)) != buf[v] {
+				t.Fatalf("QueryMany src %d mismatch at %d", res.Source(), v)
+			}
+		}
+		res.Release()
+	}
+	st := srv.Stats()
+	if st.Queries < 43 {
+		t.Fatalf("Stats().Queries=%d, want ≥43", st.Queries)
+	}
+	srv.Close()
+	if _, err := srv.Query(nil, 0); err != phast.ErrServerClosed {
+		t.Fatalf("closed server returned %v", err)
+	}
+}
