@@ -1,0 +1,108 @@
+// Command phastlint runs the project-specific static analyzers of
+// internal/lint over the module: rawalias (stored or reused-after-sweep
+// raw buffer views), hotalloc (allocations inside //phast:hotpath
+// kernels), indexwidth (lossy integer conversions in CSR indexing), and
+// engineshare (engines escaping to goroutines). It is built from
+// stdlib go/ast + go/types only and needs no network or external tools.
+//
+// Usage:
+//
+//	phastlint [flags] [packages]
+//
+//	phastlint ./...                  # whole module (the CI invocation)
+//	phastlint ./internal/core
+//	phastlint -analyzers rawalias,hotalloc ./...
+//	phastlint -tests ./...           # include in-package _test.go files
+//
+// Diagnostics print as file:line:col: [analyzer] message. A finding can
+// be suppressed — with a reason — by a comment on the same line or the
+// line above:
+//
+//	//phastlint:ignore hotalloc per-level barrier goroutines are deliberate
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phast/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("phastlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		tests     = fs.Bool("tests", false, "also lint in-package _test.go files")
+		tags      = fs.String("tags", "", "comma-separated extra build tags (e.g. phastdebug)")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		dir       = fs.String("C", ".", "directory inside the module to lint from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	as, err := lint.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+	if *tags != "" {
+		loader.BuildTags = splitComma(*tags)
+	}
+	dirs, err := loader.Expand(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var pkgs []*lint.Package
+	for _, d := range dirs {
+		p, err := loader.Load(d)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags := lint.Run(pkgs, as)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "phastlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

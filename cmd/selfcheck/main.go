@@ -33,6 +33,11 @@ func main() {
 	)
 	flag.Parse()
 	start := time.Now()
+	if phast.CheckedBuild {
+		fmt.Println("checked build: invariant validators active (phastdebug)")
+	} else {
+		fmt.Println("release build: invariant validators are no-ops (rebuild with -tags phastdebug for deep checks)")
+	}
 	for i := 0; i < *trials; i++ {
 		if err := checkInstance(*width, *height, *seed+int64(i), i%2 == 1); err != nil {
 			fmt.Fprintf(os.Stderr, "selfcheck: trial %d FAILED: %v\n", i, err)
@@ -57,6 +62,9 @@ func checkInstance(w, h int, seed int64, oneWay bool) error {
 	eng, err := phast.Preprocess(g, nil)
 	if err != nil {
 		return err
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("structural invariants: %w", err)
 	}
 	oracle := sssp.NewDijkstra(g, pq.KindBinaryHeap)
 	rng := rand.New(rand.NewSource(seed))

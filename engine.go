@@ -6,6 +6,7 @@ import (
 
 	"phast/internal/ch"
 	"phast/internal/core"
+	"phast/internal/invariant"
 	"phast/internal/server"
 )
 
@@ -104,6 +105,24 @@ func (e *Engine) NumLevels() int { return int(e.h.MaxLevel) + 1 }
 
 // LevelSizes returns the number of vertices on each level.
 func (e *Engine) LevelSizes() []int { return e.h.LevelSizes() }
+
+// CheckedBuild reports whether this binary was compiled with the
+// phastdebug build tag, which turns CheckInvariants and the other
+// internal/invariant validators into deep structural checks. In a
+// release build they are no-ops.
+const CheckedBuild = invariant.Enabled
+
+// CheckInvariants deep-validates the preprocessed data structures this
+// engine trusts blindly: the hierarchy's CSR shapes and arc partition,
+// the level-descending relabeling, and the CH search heap index. It
+// only validates under -tags phastdebug (see CheckedBuild); a release
+// build returns nil immediately.
+func (e *Engine) CheckInvariants() error {
+	if err := invariant.Hierarchy(e.h); err != nil {
+		return err
+	}
+	return e.core.CheckInvariants()
+}
 
 // Tree computes all shortest-path distances from source with the
 // sequential PHAST sweep. Read results with Dist or Distances.

@@ -48,8 +48,8 @@ func GPHASTReverseTrees(revEngine *gphast.Engine, n int) ReverseTreeFunc {
 	return func(b int32, dist []uint32) {
 		revEngine.Tree(b)
 		revEngine.CopyDistances(0, buf) // engine-ID indexed, covers all vertices
-		for ev, d := range buf {
-			dist[revEngine.OrigID(int32(ev))] = d
+		for ev := int32(0); int(ev) < len(buf); ev++ {
+			dist[revEngine.OrigID(ev)] = buf[ev]
 		}
 	}
 }

@@ -131,6 +131,12 @@ func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
 	return h, nil
 }
 
+// readChunk is the per-read granularity of the array readers below:
+// they grow their result as data actually arrives instead of trusting
+// the length header, so a forged header cannot force a multi-gigabyte
+// allocation from a tiny file (found by FuzzHierarchyRoundTrip).
+const readChunk = 1 << 14
+
 func readInt32s(r io.Reader, want int) ([]int32, error) {
 	var ln uint32
 	if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
@@ -139,9 +145,14 @@ func readInt32s(r io.Reader, want int) ([]int32, error) {
 	if int(ln) != want {
 		return nil, fmt.Errorf("length %d, want %d", ln, want)
 	}
-	xs := make([]int32, ln)
-	if err := binary.Read(r, binary.LittleEndian, xs); err != nil {
-		return nil, err
+	xs := make([]int32, 0, min(want, readChunk))
+	var chunk [readChunk]int32
+	for len(xs) < want {
+		c := chunk[:min(readChunk, want-len(xs))]
+		if err := binary.Read(r, binary.LittleEndian, c); err != nil {
+			return nil, err
+		}
+		xs = append(xs, c...)
 	}
 	return xs, nil
 }
@@ -158,9 +169,14 @@ func readGraph(r io.Reader, n int) (*graph.Graph, error) {
 	if n > 0 && int(m) > 64*n || n == 0 && m != 0 {
 		return nil, fmt.Errorf("implausible arc count %d for %d vertices", m, n)
 	}
-	arcs := make([]graph.Arc, m)
-	if err := binary.Read(r, binary.LittleEndian, arcs); err != nil {
-		return nil, err
+	arcs := make([]graph.Arc, 0, min(int(m), readChunk))
+	var chunk [readChunk]graph.Arc
+	for len(arcs) < int(m) {
+		c := chunk[:min(readChunk, int(m)-len(arcs))]
+		if err := binary.Read(r, binary.LittleEndian, c); err != nil {
+			return nil, err
+		}
+		arcs = append(arcs, c...)
 	}
 	return graph.FromRaw(first, arcs)
 }

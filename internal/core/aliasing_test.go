@@ -37,7 +37,7 @@ func TestRawDistancesInvalidatedByNextSweep(t *testing.T) {
 	e.Tree(int32(n - 1))
 
 	changed := false
-	for i := range raw {
+	for i := range raw { //phastlint:ignore rawalias deliberate stale read: this test pins the aliasing behavior
 		if raw[i] != rawThen[i] {
 			changed = true
 			break
@@ -109,6 +109,7 @@ func TestCopyLaneDistancesSurvivesNextSweep(t *testing.T) {
 
 	changed := false
 	for i := range rawThen {
+		//phastlint:ignore rawalias deliberate stale read: this test pins the aliasing behavior
 		if raw[i] != rawThen[i] {
 			changed = true
 			break

@@ -8,6 +8,8 @@ import "phast/internal/graph"
 // saturation at Inf, and store the packed minimum with the four head
 // labels. dst and src must have length 4 (enforced by full slice
 // expressions at the call sites so the compiler can drop bounds checks).
+//
+//phast:hotpath
 func relax4(dst, src []uint32, w uint32) {
 	_ = src[3]
 	_ = dst[3]
@@ -32,6 +34,8 @@ func relax4(dst, src []uint32, w uint32) {
 // addSat is a local branch-light saturating add: if the 32-bit sum
 // wrapped, the true sum exceeded any representable label and Inf is the
 // correct (neutral) result.
+//
+//phast:hotpath
 func addSat(a, b uint32) uint32 {
 	s := a + b
 	if s < a {

@@ -83,6 +83,8 @@ func (e *Engine) CopyLaneDistances(i int, buf []uint32) {
 // vertex is touched this round all of its k lanes are set to Inf before
 // lane i is written, preserving the implicit-initialization invariant
 // for the other lanes.
+//
+//phast:hotpath
 func (e *Engine) chSearchLane(source int32, lane, k int) {
 	src := e.s.toEngine[source]
 	e.src = src
@@ -118,6 +120,8 @@ func (e *Engine) chSearchLane(source int32, lane, k int) {
 }
 
 // sweepMulti relaxes all k trees in one pass with a scalar inner loop.
+//
+//phast:hotpath
 func (e *Engine) sweepMulti(k int) {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
@@ -161,6 +165,8 @@ func (e *Engine) sweepMulti(k int) {
 // lane operations, mirroring the SSE register layout: load four tail
 // labels, add four copies of the arc length, take the packed minimum
 // with four head labels (Section IV-B, "SSE Instructions").
+//
+//phast:hotpath
 func (e *Engine) sweepMultiLanes(k int) {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()

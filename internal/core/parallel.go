@@ -61,6 +61,12 @@ func (e *Engine) MultiTreeParallel(sources []int32) {
 	e.sweepMultiParallel(k)
 }
 
+// sweepMultiParallel is sweepMulti with intra-level parallelism: the
+// vertices of one level have no arcs among them (Lemma 4.1), so each
+// level range splits into worker chunks with a barrier per level
+// (Section V). Levels below minParallelLevel stay sequential.
+//
+//phast:hotpath
 func (e *Engine) sweepMultiParallel(k int) {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
@@ -117,6 +123,7 @@ func (e *Engine) sweepMultiParallel(k int) {
 				continue
 			}
 			wg.Add(1)
+			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
 			go func(clo, chi int32) {
 				defer wg.Done()
 				scanRange(clo, chi)
@@ -131,6 +138,10 @@ func (e *Engine) sweepMultiParallel(k int) {
 	}
 }
 
+// sweepParallel is sweepIdentity/sweepOrdered with the same per-level
+// barrier parallelization as sweepMultiParallel.
+//
+//phast:hotpath
 func (e *Engine) sweepParallel() {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
@@ -180,6 +191,7 @@ func (e *Engine) sweepParallel() {
 				continue
 			}
 			wg.Add(1)
+			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
 			go func(clo, chi int32) {
 				defer wg.Done()
 				scanRange(clo, chi)

@@ -38,6 +38,8 @@ func (e *Engine) TreeWithParents(source int32) {
 // criterion of Section II-B). It labels vertices in e.dist and marks
 // them; unmarked labels are implicitly infinite (Section IV-C).
 // If parents is non-nil the search records G+ parent pointers.
+//
+//phast:hotpath
 func (e *Engine) chSearch(source int32, parents []int32) {
 	src := e.s.toEngine[source]
 	e.src = src
@@ -109,6 +111,8 @@ func (e *Engine) UpwardSearchSpace(source int32, verts []int32, dists []uint32) 
 // linear scan over vertices 0..n-1, reading the incoming downward arcs
 // and head labels sequentially (Section IV-A). The only non-sequential
 // accesses are the labels of arc tails.
+//
+//phast:hotpath
 func (e *Engine) sweepIdentity() {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
@@ -133,6 +137,8 @@ func (e *Engine) sweepIdentity() {
 
 // sweepOrdered is the second phase when vertices keep their original IDs
 // and are visited through an order array (rank order or level order).
+//
+//phast:hotpath
 func (e *Engine) sweepOrdered() {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
@@ -154,6 +160,9 @@ func (e *Engine) sweepOrdered() {
 	}
 }
 
+// sweepIdentityParents is sweepIdentity recording parent pointers too.
+//
+//phast:hotpath
 func (e *Engine) sweepIdentityParents() {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
@@ -181,6 +190,9 @@ func (e *Engine) sweepIdentityParents() {
 	}
 }
 
+// sweepOrderedParents is sweepOrdered recording parent pointers too.
+//
+//phast:hotpath
 func (e *Engine) sweepOrderedParents() {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()

@@ -44,10 +44,16 @@ type Engine struct {
 	round       uint32
 	levelRanges [][2]int32
 
-	// Host scratch.
+	// Host scratch, reused across batches so the per-batch CPU phase
+	// stays allocation-free (the //phast:hotpath discipline).
 	hVerts []int32
 	hDists []uint32
 	seen   []uint32 // round-stamped dedupe for seed vertices
+	hSeedV []uint32 // seed staging: vertices, labels, lanes/parents, dedup
+	hSeedD []uint32
+	hSeedL []uint32
+	hUniq  []uint32
+	oneSrc [1]int32 // Tree's single-source batch, kept off the heap
 
 	lastBatchTime time.Duration
 }
@@ -132,50 +138,64 @@ func (e *Engine) K() int { return e.k }
 func (e *Engine) LastBatchModeledTime() time.Duration { return e.lastBatchTime }
 
 // Tree computes one shortest-path tree from the original-ID source.
+//
+//phast:hotpath
 func (e *Engine) Tree(source int32) {
-	e.MultiTree([]int32{source})
+	e.oneSrc[0] = source
+	e.MultiTree(e.oneSrc[:])
+}
+
+// checkBatchSize panics when a batch exceeds the engine's capacity. It
+// lives outside the hot path so the formatting machinery (which boxes
+// its operands) stays out of the annotated kernel driver.
+func (e *Engine) checkBatchSize(k int) {
+	if k > e.maxK {
+		panic(fmt.Sprintf("gphast: k=%d exceeds maxK=%d", k, e.maxK))
+	}
 }
 
 // MultiTree computes len(sources) trees in one device sweep; k must not
 // exceed the maxK the engine was created with.
+//
+//phast:hotpath
 func (e *Engine) MultiTree(sources []int32) {
 	k := len(sources)
 	if k == 0 {
 		e.k = 0
 		return
 	}
-	if k > e.maxK {
-		panic(fmt.Sprintf("gphast: k=%d exceeds maxK=%d", k, e.maxK))
-	}
+	e.checkBatchSize(k)
 	e.k = k
 	e.round++
 	round := e.round
 	start := e.dev.Stats().ModeledTime
 
 	// Phase 1 (CPU): upward CH searches; collect the union of the search
-	// spaces and per-lane seed triples.
-	var seedsV, seedsD, seedsL []uint32
-	var uniq []uint32
+	// spaces and per-lane seed triples into reused staging slices.
+	e.hSeedV = e.hSeedV[:0]
+	e.hSeedD = e.hSeedD[:0]
+	e.hSeedL = e.hSeedL[:0]
+	e.hUniq = e.hUniq[:0]
 	for lane, src := range sources {
 		e.hVerts, e.hDists = e.ce.UpwardSearchSpace(src, e.hVerts[:0], e.hDists[:0])
 		for i, v := range e.hVerts {
 			if e.seen[v] != round {
 				e.seen[v] = round
-				uniq = append(uniq, uint32(v))
+				e.hUniq = append(e.hUniq, uint32(v))
 			}
-			seedsV = append(seedsV, uint32(v))
-			seedsD = append(seedsD, e.hDists[i])
-			seedsL = append(seedsL, uint32(lane))
+			e.hSeedV = append(e.hSeedV, uint32(v))
+			e.hSeedD = append(e.hSeedD, e.hDists[i])
+			e.hSeedL = append(e.hSeedL, uint32(lane))
 		}
 	}
-	if len(seedsV) > e.seedV.Len() {
+	if len(e.hSeedV) > e.seedV.Len() {
 		panic("gphast: search space exceeds seed buffer capacity")
 	}
 	// Copy the search spaces to the device (the <2KB transfer of §VI).
-	e.uniqV.CopyIn(0, uniq)
-	e.seedV.CopyIn(0, seedsV)
-	e.seedD.CopyIn(0, seedsD)
-	e.seedLane.CopyIn(0, seedsL)
+	e.uniqV.CopyIn(0, e.hUniq)
+	e.seedV.CopyIn(0, e.hSeedV)
+	e.seedD.CopyIn(0, e.hSeedD)
+	e.seedLane.CopyIn(0, e.hSeedL)
 
 	// Seed kernel A: stamp each touched vertex with this round and reset
 	// all of its k lanes to Inf (implicit initialization, Section IV-C:
@@ -183,7 +203,7 @@ func (e *Engine) MultiTree(sources []int32) {
 	dist, mark := e.dist, e.mark
 	uniqV, seedV, seedD, seedLane := e.uniqV, e.seedV, e.seedD, e.seedLane
 	kk := int32(k)
-	e.dev.Launch("seed.init", len(uniq), func(t *simt.Thread) {
+	e.dev.Launch("seed.init", len(e.hUniq), func(t *simt.Thread) {
 		v := int32(t.Load(uniqV, t.Global))
 		t.Store(mark, v, round)
 		base := v * kk
@@ -192,7 +212,7 @@ func (e *Engine) MultiTree(sources []int32) {
 		}
 	})
 	// Seed kernel B: scatter the upward-search labels into their lanes.
-	e.dev.Launch("seed.scatter", len(seedsV), func(t *simt.Thread) {
+	e.dev.Launch("seed.scatter", len(e.hSeedV), func(t *simt.Thread) {
 		v := int32(t.Load(seedV, t.Global))
 		d := t.Load(seedD, t.Global)
 		lane := int32(t.Load(seedLane, t.Global))
@@ -245,6 +265,8 @@ func (e *Engine) NewRunningMax() (*simt.Buffer, error) {
 // FoldMax folds the labels of the last batch into maxBuf: for every
 // vertex the maximum finite label over the batch's lanes is merged into
 // the running maximum.
+//
+//phast:hotpath
 func (e *Engine) FoldMax(maxBuf *simt.Buffer) {
 	k := int32(e.k)
 	if k == 0 {
@@ -268,14 +290,19 @@ func (e *Engine) FoldMax(maxBuf *simt.Buffer) {
 
 // Dist returns the label of original-ID vertex v in tree lane of the
 // last batch, reading device memory directly (no PCIe metering; use
-// CopyDistances to model the transfer).
+// CopyDistances to model the transfer). The returned value is a copy
+// and stays valid; the underlying device array is rewritten by the
+// next Tree/MultiTree batch, which is why no Raw view of it is
+// exposed — bulk readers go through CopyDistances.
 func (e *Engine) Dist(lane int, v int32) uint32 {
 	ev := e.ce.EngineID(v)
 	return e.dist.HostData()[int(ev)*e.k+lane]
 }
 
 // CopyDistances transfers all labels of one tree back to the host
-// (metered as a strided DMA), indexed by engine ID.
+// (metered as a strided DMA), indexed by engine ID. The copy is a
+// snapshot with the same contract as core.Engine.CopyDistances: later
+// batches on this engine do not disturb it.
 func (e *Engine) CopyDistances(lane int, buf []uint32) {
 	if len(buf) != e.n {
 		panic("gphast: CopyDistances buffer has wrong length")

@@ -30,6 +30,8 @@ func (e *Engine) EnableParents() error {
 // TreeWithParents computes one tree (k=1) storing, for every vertex, the
 // engine ID of the G+ arc tail responsible for its label. EnableParents
 // must have been called.
+//
+//phast:hotpath
 func (e *Engine) TreeWithParents(source int32) {
 	if e.parent == nil {
 		panic("gphast: TreeWithParents without EnableParents")
@@ -43,21 +45,21 @@ func (e *Engine) TreeWithParents(source int32) {
 	if len(verts) > e.seedV.Len() {
 		panic("gphast: search space exceeds seed buffer capacity")
 	}
-	seedsV := make([]uint32, len(verts))
-	seedsD := make([]uint32, len(verts))
-	seedsP := make([]uint32, len(verts))
+	e.hSeedV = e.hSeedV[:0]
+	e.hSeedD = e.hSeedD[:0]
+	e.hSeedL = e.hSeedL[:0]
 	for i, v := range verts {
-		seedsV[i] = uint32(v)
-		seedsD[i] = dists[i]
+		e.hSeedV = append(e.hSeedV, uint32(v))
+		e.hSeedD = append(e.hSeedD, dists[i])
 		if parents[i] < 0 {
-			seedsP[i] = NoParent
+			e.hSeedL = append(e.hSeedL, NoParent)
 		} else {
-			seedsP[i] = uint32(parents[i])
+			e.hSeedL = append(e.hSeedL, uint32(parents[i]))
 		}
 	}
-	e.seedV.CopyIn(0, seedsV)
-	e.seedD.CopyIn(0, seedsD)
-	e.seedLane.CopyIn(0, seedsP) // lane buffer doubles as parent staging at k=1
+	e.seedV.CopyIn(0, e.hSeedV)
+	e.seedD.CopyIn(0, e.hSeedD)
+	e.seedLane.CopyIn(0, e.hSeedL) // lane buffer doubles as parent staging at k=1
 
 	dist, mark, parent := e.dist, e.mark, e.parent
 	seedV, seedD, seedP := e.seedV, e.seedD, e.seedLane
@@ -99,7 +101,9 @@ func (e *Engine) TreeWithParents(source int32) {
 }
 
 // ParentOf returns the original-ID G+ parent of v recorded by the last
-// TreeWithParents, or -1.
+// TreeWithParents, or -1. Like Dist it returns a copied value; the
+// device parent array itself is rewritten by the next TreeWithParents,
+// so bulk readers snapshot through CopyParents.
 func (e *Engine) ParentOf(v int32) int32 {
 	p := e.parent.HostData()[e.ce.EngineID(v)]
 	if p == NoParent {
@@ -109,7 +113,9 @@ func (e *Engine) ParentOf(v int32) int32 {
 }
 
 // CopyParents transfers the engine-ID-indexed parent array to the host
-// (metered); entries are engine IDs or NoParent.
+// (metered); entries are engine IDs or NoParent. The copy is a snapshot
+// (the contract of core.Engine.CopyDistances): later trees on this
+// engine do not disturb it.
 func (e *Engine) CopyParents(buf []uint32) {
 	if len(buf) != e.n {
 		panic(fmt.Sprintf("gphast: CopyParents buffer has length %d, want %d", len(buf), e.n))

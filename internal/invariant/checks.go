@@ -1,0 +1,164 @@
+//go:build phastdebug
+
+package invariant
+
+import (
+	"fmt"
+
+	"phast/internal/ch"
+	"phast/internal/graph"
+)
+
+// Enabled reports whether this binary is a checked build (-tags
+// phastdebug) whose validators actually validate.
+const Enabled = true
+
+// CSRArrays validates a raw adjacency array: first has length n+1,
+// starts at 0, is monotone non-decreasing, its sentinel equals the arc
+// count, and every head is a vertex. This is the shape every sweep
+// kernel indexes without bounds thinking.
+func CSRArrays(n int, first []int32, arcs []graph.Arc) error {
+	if len(first) != n+1 {
+		return fmt.Errorf("invariant: first has length %d, want n+1 = %d", len(first), n+1)
+	}
+	if first[0] != 0 {
+		return fmt.Errorf("invariant: first[0] = %d, want 0", first[0])
+	}
+	for v := 0; v < n; v++ {
+		if first[v+1] < first[v] {
+			return fmt.Errorf("invariant: first not monotone at vertex %d: %d > %d", v, first[v], first[v+1])
+		}
+	}
+	if int(first[n]) != len(arcs) {
+		return fmt.Errorf("invariant: first sentinel %d != arc count %d", first[n], len(arcs))
+	}
+	for i, a := range arcs {
+		if a.Head < 0 || int(a.Head) >= n {
+			return fmt.Errorf("invariant: arc %d has head %d outside [0,%d)", i, a.Head, n)
+		}
+	}
+	return nil
+}
+
+// CSR validates a built graph's adjacency arrays.
+func CSR(g *graph.Graph) error {
+	return CSRArrays(g.NumVertices(), g.FirstOut(), g.ArcList())
+}
+
+// Permutation validates that perm is a bijection on [0, len(perm)).
+func Permutation(perm []int32) error {
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || int(p) >= len(perm) {
+			return fmt.Errorf("invariant: perm[%d] = %d outside [0,%d)", i, p, len(perm))
+		}
+		if seen[p] {
+			return fmt.Errorf("invariant: perm maps two indices to %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// LevelDescending validates the Section IV-A sweep order: levels listed
+// in sweep (increasing engine ID) order never increase, and ranges — if
+// given — partition [0,n) into maximal constant-level runs in strictly
+// descending level order, which is what the parallel sweep barriers
+// between.
+func LevelDescending(levelsInSweepOrder []int32, ranges [][2]int32) error {
+	n := int32(len(levelsInSweepOrder))
+	for i := int32(1); i < n; i++ {
+		if levelsInSweepOrder[i] > levelsInSweepOrder[i-1] {
+			return fmt.Errorf("invariant: sweep order ascends a level at position %d: %d then %d",
+				i, levelsInSweepOrder[i-1], levelsInSweepOrder[i])
+		}
+	}
+	if ranges == nil {
+		return nil
+	}
+	next := int32(0)
+	prevLevel := int32(-1)
+	for ri, r := range ranges {
+		from, to := r[0], r[1]
+		if from != next || to <= from || to > n {
+			return fmt.Errorf("invariant: level range %d = [%d,%d) does not continue the partition at %d", ri, from, to, next)
+		}
+		l := levelsInSweepOrder[from]
+		for v := from; v < to; v++ {
+			if levelsInSweepOrder[v] != l {
+				return fmt.Errorf("invariant: level range %d mixes levels %d and %d", ri, l, levelsInSweepOrder[v])
+			}
+		}
+		if ri > 0 && l >= prevLevel {
+			return fmt.Errorf("invariant: level ranges not strictly descending: %d then %d", prevLevel, l)
+		}
+		prevLevel = l
+		next = to
+	}
+	if next != n {
+		return fmt.Errorf("invariant: level ranges cover [0,%d), want [0,%d)", next, n)
+	}
+	return nil
+}
+
+// Hierarchy validates a contraction hierarchy end to end: every graph's
+// CSR shape, the level array's bounds, and the structural CH invariants
+// (rank permutation, up arcs ascend, down arcs descend, DownIn is the
+// transpose of Down).
+func Hierarchy(h *ch.Hierarchy) error {
+	for _, gr := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"G", h.G}, {"Up", h.Up}, {"Down", h.Down}, {"DownIn", h.DownIn}} {
+		if err := CSR(gr.g); err != nil {
+			return fmt.Errorf("%s graph: %w", gr.name, err)
+		}
+	}
+	maxSeen := int32(0)
+	for v, l := range h.Level {
+		if l < 0 || l > h.MaxLevel {
+			return fmt.Errorf("invariant: level[%d] = %d outside [0,%d]", v, l, h.MaxLevel)
+		}
+		if l > maxSeen {
+			maxSeen = l
+		}
+	}
+	if len(h.Level) > 0 && maxSeen != h.MaxLevel {
+		return fmt.Errorf("invariant: MaxLevel = %d but highest level is %d", h.MaxLevel, maxSeen)
+	}
+	return h.CheckInvariants()
+}
+
+// MinHeap validates the binary-heap order of a key array laid out the
+// way core's chHeap stores it: keys[(i-1)/2] <= keys[i].
+func MinHeap(keys []uint32) error {
+	for i := 1; i < len(keys); i++ {
+		if p := (i - 1) / 2; keys[p] > keys[i] {
+			return fmt.Errorf("invariant: heap order violated: keys[%d]=%d > keys[%d]=%d", p, keys[p], i, keys[i])
+		}
+	}
+	return nil
+}
+
+// HeapIndex validates the heap's position index: pos[vs[i]] == i for
+// every slot, and no stale positive entries point at vacated slots.
+func HeapIndex(vs, pos []int32) error {
+	for i, v := range vs {
+		if v < 0 || int(v) >= len(pos) {
+			return fmt.Errorf("invariant: heap slot %d holds out-of-range vertex %d", i, v)
+		}
+		if pos[v] != int32(i) {
+			return fmt.Errorf("invariant: pos[%d] = %d, want %d", v, pos[v], i)
+		}
+	}
+	live := 0
+	for _, p := range pos {
+		if p >= 0 {
+			live++
+		}
+	}
+	if live != len(vs) {
+		return fmt.Errorf("invariant: %d live pos entries for %d heap slots", live, len(vs))
+	}
+	return nil
+}

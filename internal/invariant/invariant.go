@@ -1,0 +1,16 @@
+// Package invariant is the runtime twin of the phastlint static
+// analyzers: deep structural validators for the data structures the
+// PHAST sweep trusts blindly — CSR adjacency arrays, the
+// level-descending relabeling, the hierarchy's upward/downward arc
+// partition (Lemma 4.1), and the CH search heap.
+//
+// The validators are gated by the phastdebug build tag:
+//
+//	go test -tags phastdebug ./...     # checked build: deep validation
+//	go build ./...                     # release build: every check is a no-op
+//
+// In a release build each function returns nil immediately and the
+// linker discards the validation code, so calls can stay wired into
+// production paths (cmd/selfcheck, the core test suites) at zero cost.
+// The Enabled constant reports which flavor was compiled in.
+package invariant

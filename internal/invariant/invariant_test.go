@@ -1,0 +1,127 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/graph"
+)
+
+// The tests run under both build flavors: valid inputs must pass either
+// way, corrupt inputs must be caught exactly when Enabled (the release
+// stubs accept everything by design).
+
+// expectCaught asserts err is non-nil iff this is a checked build.
+func expectCaught(t *testing.T, err error, what string) {
+	t.Helper()
+	if Enabled && err == nil {
+		t.Errorf("checked build missed %s", what)
+	}
+	if !Enabled && err != nil {
+		t.Errorf("release stub rejected %s: %v", what, err)
+	}
+}
+
+func ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.MustAddArc(int32(v), int32((v+1)%n), uint32(v+1))
+		b.MustAddArc(int32((v+1)%n), int32(v), uint32(v+1))
+	}
+	return b.Build()
+}
+
+func TestCSRGoodGraph(t *testing.T) {
+	if err := CSR(ring(8)); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+func TestCSRArraysCorruption(t *testing.T) {
+	arcs := []graph.Arc{{Head: 1, Weight: 3}, {Head: 0, Weight: 2}}
+	good := []int32{0, 1, 2}
+	if err := CSRArrays(2, good, arcs); err != nil {
+		t.Fatalf("valid arrays rejected: %v", err)
+	}
+	expectCaught(t, CSRArrays(2, []int32{0, 2, 1}, arcs), "non-monotone first")
+	expectCaught(t, CSRArrays(2, []int32{1, 1, 2}, arcs), "first[0] != 0")
+	expectCaught(t, CSRArrays(2, []int32{0, 1, 3}, arcs), "sentinel != arc count")
+	expectCaught(t, CSRArrays(2, good, []graph.Arc{{Head: 5}, {Head: 0}}), "out-of-range head")
+	expectCaught(t, CSRArrays(3, good, arcs), "short first array")
+}
+
+func TestPermutation(t *testing.T) {
+	if err := Permutation([]int32{2, 0, 1, 3}); err != nil {
+		t.Fatalf("valid permutation rejected: %v", err)
+	}
+	expectCaught(t, Permutation([]int32{0, 0, 1}), "duplicate image")
+	expectCaught(t, Permutation([]int32{0, 3, 1}), "out-of-range image")
+}
+
+func TestLevelDescending(t *testing.T) {
+	lvls := []int32{3, 3, 2, 1, 1, 0}
+	ranges := [][2]int32{{0, 2}, {2, 3}, {3, 5}, {5, 6}}
+	if err := LevelDescending(lvls, ranges); err != nil {
+		t.Fatalf("valid sweep order rejected: %v", err)
+	}
+	if err := LevelDescending(lvls, nil); err != nil {
+		t.Fatalf("nil ranges must be accepted (rank-order mode): %v", err)
+	}
+	expectCaught(t, LevelDescending([]int32{2, 3, 1}, nil), "ascending levels")
+	expectCaught(t, LevelDescending(lvls, [][2]int32{{0, 3}, {3, 6}}), "range mixing levels")
+	expectCaught(t, LevelDescending(lvls, [][2]int32{{0, 2}, {3, 5}, {5, 6}}), "gap in partition")
+	expectCaught(t, LevelDescending(lvls, [][2]int32{{0, 2}, {2, 3}, {3, 5}}), "partition not covering n")
+}
+
+func TestHierarchy(t *testing.T) {
+	g := ring(10)
+	h := ch.Build(g, ch.Options{Workers: 1})
+	if err := Hierarchy(h); err != nil {
+		t.Fatalf("freshly built hierarchy rejected: %v", err)
+	}
+
+	// Corrupt copies. Rank sharing one value breaks the permutation
+	// invariant; swapping Up and Down breaks the rank direction of
+	// every arc.
+	badRank := *h
+	badRank.Rank = append([]int32(nil), h.Rank...)
+	badRank.Rank[0] = badRank.Rank[1]
+	expectCaught(t, Hierarchy(&badRank), "duplicate rank")
+
+	swapped := *h
+	swapped.Up, swapped.Down = h.Down, h.Up
+	expectCaught(t, Hierarchy(&swapped), "swapped up/down graphs")
+
+	badLevel := *h
+	badLevel.Level = append([]int32(nil), h.Level...)
+	badLevel.Level[0] = h.MaxLevel + 5
+	expectCaught(t, Hierarchy(&badLevel), "level above MaxLevel")
+}
+
+func TestMinHeap(t *testing.T) {
+	if err := MinHeap([]uint32{1, 4, 2, 9, 5, 3}); err != nil {
+		t.Fatalf("valid heap rejected: %v", err)
+	}
+	expectCaught(t, MinHeap([]uint32{5, 4, 6}), "parent above child")
+}
+
+func TestHeapIndex(t *testing.T) {
+	vs := []int32{3, 0, 2}
+	pos := []int32{1, -1, 2, 0}
+	if err := HeapIndex(vs, pos); err != nil {
+		t.Fatalf("valid index rejected: %v", err)
+	}
+	expectCaught(t, HeapIndex(vs, []int32{1, 0, 2, 0}), "stale pos entry")
+	expectCaught(t, HeapIndex([]int32{7}, []int32{0}), "out-of-range vertex")
+}
+
+func TestErrorsNameThePackage(t *testing.T) {
+	if !Enabled {
+		t.Skip("release stubs return nil errors")
+	}
+	err := Permutation([]int32{0, 0})
+	if err == nil || !strings.Contains(err.Error(), "invariant:") {
+		t.Fatalf("error %v does not carry the invariant: prefix", err)
+	}
+}

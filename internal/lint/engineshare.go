@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EngineShare guards the engine ownership model: an Engine (core.Engine
+// and the facades wrapping it) is a documented single-goroutine cursor —
+// one set of per-source working buffers, no locks. Concurrent use must
+// go through internal/server (which owns a clone pool) or per-goroutine
+// Clone()s. The analyzer inspects every `go` statement and flags an
+// engine-typed variable that escapes into the goroutine while this
+// goroutine can still touch it:
+//
+//   - the variable is referenced again after the go statement, or
+//   - the go statement sits in a loop but the variable is declared
+//     outside it (the same engine is handed to several goroutines).
+//
+// The sanctioned handoff — declare/clone inside the loop body, hand the
+// fresh engine to exactly one goroutine, never touch it again — passes.
+// So does an engine appearing only as the receiver of a Clone() call
+// inside the go statement: the spec evaluates the function value and its
+// arguments in the calling goroutine, so the clone is taken before the
+// new goroutine starts and only the fresh copy crosses over.
+var EngineShare = &Analyzer{
+	Name: "engineshare",
+	Doc:  "flags *Engine values shared with goroutines",
+	Run:  runEngineShare,
+}
+
+func runEngineShare(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkEngineShare(pass, body)
+		})
+	}
+}
+
+// isEngineType reports whether t is (a pointer to) a named type called
+// Engine declared inside this module. Every Engine in the tree —
+// core.Engine, the phast facade, gphast.Engine — is a single-goroutine
+// cursor, so the name is the contract.
+func isEngineType(pkg *Package, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Engine" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkg.ModulePath || len(path) > len(pkg.ModulePath) && path[:len(pkg.ModulePath)+1] == pkg.ModulePath+"/"
+}
+
+func checkEngineShare(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Pass 1: positions of every use of every object, plus the loop
+	// nesting: for each go statement, the innermost enclosing for/range.
+	usePos := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				usePos[obj] = append(usePos[obj], id.Pos())
+			}
+		}
+		return true
+	})
+
+	type goSite struct {
+		stmt *ast.GoStmt
+		loop ast.Node // innermost enclosing for/range statement, or nil
+	}
+	var sites []goSite
+	var loopStack []ast.Node
+	var collect func(n ast.Node)
+	collect = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopStack = append(loopStack, n)
+			defer func() { loopStack = loopStack[:len(loopStack)-1] }()
+		case *ast.GoStmt:
+			var loop ast.Node
+			if len(loopStack) > 0 {
+				loop = loopStack[len(loopStack)-1]
+			}
+			sites = append(sites, goSite{stmt: n, loop: loop})
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			collect(c)
+			return false
+		})
+	}
+	collect(body)
+
+	for _, site := range sites {
+		// Engine-typed identifiers referenced inside the go statement
+		// but declared outside the spawned function.
+		var spawnedLit *ast.FuncLit
+		if lit, ok := site.stmt.Call.Fun.(*ast.FuncLit); ok {
+			spawnedLit = lit
+		}
+		// Idents appearing only as the receiver of a Clone() call are
+		// evaluated by the spawning goroutine (go-statement receivers and
+		// arguments are evaluated at the go statement, per spec), so only
+		// the fresh clone crosses into the goroutine.
+		cloneRecv := make(map[*ast.Ident]bool)
+		ast.Inspect(site.stmt, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					cloneRecv[id] = true
+				}
+			}
+			return true
+		})
+		seen := make(map[types.Object]bool)
+		ast.Inspect(site.stmt, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if cloneRecv[id] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || seen[obj] || !isEngineType(pass.Pkg, obj.Type()) {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			// Declared inside the spawned closure (parameter or local):
+			// private to the goroutine.
+			if spawnedLit != nil && obj.Pos() >= spawnedLit.Pos() && obj.Pos() <= spawnedLit.End() {
+				return true
+			}
+			seen[obj] = true
+
+			if site.loop != nil && (obj.Pos() < site.loop.Pos() || obj.Pos() > site.loop.End()) {
+				pass.Reportf(id.Pos(), "engine %s is handed to a goroutine inside a loop but declared outside it, so multiple goroutines share one cursor; Clone() per goroutine or serve through internal/server", obj.Name())
+				return true
+			}
+			for _, p := range usePos[obj] {
+				if p > site.stmt.End() {
+					pass.Reportf(id.Pos(), "engine %s escapes to a goroutine but is still used afterwards by this one (engines are single-goroutine cursors); Clone() for the goroutine or serve through internal/server", obj.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+}

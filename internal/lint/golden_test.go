@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Golden tests: each analyzer runs over a testdata package whose files
+// carry `// want "regex"` comments on the lines expected to be flagged
+// (several regexes for several findings on one line). Every diagnostic
+// must be claimed by a want on its line and every want must be hit —
+// so the files double as false-positive guards: the ok* functions have
+// no want comments and must stay silent.
+
+func TestRawAliasGolden(t *testing.T)    { golden(t, RawAlias, "rawalias") }
+func TestHotAllocGolden(t *testing.T)    { golden(t, HotAlloc, "hotalloc") }
+func TestIndexWidthGolden(t *testing.T)  { golden(t, IndexWidth, "indexwidth") }
+func TestEngineShareGolden(t *testing.T) { golden(t, EngineShare, "engineshare") }
+
+// wantTokenRe matches one quoted pattern after "want": backquoted for
+// regexes with backslashes, double-quoted otherwise.
+var wantTokenRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	pat  string
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func golden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, tok := range wantTokenRe.FindAllString(c.Text[idx+len("want "):], -1) {
+					pat := tok[1 : len(tok)-1]
+					if tok[0] == '"' {
+						uq, err := strconv.Unquote(tok)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+						}
+						pat = uq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pat: pat, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want comments under testdata/%s", dir)
+	}
+
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		claimed := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.pat)
+		}
+	}
+}

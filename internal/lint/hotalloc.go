@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces the allocation-free discipline of the sweep kernels:
+// a function whose doc comment contains a //phast:hotpath line must not
+// allocate on any path, because the sweeps are memory-bandwidth-bound
+// (§IV, §VIII-B) and a single allocation per vertex or per arc destroys
+// the sequential-read argument. Flagged inside annotated functions:
+//
+//   - make and new calls,
+//   - composite literals (slice/map/struct literals allocate or copy),
+//   - append calls that are not the amortized self-append idiom
+//     `x = append(x, ...)` / `x = append(x[:0], ...)` on a reused buffer,
+//   - closures that escape (go statements; any use other than binding to
+//     a local variable or passing as a direct call argument) — escaping
+//     closures heap-allocate their captures. The call-argument allowance
+//     covers the simulator's kernel-launch idiom, which invokes the
+//     closure synchronously,
+//   - interface boxing: passing a non-interface value where an
+//     interface is expected, including variadic ...any,
+//   - string<->[]byte/[]rune conversions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocations inside //phast:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			if hasMarker(decl.Doc, HotPathMarker) {
+				checkHotBody(pass, decl.Name.Name, body)
+			}
+		})
+	}
+}
+
+// hotAllowances is what the pre-walk of an annotated body sanctions:
+// non-escaping closures and amortized self-appends.
+type hotAllowances struct {
+	lits       map[*ast.FuncLit]bool
+	selfAppend map[*ast.CallExpr]bool
+}
+
+func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	pkgScope := pass.Pkg.Types.Scope()
+	allow := hotAllowances{
+		lits:       make(map[*ast.FuncLit]bool),
+		selfAppend: make(map[*ast.CallExpr]bool),
+	}
+	localIdent := func(id *ast.Ident) bool {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		return obj != nil && obj.Parent() != pkgScope
+	}
+
+	// Pre-walk: collect the sanctioned patterns.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				switch r := rhs.(type) {
+				case *ast.FuncLit:
+					// Closure bound to a local name: stays on the stack
+					// as long as that name does not itself escape.
+					// Assigning to a package variable escapes.
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && localIdent(id) {
+						allow.lits[r] = true
+					}
+				case *ast.CallExpr:
+					if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(info, id) && len(r.Args) > 0 {
+						if exprString(n.Lhs[i]) == exprString(sliceBase(r.Args[0])) {
+							allow.selfAppend[r] = true
+						}
+					}
+				}
+			}
+		case *ast.GoStmt:
+			// Never sanction goroutine closures (reported separately).
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if lit, ok := a.(*ast.FuncLit); ok {
+					allow.lits[lit] = true
+				}
+			}
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				allow.lits[lit] = true // immediately invoked
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is //phast:hotpath but launches a goroutine; the closure and goroutine allocate — hoist the launch out of the kernel or suppress with a reason", fname)
+			// Do not additionally report the go closure itself.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				allow.lits[lit] = true
+			}
+
+		case *ast.FuncLit:
+			if !allow.lits[n] {
+				pass.Reportf(n.Pos(), "%s is //phast:hotpath but builds an escaping closure; its captures are heap-allocated", fname)
+			}
+
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "%s is //phast:hotpath but builds a composite literal; preallocate it outside the kernel", fname)
+			return false // don't re-report nested literals of one value
+
+		case *ast.CallExpr:
+			checkHotCall(pass, info, fname, n, allow)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr, allow hotAllowances) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(info, id) {
+		switch id.Name {
+		case "make":
+			pass.Reportf(call.Pos(), "%s is //phast:hotpath but calls make; preallocate the buffer outside the kernel", fname)
+		case "new":
+			pass.Reportf(call.Pos(), "%s is //phast:hotpath but calls new; preallocate outside the kernel", fname)
+		case "append":
+			if !allow.selfAppend[call] {
+				pass.Reportf(call.Pos(), "%s is //phast:hotpath but appends into a fresh slice; only the amortized self-append idiom x = append(x, ...) is allocation-free after warm-up", fname)
+			}
+		}
+		return
+	}
+
+	// Conversions: T(x) where the callee is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		src, dst := info.Types[call.Args[0]].Type, tv.Type
+		if src != nil {
+			if isStringByteConv(src, dst) {
+				pass.Reportf(call.Pos(), "%s is //phast:hotpath but converts between string and byte/rune slice, which copies", fname)
+			}
+			if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) {
+				pass.Reportf(call.Pos(), "%s is //phast:hotpath but boxes a value into an interface", fname)
+			}
+		}
+		return
+	}
+
+	// Interface boxing through call arguments.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	// f(slice...) forwards an existing slice; nothing boxes.
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || types.IsInterface(at.Type.Underlying()) || at.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is //phast:hotpath but boxes a %s into an interface parameter of %s", fname, at.Type.String(), exprString(call.Fun))
+	}
+}
+
+// isBuiltin reports whether the identifier resolves to a universe-scope
+// builtin (and not a shadowing local).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isStringByteConv reports a conversion between string and []byte/[]rune
+// in either direction.
+func isStringByteConv(src, dst types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(src) && isByteRuneSlice(dst)) || (isByteRuneSlice(src) && isStr(dst))
+}

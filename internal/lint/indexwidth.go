@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IndexWidth guards the CSR index arithmetic: the adjacency arrays
+// (§IV-A) index vertices and arcs with int32 while Go's native int is
+// 64-bit, so conversions inside indexing expressions are where silent
+// truncation and sign flips hide. On instances past 2^31 labels a lossy
+// conversion wraps and the sweep reads the wrong cache line — no panic,
+// just wrong distances. The analyzer flags any integer conversion inside
+// an index or slice expression over a slice/array whose target type
+// cannot represent every value of the source type: narrowing (int →
+// int32, int → uint32, uint64 → uint32, ...) and sign-mixing at equal
+// width (int32 ↔ uint32). Widening conversions (int32 → int, uint32 →
+// int64) are the sanctioned direction and pass. Conversions of untyped
+// constants are exact at compile time and pass too.
+var IndexWidth = &Analyzer{
+	Name: "indexwidth",
+	Doc:  "flags lossy or sign-mixing integer conversions in CSR indexing expressions",
+	Run:  runIndexWidth,
+}
+
+func runIndexWidth(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if indexableSlice(info, n.X) {
+					checkIndexConversions(pass, n.Index)
+				}
+			case *ast.SliceExpr:
+				if indexableSlice(info, n.X) {
+					for _, b := range []ast.Expr{n.Low, n.High, n.Max} {
+						if b != nil {
+							checkIndexConversions(pass, b)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// indexableSlice reports whether the indexed operand is a slice, array,
+// or pointer to array — the CSR shapes. Maps and strings are exempt
+// (maps hash, they do not offset into memory).
+func indexableSlice(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// checkIndexConversions walks one bracket expression looking for
+// conversions between integer types that can lose values.
+func checkIndexConversions(pass *Pass, idx ast.Expr) {
+	info := pass.Pkg.Info
+	ast.Inspect(idx, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			// Nested indexing gets its own visit from the outer walk;
+			// descending here would double-report its conversions.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		atv, ok := info.Types[call.Args[0]]
+		if !ok || atv.Type == nil {
+			return true
+		}
+		if atv.Value != nil {
+			return true // constant conversions are checked by the compiler
+		}
+		dst, dok := intShapeFor(tv.Type)
+		src, sok := intShapeFor(atv.Type)
+		if !dok || !sok {
+			return true
+		}
+		if !intContains(dst, src) {
+			pass.Reportf(call.Pos(), "conversion %s(%s) inside an indexing expression can %s; index CSR arrays with a widening conversion instead",
+				types.TypeString(tv.Type, nil), types.TypeString(atv.Type, nil), lossKind(dst, src))
+		}
+		return true
+	})
+}
+
+// intShape is the (signedness, width) model of an integer type; int,
+// uint and uintptr are treated as 64-bit, the width on every platform
+// PHAST targets (documented in DESIGN.md).
+type intShape struct {
+	signed bool
+	bits   int
+}
+
+func intShapeOf(b *types.Basic) (intShape, bool) {
+	switch b.Kind() {
+	case types.Int, types.Int64:
+		return intShape{true, 64}, true
+	case types.Int32:
+		return intShape{true, 32}, true
+	case types.Int16:
+		return intShape{true, 16}, true
+	case types.Int8:
+		return intShape{true, 8}, true
+	case types.Uint, types.Uint64, types.Uintptr:
+		return intShape{false, 64}, true
+	case types.Uint32:
+		return intShape{false, 32}, true
+	case types.Uint16:
+		return intShape{false, 16}, true
+	case types.Uint8:
+		return intShape{false, 8}, true
+	}
+	return intShape{}, false
+}
+
+func intShapeFor(t types.Type) (intShape, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return intShape{}, false
+	}
+	return intShapeOf(b)
+}
+
+// intContains reports whether every value of src is representable in dst.
+func intContains(dst, src intShape) bool {
+	switch {
+	case dst.signed == src.signed:
+		return dst.bits >= src.bits
+	case dst.signed && !src.signed:
+		return dst.bits > src.bits // int64 holds uint32, not uint64
+	default: // unsigned dst, signed src: negatives wrap
+		return false
+	}
+}
+
+func lossKind(dst, src intShape) string {
+	if dst.signed != src.signed {
+		return "flip the sign bit"
+	}
+	return "truncate"
+}

@@ -1,0 +1,255 @@
+// Package lint implements phastlint, the project-specific static
+// analyzers guarding the invariants PHAST's performance and correctness
+// rest on but the Go type system cannot see:
+//
+//   - rawalias: Raw*/HostData accessor results alias engine working
+//     buffers; storing them or reading them after the next sweep on the
+//     same engine is the reuse-after-sweep bug class the PR 1 regression
+//     tests guard dynamically.
+//   - hotalloc: functions annotated //phast:hotpath (the sweep kernels)
+//     must stay allocation-free to hit the memory-bound sweep rates of
+//     §IV; make/new/composite literals/fresh appends/escaping closures
+//     and interface boxing are flagged.
+//   - indexwidth: lossy or sign-mixing integer conversions inside CSR
+//     indexing expressions silently corrupt sweeps on large graphs.
+//   - engineshare: *Engine values are single-goroutine cursors;
+//     concurrent use must go through internal/server.
+//
+// Everything is built on stdlib go/ast + go/parser + go/types; there are
+// no external dependencies. Diagnostics can be suppressed per line with
+// a comment on the flagged line or the line above:
+//
+//	//phastlint:ignore <analyzer> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// HotPathMarker is the annotation that opts a function into the
+// hotalloc discipline. It must appear on its own line inside the
+// function's doc comment.
+const HotPathMarker = "//phast:hotpath"
+
+// ignorePrefix starts a per-line suppression comment.
+const ignorePrefix = "//phastlint:ignore"
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full phastlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{RawAlias, HotAlloc, IndexWidth, EngineShare}
+}
+
+// ByName resolves a comma-separated analyzer list ("" selects all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to each package, filters suppressed
+// diagnostics, and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+		diags = suppress(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppress drops diagnostics of pkg covered by //phastlint:ignore
+// comments. A suppression names the analyzer (or "all") and covers its
+// own line and the line directly below it.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	ignored := make(map[key]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := key{pos.Filename, line}
+					if ignored[k] == nil {
+						ignored[k] = make(map[string]bool)
+					}
+					ignored[k][fields[0]] = true
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		names := ignored[key{d.Pos.Filename, d.Pos.Line}]
+		if names != nil && (names[d.Analyzer] || names["all"]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// --- shared AST helpers ---
+
+// funcBodies yields every function in the file that has a body: both
+// declarations and, when walkLits is set, function literals. doc is the
+// declaration's doc comment (nil for literals).
+func funcBodies(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd, fd.Body)
+		}
+	}
+}
+
+// hasMarker reports whether the comment group contains the given
+// standalone marker line (e.g. //phast:hotpath).
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a (small) expression for receiver identity and
+// diagnostics. It intentionally normalizes nothing: two textually
+// different expressions are treated as different objects.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, exprString(a))
+		}
+		return exprString(e.Fun) + "(" + strings.Join(args, ", ") + ")"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.SliceExpr:
+		s := exprString(e.X) + "["
+		if e.Low != nil {
+			s += exprString(e.Low)
+		}
+		s += ":"
+		if e.High != nil {
+			s += exprString(e.High)
+		}
+		if e.Slice3 && e.Max != nil {
+			s += ":" + exprString(e.Max)
+		}
+		return s + "]"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// sliceBase strips slice expressions: the base lvalue of x[a:b] is x.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RawAlias flags misuse of raw engine buffer views: results of Raw*
+// accessors (RawDistances, RawMultiDistances, RawParents, ...) and
+// device HostData. These slices alias working buffers that the next
+// sweep on the same engine silently overwrites, so they must never be
+// stored (struct field, global, container, channel, closure) and must
+// not be read after a subsequent Tree/MultiTree*/Sweep* call on the
+// same engine within the function. This is the static twin of the
+// reuse-after-sweep regression tests in internal/core/aliasing_test.go;
+// results that must survive belong in Copy* snapshots.
+var RawAlias = &Analyzer{
+	Name: "rawalias",
+	Doc:  "flags stored or reused-after-sweep raw engine buffer views",
+	Run:  runRawAlias,
+}
+
+// rawAccessor reports whether a method name returns a raw aliasing view.
+func rawAccessor(name string) bool {
+	return strings.HasPrefix(name, "Raw") || name == "HostData"
+}
+
+// sweepCall reports whether a method name invalidates raw views of its
+// receiver (it runs, or may run, a sweep that rewrites working buffers).
+func sweepCall(name string) bool {
+	switch name {
+	case "Tree", "TreeParallel", "TreeWithParents", "MultiTree", "MultiTreeParallel", "Run":
+		return true
+	}
+	return strings.HasPrefix(name, "Sweep") || strings.HasPrefix(name, "sweep")
+}
+
+// rawCallRecv unwraps parens/slicings; if the expression is (a slice of)
+// a raw accessor call it returns the receiver's printed form.
+func rawCallRecv(e ast.Expr) (string, bool) {
+	e = sliceBase(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !rawAccessor(sel.Sel.Name) {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+type rawBinding struct {
+	pos  token.Pos
+	recv string // engine expression the view was taken from; "" = not raw
+	lit  *ast.FuncLit
+}
+
+type rawUse struct {
+	pos token.Pos
+	lit *ast.FuncLit
+}
+
+type rawStore struct {
+	pos  token.Pos
+	what string // destination description
+}
+
+type invalidation struct {
+	pos  token.Pos
+	recv string
+	name string
+}
+
+func runRawAlias(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			analyzeRawAlias(pass, body)
+		})
+	}
+}
+
+func analyzeRawAlias(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	pkgScope := pass.Pkg.Types.Scope()
+
+	bindings := make(map[types.Object][]rawBinding)
+	uses := make(map[types.Object][]rawUse)
+	stores := make(map[types.Object][]rawStore)
+	var invs []invalidation
+	skipIdents := make(map[*ast.Ident]bool) // LHS idents: writes, not reads
+
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := sliceBase(e).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return obj
+			}
+			return info.Defs[id]
+		}
+		return nil
+	}
+
+	// escapeDest classifies an assignment destination that must never
+	// hold a raw view. Empty string means a plain local variable.
+	escapeDest := func(lhs ast.Expr) string {
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			return "field or package variable " + exprString(l)
+		case *ast.IndexExpr:
+			return "container element " + exprString(l)
+		case *ast.StarExpr:
+			return "pointee " + exprString(l)
+		case *ast.Ident:
+			if obj := info.Uses[l]; obj != nil && obj.Parent() == pkgScope {
+				return "package variable " + l.Name
+			}
+		}
+		return ""
+	}
+
+	var litStack []*ast.FuncLit
+	curLit := func() *ast.FuncLit {
+		if len(litStack) == 0 {
+			return nil
+		}
+		return litStack[len(litStack)-1]
+	}
+
+	reportDirect := func(pos token.Pos, recv, dest string) {
+		pass.Reportf(pos, "raw view from %s stored into %s; it aliases the engine's working buffer, which the next sweep overwrites — copy with the Copy* accessor instead", recv, dest)
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litStack = append(litStack, n)
+			walk(n.Body)
+			litStack = litStack[:len(litStack)-1]
+			return
+
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				var lhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				recv, isRaw := rawCallRecv(rhs)
+				dest := ""
+				if lhs != nil {
+					dest = escapeDest(lhs)
+				}
+				switch {
+				case isRaw && dest != "":
+					reportDirect(rhs.Pos(), recv, dest)
+				case isRaw && lhs != nil:
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							bindings[obj] = append(bindings[obj], rawBinding{pos: rhs.Pos(), recv: recv, lit: curLit()})
+						}
+					}
+				case !isRaw && lhs != nil:
+					// A raw-bound variable stored somewhere it outlives
+					// this function's tracking, or a rebinding that
+					// clears the tracked state.
+					if dest != "" {
+						if obj := objOf(rhs); obj != nil {
+							stores[obj] = append(stores[obj], rawStore{pos: rhs.Pos(), what: dest})
+						}
+					} else if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							bindings[obj] = append(bindings[obj], rawBinding{pos: rhs.Pos(), recv: "", lit: curLit()})
+						}
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					skipIdents[id] = true
+				}
+			}
+			for _, rhs := range n.Rhs {
+				walk(rhs)
+			}
+			for _, lhs := range n.Lhs {
+				// Still walk non-ident LHS (index exprs read their base).
+				if _, ok := lhs.(*ast.Ident); !ok {
+					walk(lhs)
+				}
+			}
+			return
+
+		case *ast.SendStmt:
+			if recv, ok := rawCallRecv(n.Value); ok {
+				reportDirect(n.Value.Pos(), recv, "channel send")
+			} else if obj := objOf(n.Value); obj != nil {
+				stores[obj] = append(stores[obj], rawStore{pos: n.Value.Pos(), what: "channel send"})
+			}
+
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if recv, ok := rawCallRecv(v); ok {
+					reportDirect(v.Pos(), recv, "composite literal")
+				} else if obj := objOf(v); obj != nil {
+					stores[obj] = append(stores[obj], rawStore{pos: v.Pos(), what: "composite literal"})
+				}
+			}
+
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sweepCall(sel.Sel.Name) {
+				invs = append(invs, invalidation{pos: n.Pos(), recv: exprString(sel.X), name: sel.Sel.Name})
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 1 {
+				for _, a := range n.Args[1:] {
+					if recv, ok := rawCallRecv(a); ok {
+						reportDirect(a.Pos(), recv, "appended container")
+					} else if obj := objOf(a); obj != nil {
+						if t, ok := info.Types[a]; ok {
+							if _, isSlice := t.Type.Underlying().(*types.Slice); isSlice {
+								stores[obj] = append(stores[obj], rawStore{pos: a.Pos(), what: "appended container"})
+							}
+						}
+					}
+				}
+			}
+
+		case *ast.Ident:
+			if !skipIdents[n] {
+				if obj := info.Uses[n]; obj != nil {
+					uses[obj] = append(uses[obj], rawUse{pos: n.Pos(), lit: curLit()})
+				}
+			}
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c)
+			return false
+		})
+	}
+	walk(body)
+
+	// Resolve the position-ordered facts: for every use of a variable,
+	// find its governing binding; if that binding is raw, check for an
+	// intervening sweep on the same engine and for closure captures.
+	latestBinding := func(obj types.Object, pos token.Pos) *rawBinding {
+		var best *rawBinding
+		for i := range bindings[obj] {
+			b := &bindings[obj][i]
+			if b.pos <= pos && (best == nil || b.pos > best.pos) {
+				best = b
+			}
+		}
+		return best
+	}
+	for obj, objUses := range uses {
+		for _, u := range objUses {
+			b := latestBinding(obj, u.pos)
+			if b == nil || b.recv == "" {
+				continue
+			}
+			if u.lit != b.lit {
+				pass.Reportf(u.pos, "raw view %s (from %s) captured by a closure; the closure may outlive the view — copy with the Copy* accessor instead", obj.Name(), b.recv)
+				continue
+			}
+			for _, inv := range invs {
+				if inv.recv == b.recv && inv.pos > b.pos && inv.pos < u.pos {
+					pass.Reportf(u.pos, "raw view %s read after %s.%s overwrote it; re-fetch the view or copy before the sweep", obj.Name(), inv.recv, inv.name)
+					break
+				}
+			}
+		}
+	}
+	for obj, objStores := range stores {
+		for _, st := range objStores {
+			b := latestBinding(obj, st.pos)
+			if b == nil || b.recv == "" {
+				continue
+			}
+			pass.Reportf(st.pos, "raw view %s (from %s) stored into %s; it aliases the engine's working buffer, which the next sweep overwrites — copy with the Copy* accessor instead", obj.Name(), b.recv, st.what)
+		}
+	}
+}

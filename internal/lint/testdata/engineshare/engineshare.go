@@ -1,0 +1,67 @@
+// Package engineshare exercises the engineshare analyzer. Engine is a
+// single-goroutine cursor like core.Engine: one set of working buffers,
+// no locks, so it must never be shared with a goroutine while this
+// goroutine can still touch it.
+package engineshare
+
+type Engine struct{ dist []uint32 }
+
+func (e *Engine) Tree(src int32) {}
+
+func (e *Engine) Clone() *Engine {
+	return &Engine{dist: make([]uint32, len(e.dist))}
+}
+
+func badUsedAfter(e *Engine, done chan struct{}) {
+	go func() {
+		e.Tree(1) // want `engine e escapes to a goroutine but is still used afterwards`
+		done <- struct{}{}
+	}()
+	e.Tree(2)
+}
+
+func badLoopShared(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		go e.Tree(int32(i)) // want `engine e is handed to a goroutine inside a loop but declared outside it`
+	}
+}
+
+func badLoopSharedClosure(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		go func(src int32) {
+			e.Tree(src) // want `handed to a goroutine inside a loop but declared outside`
+		}(int32(i))
+	}
+}
+
+// --- false-positive guards ---
+
+// okClonePerGoroutine is the sanctioned handoff used by internal/server:
+// a fresh clone per iteration, given away and never touched again.
+func okClonePerGoroutine(proto *Engine, n int) {
+	for i := 0; i < n; i++ {
+		eng := proto.Clone()
+		go eng.Tree(int32(i))
+	}
+}
+
+// okCloneArg clones inside the go statement: receivers and arguments of
+// the spawned call are evaluated by this goroutine, so only the fresh
+// clone crosses over.
+func okCloneArg(proto *Engine, n int) {
+	for i := 0; i < n; i++ {
+		go func(eng *Engine) {
+			eng.Tree(int32(i))
+		}(proto.Clone())
+	}
+}
+
+// okGiveAway transfers the engine to exactly one goroutine and never
+// touches it afterwards.
+func okGiveAway(e *Engine, done chan struct{}) {
+	go func() {
+		e.Tree(1)
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,128 @@
+// Package hotalloc exercises the hotalloc analyzer: functions annotated
+// //phast:hotpath must stay allocation-free, unannotated functions may
+// allocate freely.
+package hotalloc
+
+var sink func()
+
+// relaxAll is the shape of a conforming sweep kernel: loads and stores
+// over preallocated buffers plus the amortized self-append idiom.
+//
+//phast:hotpath
+func relaxAll(dist []uint32, touched []int32) []int32 {
+	touched = append(touched[:0], 0)
+	for i := range dist {
+		if dist[i] > 1 {
+			dist[i]--
+			touched = append(touched, int32(i))
+		}
+	}
+	return touched
+}
+
+//phast:hotpath
+func badMake(n int) []uint32 {
+	return make([]uint32, n) // want `calls make`
+}
+
+//phast:hotpath
+func badNew() *uint32 {
+	return new(uint32) // want `calls new`
+}
+
+//phast:hotpath
+func badComposite() []uint32 {
+	return []uint32{1, 2, 3, 4} // want `composite literal`
+}
+
+//phast:hotpath
+func badFreshAppend(dst, src []int32) []int32 {
+	out := append(src, dst...) // want `appends into a fresh slice`
+	return out
+}
+
+//phast:hotpath
+func badGo(dist []uint32) {
+	go func() { // want `launches a goroutine`
+		dist[0] = 0
+	}()
+}
+
+//phast:hotpath
+func badReturnedClosure(c []int) func() {
+	return func() { c[0]++ } // want `escaping closure`
+}
+
+//phast:hotpath
+func badStoredClosure(dist []uint32) {
+	sink = func() { dist[0] = 0 } // want `escaping closure`
+}
+
+func emit(args ...any) {}
+
+//phast:hotpath
+func badBox(v uint32) {
+	emit(v) // want `boxes a uint32 into an interface parameter`
+}
+
+//phast:hotpath
+func badIfaceConv(v uint32) any {
+	return any(v) // want `boxes a value into an interface`
+}
+
+//phast:hotpath
+func badStringConv(s string) []byte {
+	return []byte(s) // want `converts between string and byte/rune slice`
+}
+
+// --- false-positive guards ---
+
+// okLocalClosure binds the closure to a local name and invokes it
+// synchronously: the compiler keeps it on the stack.
+//
+//phast:hotpath
+func okLocalClosure(dist []uint32) {
+	scan := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dist[i] = 0
+		}
+	}
+	scan(0, len(dist)/2)
+	scan(len(dist)/2, len(dist))
+}
+
+// okKernelArg passes the closure as a direct call argument — the
+// simulator's kernel-launch idiom, which invokes it synchronously.
+//
+//phast:hotpath
+func okKernelArg(dist []uint32) {
+	launch(len(dist), func(i int) {
+		dist[i] = 0
+	})
+}
+
+func launch(n int, kernel func(int)) {
+	for i := 0; i < n; i++ {
+		kernel(i)
+	}
+}
+
+// okForward forwards an existing []any; nothing boxes.
+//
+//phast:hotpath
+func okForward(args []any) {
+	emit(args...)
+}
+
+// okIfacePassthrough passes an already-interface value; no new box.
+//
+//phast:hotpath
+func okIfacePassthrough(err error) {
+	emit(err)
+}
+
+// okColdSetup carries no annotation, so it may allocate at will.
+func okColdSetup(n int) []uint32 {
+	buf := make([]uint32, n)
+	return append(buf, 1)
+}

@@ -1,0 +1,51 @@
+// Package indexwidth exercises the indexwidth analyzer over CSR-style
+// indexing expressions.
+package indexwidth
+
+func badNarrow(first []int32, v int) int32 {
+	return first[int32(v)] // want `conversion int32\(int\) inside an indexing expression can truncate`
+}
+
+func badSignMix(dist []uint32, v int32) uint32 {
+	return dist[uint32(v)] // want `can flip the sign bit`
+}
+
+func badNarrowUnsigned(arcs []uint64, v uint64) uint64 {
+	return arcs[uint32(v)] // want `can truncate`
+}
+
+func badSliceBounds(arcs []uint64, lo, hi int) []uint64 {
+	return arcs[uint32(lo):uint32(hi)] // want `can flip the sign bit` `can flip the sign bit`
+}
+
+func badNested(first []int32, ids []int64, v int) int32 {
+	return first[ids[int32(v)]] // want `can truncate`
+}
+
+// --- false-positive guards ---
+
+// okWiden converts in the sanctioned direction: int32 into 64-bit int.
+func okWiden(first []int32, v int32) int32 {
+	return first[int(v)]
+}
+
+// okUnsignedWiden: int64 represents every uint32.
+func okUnsignedWiden(first []int64, v uint32) int64 {
+	return first[int64(v)]
+}
+
+// okConst: constant conversions are checked exactly by the compiler.
+func okConst(dist []uint32) uint32 {
+	return dist[uint32(7)]
+}
+
+// okMap: maps hash, they do not offset into memory.
+func okMap(m map[uint32]int, v int) int {
+	return m[uint32(v)]
+}
+
+// okSuppressed shows a per-line suppression with a reason.
+func okSuppressed(first []int32, v int) int32 {
+	//phastlint:ignore indexwidth v is bounds-checked by the caller contract
+	return first[int32(v)]
+}

@@ -1,0 +1,111 @@
+// Package rawalias exercises the rawalias analyzer. Engine mirrors the
+// aliasing surface of core.Engine: Raw* accessors return views of the
+// working buffers that the next sweep on the same engine overwrites,
+// while Copy* snapshots are safe to keep.
+package rawalias
+
+type Engine struct {
+	dist    []uint32
+	parents []int32
+}
+
+func (e *Engine) Tree(src int32)              {}
+func (e *Engine) MultiTreeParallel(s []int32) {}
+func (e *Engine) RawDistances() []uint32      { return e.dist }
+func (e *Engine) RawParents() []int32         { return e.parents }
+func (e *Engine) CopyDistances(buf []uint32)  { copy(buf, e.dist) }
+
+type holder struct{ view []uint32 }
+
+var lastView []uint32
+
+// reuseAfterSweep reconstructs the PR 1 reuse-after-sweep bug: the view
+// fetched after the first tree is read after the second tree rewrote it.
+func reuseAfterSweep(e *Engine) uint32 {
+	e.Tree(1)
+	raw := e.RawDistances()
+	e.Tree(2)
+	return raw[0] // want `read after e\.Tree overwrote it`
+}
+
+func reuseAfterMultiSweep(e *Engine) int32 {
+	parents := e.RawParents()
+	e.MultiTreeParallel([]int32{3, 4})
+	return parents[0] // want `read after e\.MultiTreeParallel overwrote it`
+}
+
+func storeField(h *holder, e *Engine) {
+	h.view = e.RawDistances() // want `stored into field or package variable h\.view`
+}
+
+func storeFieldViaVar(h *holder, e *Engine) {
+	raw := e.RawDistances()
+	h.view = raw // want `raw view raw \(from e\) stored into field or package variable h\.view`
+}
+
+func storeGlobal(e *Engine) {
+	lastView = e.RawDistances() // want `stored into package variable lastView`
+}
+
+func storeSliceOfRaw(h *holder, e *Engine) {
+	h.view = e.RawDistances()[1:] // want `stored into field or package variable h\.view`
+}
+
+func sendRaw(ch chan []uint32, e *Engine) {
+	ch <- e.RawDistances() // want `stored into channel send`
+}
+
+func inComposite(e *Engine) [][]uint32 {
+	return [][]uint32{e.RawDistances()} // want `stored into composite literal`
+}
+
+func appended(rows [][]uint32, e *Engine) [][]uint32 {
+	return append(rows, e.RawDistances()) // want `stored into appended container`
+}
+
+func captured(e *Engine) func() uint32 {
+	raw := e.RawDistances()
+	return func() uint32 {
+		return raw[0] // want `captured by a closure`
+	}
+}
+
+// --- false-positive guards: all of these are sanctioned uses ---
+
+// okReadThenSweep reads the view before the next sweep; the value read
+// out is a plain uint32 and survives.
+func okReadThenSweep(e *Engine) uint32 {
+	e.Tree(1)
+	raw := e.RawDistances()
+	best := raw[0]
+	e.Tree(2)
+	return best
+}
+
+// okRefetch re-fetches the view after the sweep; the governing binding
+// of the final read is the fresh one.
+func okRefetch(e *Engine) uint32 {
+	e.Tree(1)
+	raw := e.RawDistances()
+	first := raw[0]
+	e.Tree(2)
+	raw = e.RawDistances()
+	return raw[0] + first
+}
+
+// okCopy snapshots through the Copy* accessor, which is the documented
+// way to keep results across sweeps.
+func okCopy(e *Engine, buf []uint32) uint32 {
+	e.Tree(1)
+	e.CopyDistances(buf)
+	e.Tree(2)
+	return buf[0]
+}
+
+// okOtherEngine sweeps a different engine; a's buffers are untouched.
+func okOtherEngine(a, b *Engine) uint32 {
+	a.Tree(1)
+	raw := a.RawDistances()
+	b.Tree(2)
+	return raw[0]
+}

@@ -124,12 +124,23 @@ func (s *Selection) Size() int { return len(s.verts) }
 // NumArcs returns the number of restricted downward arcs.
 func (s *Selection) NumArcs() int { return len(s.arcs) }
 
+// LocalIndex returns the selection-local index of original vertex v, or
+// -1 when v is not selected. It is the index space of
+// Query.RawDistances and Query.CopyDistances.
+func (s *Selection) LocalIndex(v int32) int32 {
+	return s.localOf[s.eng.EngineID(v)]
+}
+
 // Query computes one-to-many distances against one Selection. Not safe
 // for concurrent use; create one per goroutine.
 type Query struct {
 	sel  *Selection
 	eng  *core.Engine
 	dist []uint32
+	// upward-search staging, reused across Runs so a query allocates
+	// nothing after the first call.
+	hVerts []int32
+	hDists []uint32
 }
 
 // NewQuery creates a solver bound to the selection, with its own engine
@@ -144,10 +155,14 @@ func NewQuery(s *Selection) *Query {
 
 // Run computes the distances from source (an original vertex ID) to
 // every selected vertex: an upward CH search plus a sweep over the
-// restricted arcs only.
+// restricted arcs only. It rewrites the query's single working buffer;
+// see RawDistances for the aliasing contract.
+//
+//phast:hotpath
 func (q *Query) Run(source int32) {
 	s := q.sel
-	verts, dists := q.eng.UpwardSearchSpace(source, nil, nil)
+	q.hVerts, q.hDists = q.eng.UpwardSearchSpace(source, q.hVerts[:0], q.hDists[:0])
+	verts, dists := q.hVerts, q.hDists
 	// Seed: labels of upward-search vertices that are in the selection;
 	// everything else is implicitly infinite. The seeds arrive before the
 	// sweep touches any label, so no per-query clearing of q.dist is
@@ -177,6 +192,37 @@ func (q *Query) Run(source int32) {
 // from the last Run's source.
 func (q *Query) Dist(i int) uint32 { return q.dist[q.sel.targetLocal[i]] }
 
+// RawDistances returns the query's working label array, indexed by
+// selection-local vertex (see Selection.LocalIndex), aligned with the
+// sweep order. The slice aliases the buffer the next Run overwrites —
+// the same contract as core.Engine.RawDistances: read it before the
+// next Run or snapshot it with CopyDistances. It must not be stored or
+// handed to another goroutine (phastlint's rawalias analyzer enforces
+// this within a function).
+func (q *Query) RawDistances() []uint32 { return q.dist }
+
+// CopyDistances copies the selection-local labels of the last Run into
+// buf (length Selection.Size()). The copy is a snapshot: later Runs do
+// not disturb it. This mirrors core.Engine.CopyDistances.
+func (q *Query) CopyDistances(buf []uint32) {
+	if len(buf) != len(q.dist) {
+		panic(fmt.Sprintf("rphast: CopyDistances buffer has length %d, want %d", len(buf), len(q.dist)))
+	}
+	copy(buf, q.dist)
+}
+
+// CopyTargetDistances copies the distance to each target of the
+// selection (in NewSelection order) into buf — the snapshot form of
+// calling Dist for every index.
+func (q *Query) CopyTargetDistances(buf []uint32) {
+	if len(buf) != len(q.sel.targetLocal) {
+		panic(fmt.Sprintf("rphast: CopyTargetDistances buffer has length %d, want %d", len(buf), len(q.sel.targetLocal)))
+	}
+	for i, l := range q.sel.targetLocal {
+		buf[i] = q.dist[l]
+	}
+}
+
 // DistTo returns the distance to an arbitrary original vertex if it is
 // in the selection; ok is false otherwise.
 func (q *Query) DistTo(v int32) (uint32, bool) {
@@ -194,9 +240,7 @@ func Table(s *Selection, sources []int32) [][]uint32 {
 	for i, src := range sources {
 		q.Run(src)
 		row := make([]uint32, len(s.targetLocal))
-		for j := range row {
-			row[j] = q.Dist(j)
-		}
+		q.CopyTargetDistances(row)
 		out[i] = row
 	}
 	return out

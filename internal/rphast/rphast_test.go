@@ -121,6 +121,57 @@ func TestRepeatedRunsNoStaleState(t *testing.T) {
 	}
 }
 
+// TestCopyDistancesSnapshot pins the aliasing contract of the result
+// accessors: RawDistances aliases the working buffer the next Run
+// overwrites, while CopyDistances and CopyTargetDistances take
+// snapshots that later Runs must not disturb.
+func TestCopyDistancesSnapshot(t *testing.T) {
+	_, eng := setup(t)
+	targets := []int32{7, 41, 250}
+	sel, err := NewSelection(eng, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(sel)
+
+	q.Run(0)
+	snap := make([]uint32, sel.Size())
+	q.CopyDistances(snap)
+	tsnap := make([]uint32, len(targets))
+	q.CopyTargetDistances(tsnap)
+	for i := range targets {
+		if tsnap[i] != q.Dist(i) {
+			t.Fatalf("target %d: CopyTargetDistances %d != Dist %d", i, tsnap[i], q.Dist(i))
+		}
+	}
+	if l := sel.LocalIndex(targets[0]); l < 0 || snap[l] != q.Dist(0) {
+		t.Fatalf("LocalIndex(%d)=%d does not address target 0's label", targets[0], l)
+	}
+
+	view := q.RawDistances()
+	q.Run(600) // a different source rewrites the working buffer
+	changed := false
+	for i := range snap {
+		//phastlint:ignore rawalias this test deliberately reads a stale raw view to pin the aliasing behavior
+		if view[i] != snap[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Skip("sources 0 and 600 produced identical selections; aliasing not observable")
+	}
+	// The snapshot still holds the first Run's labels even though the raw
+	// view (same backing array) now shows the second Run's.
+	q2 := NewQuery(sel)
+	q2.Run(0)
+	for i := range snap {
+		if snap[i] != q2.dist[i] {
+			t.Fatalf("snapshot disturbed at local %d: %d != %d", i, snap[i], q2.dist[i])
+		}
+	}
+}
+
 func TestTable(t *testing.T) {
 	g, eng := setup(t)
 	targets := []int32{2, 44, 97}
