@@ -1,0 +1,211 @@
+// Command benchsmoke is the CI benchmark smoke check for the packed
+// single-stream sweep layout: it times the packed kernels against their
+// legacy CSR+mark twins on the europe-xs benchmark fixture (same DFS
+// layout and source stream as the root bench_test.go), writes the
+// numbers to a JSON report (BENCH_3.json at the repo root), and exits
+// non-zero if the packed sweep is slower than legacy beyond the
+// tolerance — the regression gate for the layout's reason to exist.
+//
+// Usage:
+//
+//	benchsmoke                       write BENCH_3.json, gate at 1.05
+//	benchsmoke -out report.json -tolerance 1.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"phast/internal/bandwidth"
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/graph"
+	"phast/internal/layout"
+	"phast/internal/roadnet"
+)
+
+// Result is one measured benchmark cell.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerTree   float64 `json:"ns_per_tree"`
+	ModeledGBps float64 `json:"modeled_gbps"`
+}
+
+// Report is the BENCH_3.json schema.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Instance  string `json:"instance"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	// SpeedupTree is legacy ns/tree divided by packed ns/tree for the
+	// single-tree sweep (>1 means the packed stream wins); SpeedupMulti
+	// is the same ratio for the k=16 multi-tree sweep.
+	SpeedupTree  float64  `json:"speedup_tree"`
+	SpeedupMulti float64  `json:"speedup_multi_k16"`
+	Results      []Result `json:"results"`
+}
+
+func buildFixture(preset roadnet.Preset) (*graph.Graph, *ch.Hierarchy, []int32, error) {
+	net, err := roadnet.GeneratePreset(preset, roadnet.TravelTime)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	perm := layout.DFS(net.Graph, 0)
+	g, err := net.Graph.Permute(perm)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	h := ch.Build(g, ch.Options{})
+	rng := rand.New(rand.NewSource(7))
+	sources := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32(rng.Intn(g.NumVertices()))
+	}
+	return g, h, sources, nil
+}
+
+func engine(h *ch.Hierarchy, packed core.PackedSetting) (*core.Engine, error) {
+	return core.NewEngine(h, core.Options{Mode: core.SweepReordered, Workers: 1, PackedSweep: packed})
+}
+
+// rounds is how many interleaved A/B measurements each cell gets; the
+// per-cell minimum is reported. Each round constructs FRESH engines
+// (alternating which variant allocates first) so allocation placement,
+// CPU frequency ramp-up, and run order all vary across rounds instead
+// of biasing every measurement the same way.
+const rounds = 3
+
+// benchTree times single-tree sweeps once and returns ns/op plus the
+// modeled bandwidth at that speed.
+func benchTree(e *core.Engine, sources []int32) (float64, float64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Tree(sources[i%len(sources)])
+		}
+	})
+	return float64(r.NsPerOp()), bandwidth.GBps(e.SweepBytes(1)*int64(r.N), r.T)
+}
+
+// benchMulti times k-tree sweeps once (one op grows k trees).
+func benchMulti(e *core.Engine, sources []int32, k int) (float64, float64) {
+	batch := make([]int32, k)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range batch {
+				batch[j] = sources[(i*k+j)%len(sources)]
+			}
+			e.MultiTree(batch, false)
+		}
+	})
+	return float64(r.NsPerOp()), bandwidth.GBps(e.SweepBytes(k)*int64(r.N), r.T)
+}
+
+// measure runs `rounds` fresh-engine A/B rounds of fn and returns each
+// variant's best cell.
+func measure(h *ch.Hierarchy, name string, k int, warm []int32,
+	fn func(e *core.Engine) (float64, float64)) (p, l Result, err error) {
+	p = Result{Name: name + "_packed", NsPerOp: math.Inf(1)}
+	l = Result{Name: name + "_legacy", NsPerOp: math.Inf(1)}
+	for r := 0; r < rounds; r++ {
+		settings := []core.PackedSetting{core.PackedOn, core.PackedOff}
+		if r%2 == 1 { // alternate construction and run order
+			settings[0], settings[1] = settings[1], settings[0]
+		}
+		for _, setting := range settings {
+			e, err := engine(h, setting)
+			if err != nil {
+				return p, l, err
+			}
+			e.Tree(warm[0]) // pay first-touch faults outside the timer
+			ns, gbps := fn(e)
+			res := &p
+			if setting == core.PackedOff {
+				res = &l
+			}
+			if ns < res.NsPerOp {
+				res.NsPerOp = ns
+				res.NsPerTree = ns / float64(k)
+				res.ModeledGBps = gbps
+			}
+		}
+	}
+	return p, l, nil
+}
+
+func run() error {
+	var (
+		out = flag.String("out", "BENCH_3.json", "report path")
+		// 1.15 rather than a tight 1.02: shared CI hosts show ±10%
+		// run-to-run jitter even with interleaved fresh-engine rounds,
+		// and the gate exists to catch real regressions (packed
+		// suddenly 2x slower), not to flake on scheduler noise. The
+		// recorded speedup ratios in the report carry the actual
+		// measurement.
+		tolerance = flag.Float64("tolerance", 1.15, "max allowed packed/legacy time ratio before failing")
+		preset    = flag.String("preset", "europe-m", "roadnet instance preset")
+	)
+	flag.Parse()
+
+	g, h, sources, err := buildFixture(roadnet.Preset(*preset))
+	if err != nil {
+		return err
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Instance:  *preset + "/dfs",
+		N:         g.NumVertices(),
+		M:         g.NumArcs(),
+	}
+	pt, lt, err := measure(h, "Table1_PHASTReordered", 1, sources,
+		func(e *core.Engine) (float64, float64) { return benchTree(e, sources) })
+	if err != nil {
+		return err
+	}
+	pm, lm, err := measure(h, "Table2_MultiTree_k16", 16, sources,
+		func(e *core.Engine) (float64, float64) { return benchMulti(e, sources, 16) })
+	if err != nil {
+		return err
+	}
+	rep.Results = []Result{pt, lt, pm, lm}
+	rep.SpeedupTree = lt.NsPerTree / pt.NsPerTree
+	rep.SpeedupMulti = lm.NsPerTree / pm.NsPerTree
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-32s %12.0f ns/op %12.0f ns/tree %8.2f modeled GB/s\n",
+			r.Name, r.NsPerOp, r.NsPerTree, r.ModeledGBps)
+	}
+	fmt.Printf("packed speedup: %.3fx single-tree, %.3fx multi k=16 (gate: ratio ≤ %.2f)\n",
+		rep.SpeedupTree, rep.SpeedupMulti, *tolerance)
+
+	if ratio := pt.NsPerTree / lt.NsPerTree; ratio > *tolerance {
+		return fmt.Errorf("packed single-tree sweep is %.3fx legacy time (tolerance %.2f)", ratio, *tolerance)
+	}
+	if ratio := pm.NsPerTree / lm.NsPerTree; ratio > *tolerance {
+		return fmt.Errorf("packed multi-tree sweep is %.3fx legacy time (tolerance %.2f)", ratio, *tolerance)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+}

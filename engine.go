@@ -21,6 +21,18 @@ type Options struct {
 	// SweepMode overrides the sweep order; the default is the fully
 	// reordered layout of Section IV-A. Exposed for experiments.
 	SweepMode SweepMode
+	// LegacySweep disables the packed single-stream sweep layout and
+	// falls back to the separate first/arclist/mark CSR kernels. The
+	// packed stream is the default; this switch exists for A/B
+	// comparison and as an escape hatch.
+	LegacySweep bool
+}
+
+func (o *Options) packed() core.PackedSetting {
+	if o.LegacySweep {
+		return core.PackedOff
+	}
+	return core.PackedDefault
 }
 
 // SweepMode selects the linear-sweep vertex order.
@@ -52,7 +64,7 @@ func Preprocess(g *Graph, opt *Options) (*Engine, error) {
 		opt = &Options{}
 	}
 	h := ch.Build(g, ch.Options{Workers: opt.CHWorkers})
-	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers})
+	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers, PackedSweep: opt.packed()})
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
@@ -77,7 +89,7 @@ func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers})
+	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers, PackedSweep: opt.packed()})
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}

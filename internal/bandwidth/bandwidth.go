@@ -110,3 +110,58 @@ func SequentialParallel(g *graph.Graph, dist []uint32, reps, workers int) time.D
 func BytesTouched(g *graph.Graph, dist []uint32) int64 {
 	return int64(len(g.FirstOut()))*4 + int64(g.NumArcs())*8 + int64(len(dist))*8
 }
+
+// SweepTraffic models the memory traffic of one PHAST sweep (phase 2),
+// the denominator of the achieved-GB/s numbers reported next to the
+// Sequential/Traversal lower bounds. The model counts the data streams
+// the kernels actually walk: the graph layout once per sweep, plus k
+// tail-label reads per arc and k label writes per vertex. It
+// deliberately ignores cache reuse of the tail labels, so the reported
+// GB/s is an upper bound on true DRAM traffic and a stable
+// regression-checkable figure of merit.
+type SweepTraffic struct {
+	// N and M are the downward graph's vertex and arc counts.
+	N, M int
+	// K is the number of trees grown per sweep (0 is treated as 1).
+	K int
+	// PackedWords, when positive, selects the fused single-stream layout
+	// (graph.Packed.Words): the whole graph walk is PackedWords uint32s.
+	PackedWords int
+	// Ordered marks the legacy kernels' extra order-array stream (level
+	// or rank order with original IDs). Ignored when PackedWords > 0.
+	Ordered bool
+	// Parents adds the parent-pointer write stream (TreeWithParents).
+	Parents bool
+}
+
+// Bytes returns the modeled bytes one sweep touches.
+func (t SweepTraffic) Bytes() int64 {
+	k := int64(t.K)
+	if k < 1 {
+		k = 1
+	}
+	var b int64
+	if t.PackedWords > 0 {
+		b = int64(t.PackedWords) * 4
+	} else {
+		// first (4(n+1)) + AoS arcs (8m) + mark bytes (n).
+		b = int64(t.N+1)*4 + int64(t.M)*8 + int64(t.N)
+		if t.Ordered {
+			b += int64(t.N) * 4
+		}
+	}
+	b += k * (int64(t.M)*4 + int64(t.N)*4) // tail-label reads + label writes
+	if t.Parents {
+		b += int64(t.N) * 4
+	}
+	return b
+}
+
+// GBps converts bytes moved in d into gigabytes per second (10^9 B/s,
+// the unit the paper's Section VIII-B discussion uses).
+func GBps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e9
+}

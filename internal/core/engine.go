@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"phast/internal/bandwidth"
 	"phast/internal/ch"
 	"phast/internal/graph"
 	"phast/internal/layout"
@@ -59,6 +60,22 @@ func (m SweepMode) String() string {
 	}
 }
 
+// PackedSetting selects whether the engine sweeps the fused
+// single-stream layout (graph.Packed) or the legacy first/arclist CSR
+// walk. The zero value enables packing: the fused stream is the
+// production kernel, the legacy kernels remain as a differential oracle
+// and A/B baseline.
+type PackedSetting int
+
+const (
+	// PackedDefault is the zero value and means PackedOn.
+	PackedDefault PackedSetting = iota
+	// PackedOn sweeps the fused single-stream layout.
+	PackedOn
+	// PackedOff sweeps the legacy CSR kernels (first + arclist + mark).
+	PackedOff
+)
+
 // Options configures engine construction.
 type Options struct {
 	// Mode is the sweep order; the zero value is SweepReordered.
@@ -66,6 +83,9 @@ type Options struct {
 	// Workers is the number of goroutines used when a tree is computed
 	// with the intra-level parallel sweep. 0 selects GOMAXPROCS.
 	Workers int
+	// PackedSweep selects the fused single-stream sweep layout (default
+	// on) or the legacy CSR kernels (PackedOff), kept as an A/B oracle.
+	PackedSweep PackedSetting
 }
 
 // shared is the immutable, source-independent state every Engine clone
@@ -81,6 +101,12 @@ type shared struct {
 	toEngine    []int32    // original ID -> engine ID
 	toOrig      []int32    // engine ID -> original ID
 	workers     int
+	// packed is the fused single-stream sweep layout of downIn in sweep
+	// order; nil when Options.PackedSweep is PackedOff.
+	packed *graph.Packed
+	// pos maps an engine vertex ID to its sweep position (the inverse of
+	// order); nil when the order is the identity.
+	pos []int32
 }
 
 // Engine computes shortest-path trees with PHAST. One Engine owns one
@@ -96,6 +122,7 @@ type Engine struct {
 	hasParents bool    // last tree recorded parents
 	queue      *chHeap
 	touched    []int32 // engine IDs labeled by the last upward search
+	seedPos    []int32 // packed sweeps: sorted sweep positions of touched
 	src        int32   // engine ID of the last source, -1 initially
 	// multi-tree state (Section IV-B)
 	k     int
@@ -154,6 +181,19 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	}
 	s.up = s.h.Up
 	s.downIn = s.h.DownIn
+	if opt.PackedSweep != PackedOff {
+		p, err := graph.NewPacked(s.downIn, s.order)
+		if err != nil {
+			return nil, fmt.Errorf("core: packing sweep stream: %w", err)
+		}
+		s.packed = p
+		if s.order != nil {
+			s.pos = make([]int32, n)
+			for i, v := range s.order {
+				s.pos[v] = int32(i)
+			}
+		}
+	}
 	return newEngineFromShared(s), nil
 }
 
@@ -191,6 +231,26 @@ func (e *Engine) OrigID(v int32) int32 { return e.s.toOrig[v] }
 // level order). In SweepRankOrder mode it returns nil. The slice is
 // shared; callers must not modify it.
 func (e *Engine) LevelRanges() [][2]int32 { return e.s.levelRanges }
+
+// Packed returns the fused single-stream sweep layout the engine scans,
+// or nil when the engine was built with PackedOff. Consumers that mirror
+// the sweep's data layout (GPHAST's device upload) decode it instead of
+// re-deriving the CSR arrays.
+func (e *Engine) Packed() *graph.Packed { return e.s.packed }
+
+// SweepBytes returns the modeled bytes one k-tree sweep on this engine
+// touches (bandwidth.SweepTraffic over the engine's actual layout).
+// Divide by the measured sweep time for achieved GB/s against the
+// Section VIII-B lower bounds; k <= 0 is treated as a single tree.
+func (e *Engine) SweepBytes(k int) int64 {
+	t := bandwidth.SweepTraffic{N: e.s.n, M: e.s.downIn.NumArcs(), K: k}
+	if e.s.packed != nil {
+		t.PackedWords = e.s.packed.Words()
+	} else {
+		t.Ordered = e.s.order != nil
+	}
+	return t.Bytes()
+}
 
 // Dist returns the distance label of original-ID vertex v from the last
 // Tree/TreeParallel call, or graph.Inf if unreached.

@@ -34,6 +34,11 @@ func (e *Engine) CheckInvariants() error {
 			return err
 		}
 	}
+	if s.packed != nil {
+		if err := invariant.PackedStream(s.packed, s.downIn, s.order); err != nil {
+			return err
+		}
+	}
 	if err := invariant.MinHeap(e.queue.keys); err != nil {
 		return err
 	}

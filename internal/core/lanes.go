@@ -13,10 +13,10 @@ import "phast/internal/graph"
 func relax4(dst, src []uint32, w uint32) {
 	_ = src[3]
 	_ = dst[3]
-	s0 := addSat(src[0], w)
-	s1 := addSat(src[1], w)
-	s2 := addSat(src[2], w)
-	s3 := addSat(src[3], w)
+	s0 := graph.AddSat(src[0], w)
+	s1 := graph.AddSat(src[1], w)
+	s2 := graph.AddSat(src[2], w)
+	s3 := graph.AddSat(src[3], w)
 	if s0 < dst[0] {
 		dst[0] = s0
 	}
@@ -29,17 +29,4 @@ func relax4(dst, src []uint32, w uint32) {
 	if s3 < dst[3] {
 		dst[3] = s3
 	}
-}
-
-// addSat is a local branch-light saturating add: if the 32-bit sum
-// wrapped, the true sum exceeded any representable label and Inf is the
-// correct (neutral) result.
-//
-//phast:hotpath
-func addSat(a, b uint32) uint32 {
-	s := a + b
-	if s < a {
-		return graph.Inf
-	}
-	return s
 }

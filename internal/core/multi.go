@@ -32,6 +32,15 @@ func (e *Engine) MultiTree(sources []int32, useLanes bool) {
 	for i, src := range sources {
 		e.chSearchLane(src, i, k)
 	}
+	if e.s.packed != nil {
+		e.buildSeeds()
+		if useLanes {
+			e.sweepPackedMultiLanes(k)
+		} else {
+			e.sweepPackedMulti(k)
+		}
+		return
+	}
 	if useLanes {
 		e.sweepMultiLanes(k)
 	} else {
@@ -142,10 +151,10 @@ func (e *Engine) sweepMulti(k int) {
 			a := arcs[i]
 			ub := int(a.Head) * k
 			du := kd[ub : ub+k]
-			w := uint64(a.Weight)
+			w := a.Weight
 			for j := 0; j < k; j++ {
-				if nd := uint64(du[j]) + w; nd < uint64(dv[j]) {
-					dv[j] = uint32(nd)
+				if nd := graph.AddSat(du[j], w); nd < dv[j] {
+					dv[j] = nd
 				}
 			}
 		}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"slices"
+
+	"phast/internal/graph"
+)
+
+// This file holds the fused single-stream sweep kernels. The layout
+// (graph.Packed) interleaves each vertex's arc count with its (head,
+// weight) pairs in sweep order, so phase 2 is one forward pass over a
+// single []uint32 with no first[]/order[] indirection. The mark bit of
+// the implicit-initialization scheme (Section IV-C) is folded away
+// entirely: instead of branching on a per-vertex byte, the upward
+// search's touched set is converted once into a sorted list of sweep
+// positions and consumed by a merge cursor — the sweep never reads or
+// writes a mark array, which removes one n-byte stream and one
+// hard-to-predict branch per vertex. Relaxations stay 32-bit with
+// saturating adds (graph.AddSat compiles to add + cmp + cmov).
+
+// buildSeeds converts e.touched (the upward search space, engine IDs)
+// into e.seedPos: the sorted sweep positions whose labels are already
+// seeded in dist/kdist. It also clears the marks the search set, so the
+// engine's between-trees invariant (all marks false) holds without the
+// sweep touching the mark array.
+//
+//phast:hotpath
+func (e *Engine) buildSeeds() {
+	e.seedPos = e.seedPos[:0]
+	pos := e.s.pos
+	if pos == nil {
+		for _, v := range e.touched {
+			e.mark[v] = false
+			e.seedPos = append(e.seedPos, v)
+		}
+	} else {
+		for _, v := range e.touched {
+			e.mark[v] = false
+			e.seedPos = append(e.seedPos, pos[v])
+		}
+	}
+	slices.Sort(e.seedPos)
+}
+
+// seedLowerBound returns the first index in seeds holding a position
+// >= lo (hand-rolled so the parallel kernels stay closure-free).
+//
+//phast:hotpath
+func seedLowerBound(seeds []int32, lo int32) int {
+	i, j := 0, len(seeds)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if seeds[h] < lo {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
+}
+
+// sweepPacked is the packed single-tree kernel: one forward pass over
+// the fused stream. Seeded positions take their CH label as the initial
+// best; all others start at Inf with no initialization pass.
+//
+//phast:hotpath
+func (e *Engine) sweepPacked() {
+	pk := e.s.packed
+	stream := pk.Stream()
+	hasV := pk.ExplicitVertex()
+	dist := e.dist
+	seeds := e.seedPos
+	si := 0
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	p := int32(0)
+	for i := 0; i < len(stream); {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
+		}
+		best := graph.Inf
+		if p == next {
+			best = dist[v]
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
+			}
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			nd := graph.AddSat(dist[stream[i]], stream[i+1])
+			if nd < best {
+				best = nd
+			}
+		}
+		dist[v] = best
+		p++
+	}
+}
+
+// sweepPackedParents is sweepPacked recording G+ parent pointers.
+//
+//phast:hotpath
+func (e *Engine) sweepPackedParents() {
+	pk := e.s.packed
+	stream := pk.Stream()
+	hasV := pk.ExplicitVertex()
+	dist := e.dist
+	parent := e.parent
+	seeds := e.seedPos
+	si := 0
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	p := int32(0)
+	for i := 0; i < len(stream); {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
+		}
+		best := graph.Inf
+		bestP := int32(-1)
+		if p == next {
+			best = dist[v]
+			bestP = parent[v] // set by the CH search
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
+			}
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			h := stream[i]
+			nd := graph.AddSat(dist[h], stream[i+1])
+			if nd < best {
+				best = nd
+				bestP = int32(h)
+			}
+		}
+		dist[v] = best
+		parent[v] = bestP
+		p++
+	}
+}
+
+// sweepPackedMulti relaxes all k trees in one pass over the fused
+// stream with a scalar inner loop (the packed analogue of sweepMulti).
+// Untouched vertices have their k lanes Inf-filled inline; touched ones
+// keep the CH labels chSearchLane left in place.
+//
+//phast:hotpath
+func (e *Engine) sweepPackedMulti(k int) {
+	pk := e.s.packed
+	stream := pk.Stream()
+	hasV := pk.ExplicitVertex()
+	kd := e.kdist
+	seeds := e.seedPos
+	si := 0
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	p := int32(0)
+	for i := 0; i < len(stream); {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
+		}
+		base := int(v) * k
+		dv := kd[base : base+k]
+		if p == next {
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
+			}
+		} else {
+			for j := range dv {
+				dv[j] = graph.Inf
+			}
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			ub := int(stream[i]) * k
+			du := kd[ub : ub+k]
+			w := stream[i+1]
+			for j := 0; j < k; j++ {
+				nd := graph.AddSat(du[j], w)
+				if nd < dv[j] {
+					dv[j] = nd
+				}
+			}
+		}
+		p++
+	}
+}
+
+// sweepPackedMultiLanes is sweepPackedMulti with the inner loop
+// unrolled into the 4-wide relax4 lanes (Section IV-B SSE analogue).
+//
+//phast:hotpath
+func (e *Engine) sweepPackedMultiLanes(k int) {
+	pk := e.s.packed
+	stream := pk.Stream()
+	hasV := pk.ExplicitVertex()
+	kd := e.kdist
+	seeds := e.seedPos
+	si := 0
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	p := int32(0)
+	for i := 0; i < len(stream); {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
+		}
+		base := int(v) * k
+		dv := kd[base : base+k : base+k]
+		if p == next {
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
+			}
+		} else {
+			for j := range dv {
+				dv[j] = graph.Inf
+			}
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			ub := int(stream[i]) * k
+			du := kd[ub : ub+k : ub+k]
+			w := stream[i+1]
+			for j := 0; j+4 <= k; j += 4 {
+				relax4(dv[j:j+4:j+4], du[j:j+4:j+4], w)
+			}
+		}
+		p++
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+
+	"phast/internal/graph"
+)
+
+// Intra-level parallel variants of the packed kernels (Section V over
+// the fused stream). Workers enter the stream at level-chunk boundaries
+// through Packed.BlockStarts and each carries its own seed cursor,
+// positioned with one binary search per chunk; the barrier scaffolding
+// is identical to sweepParallel/sweepMultiParallel.
+
+// sweepPackedParallel is sweepPacked with a per-level barrier.
+//
+//phast:hotpath
+func (e *Engine) sweepPackedParallel() {
+	pk := e.s.packed
+	stream := pk.Stream()
+	blockStart := pk.BlockStarts()
+	hasV := pk.ExplicitVertex()
+	dist := e.dist
+	seeds := e.seedPos
+	workers := e.s.workers
+
+	// scanRange processes sweep positions [lo,hi).
+	scanRange := func(lo, hi int32) {
+		si := seedLowerBound(seeds, lo)
+		next := int32(-1)
+		if si < len(seeds) {
+			next = seeds[si]
+		}
+		i := blockStart[lo]
+		for p := lo; p < hi; p++ {
+			deg := int(stream[i])
+			i++
+			v := p
+			if hasV {
+				v = int32(stream[i])
+				i++
+			}
+			best := graph.Inf
+			if p == next {
+				best = dist[v]
+				si++
+				next = -1
+				if si < len(seeds) {
+					next = seeds[si]
+				}
+			}
+			for end := i + 2*deg; i < end; i += 2 {
+				nd := graph.AddSat(dist[stream[i]], stream[i+1])
+				if nd < best {
+					best = nd
+				}
+			}
+			dist[v] = best
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range e.s.levelRanges {
+		lo, hi := r[0], r[1]
+		size := hi - lo
+		if int(size) < minParallelLevel {
+			scanRange(lo, hi)
+			continue
+		}
+		chunk := (size + int32(workers) - 1) / int32(workers)
+		for w := 1; w < workers; w++ {
+			clo := lo + int32(w)*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			if clo >= chi {
+				continue
+			}
+			wg.Add(1)
+			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
+			go func(clo, chi int32) {
+				defer wg.Done()
+				scanRange(clo, chi)
+			}(clo, chi)
+		}
+		chi := lo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		scanRange(lo, chi)
+		wg.Wait() // barrier: the next level reads this level's labels
+	}
+}
+
+// sweepPackedMultiParallel is sweepPackedMulti with a per-level barrier.
+//
+//phast:hotpath
+func (e *Engine) sweepPackedMultiParallel(k int) {
+	pk := e.s.packed
+	stream := pk.Stream()
+	blockStart := pk.BlockStarts()
+	hasV := pk.ExplicitVertex()
+	kd := e.kdist
+	seeds := e.seedPos
+	workers := e.s.workers
+
+	scanRange := func(lo, hi int32) {
+		si := seedLowerBound(seeds, lo)
+		next := int32(-1)
+		if si < len(seeds) {
+			next = seeds[si]
+		}
+		i := blockStart[lo]
+		for p := lo; p < hi; p++ {
+			deg := int(stream[i])
+			i++
+			v := p
+			if hasV {
+				v = int32(stream[i])
+				i++
+			}
+			base := int(v) * k
+			dv := kd[base : base+k]
+			if p == next {
+				si++
+				next = -1
+				if si < len(seeds) {
+					next = seeds[si]
+				}
+			} else {
+				for j := range dv {
+					dv[j] = graph.Inf
+				}
+			}
+			for end := i + 2*deg; i < end; i += 2 {
+				ub := int(stream[i]) * k
+				du := kd[ub : ub+k]
+				w := stream[i+1]
+				for j := 0; j < k; j++ {
+					nd := graph.AddSat(du[j], w)
+					if nd < dv[j] {
+						dv[j] = nd
+					}
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range e.s.levelRanges {
+		lo, hi := r[0], r[1]
+		size := hi - lo
+		if int(size)*k < minParallelLevel {
+			scanRange(lo, hi)
+			continue
+		}
+		chunk := (size + int32(workers) - 1) / int32(workers)
+		for w := 1; w < workers; w++ {
+			clo := lo + int32(w)*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			if clo >= chi {
+				continue
+			}
+			wg.Add(1)
+			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
+			go func(clo, chi int32) {
+				defer wg.Done()
+				scanRange(clo, chi)
+			}(clo, chi)
+		}
+		chi := lo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		scanRange(lo, chi)
+		wg.Wait()
+	}
+}

@@ -21,6 +21,15 @@ func (e *Engine) TreeParallel(source int32) {
 	e.hasParents = false
 	e.lastMulti = false
 	e.chSearch(source, nil)
+	if e.s.packed != nil {
+		e.buildSeeds()
+		if e.s.levelRanges == nil || e.s.workers <= 1 {
+			e.sweepPacked()
+		} else {
+			e.sweepPackedParallel()
+		}
+		return
+	}
 	if e.s.levelRanges == nil || e.s.workers <= 1 {
 		if e.s.order == nil {
 			e.sweepIdentity()
@@ -58,6 +67,11 @@ func (e *Engine) MultiTreeParallel(sources []int32) {
 	for i, src := range sources {
 		e.chSearchLane(src, i, k)
 	}
+	if e.s.packed != nil {
+		e.buildSeeds()
+		e.sweepPackedMultiParallel(k)
+		return
+	}
 	e.sweepMultiParallel(k)
 }
 
@@ -94,10 +108,10 @@ func (e *Engine) sweepMultiParallel(k int) {
 				a := arcs[i]
 				ub := int(a.Head) * k
 				du := kd[ub : ub+k]
-				w := uint64(a.Weight)
+				w := a.Weight
 				for j := 0; j < k; j++ {
-					if nd := uint64(du[j]) + w; nd < uint64(dv[j]) {
-						dv[j] = uint32(nd)
+					if nd := graph.AddSat(du[j], w); nd < dv[j] {
+						dv[j] = nd
 					}
 				}
 			}
@@ -157,18 +171,18 @@ func (e *Engine) sweepParallel() {
 			if order != nil {
 				v = order[p]
 			}
-			best := uint64(graph.Inf)
+			best := graph.Inf
 			if mark[v] {
-				best = uint64(dist[v])
+				best = dist[v]
 				mark[v] = false
 			}
 			for i := first[v]; i < first[v+1]; i++ {
 				a := arcs[i]
-				if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+				if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
 					best = nd
 				}
 			}
-			dist[v] = uint32(best)
+			dist[v] = best
 		}
 	}
 

@@ -10,6 +10,11 @@ func (e *Engine) Tree(source int32) {
 	e.hasParents = false
 	e.lastMulti = false
 	e.chSearch(source, nil)
+	if e.s.packed != nil {
+		e.buildSeeds()
+		e.sweepPacked()
+		return
+	}
 	if e.s.order == nil {
 		e.sweepIdentity()
 	} else {
@@ -26,6 +31,11 @@ func (e *Engine) TreeWithParents(source int32) {
 	e.hasParents = true
 	e.lastMulti = false
 	e.chSearch(source, e.parent)
+	if e.s.packed != nil {
+		e.buildSeeds()
+		e.sweepPackedParents()
+		return
+	}
 	if e.s.order == nil {
 		e.sweepIdentityParents()
 	} else {
@@ -120,18 +130,18 @@ func (e *Engine) sweepIdentity() {
 	mark := e.mark
 	n := int32(e.s.n)
 	for v := int32(0); v < n; v++ {
-		best := uint64(graph.Inf)
+		best := graph.Inf
 		if mark[v] {
-			best = uint64(dist[v])
+			best = dist[v]
 			mark[v] = false
 		}
 		for i := first[v]; i < first[v+1]; i++ {
 			a := arcs[i]
-			if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+			if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
 				best = nd
 			}
 		}
-		dist[v] = uint32(best)
+		dist[v] = best
 	}
 }
 
@@ -145,18 +155,18 @@ func (e *Engine) sweepOrdered() {
 	dist := e.dist
 	mark := e.mark
 	for _, v := range e.s.order {
-		best := uint64(graph.Inf)
+		best := graph.Inf
 		if mark[v] {
-			best = uint64(dist[v])
+			best = dist[v]
 			mark[v] = false
 		}
 		for i := first[v]; i < first[v+1]; i++ {
 			a := arcs[i]
-			if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+			if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
 				best = nd
 			}
 		}
-		dist[v] = uint32(best)
+		dist[v] = best
 	}
 }
 
@@ -171,21 +181,21 @@ func (e *Engine) sweepIdentityParents() {
 	parent := e.parent
 	n := int32(e.s.n)
 	for v := int32(0); v < n; v++ {
-		best := uint64(graph.Inf)
+		best := graph.Inf
 		bestP := int32(-1)
 		if mark[v] {
-			best = uint64(dist[v])
+			best = dist[v]
 			bestP = parent[v] // set by the CH search
 			mark[v] = false
 		}
 		for i := first[v]; i < first[v+1]; i++ {
 			a := arcs[i]
-			if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+			if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
 				best = nd
 				bestP = a.Head
 			}
 		}
-		dist[v] = uint32(best)
+		dist[v] = best
 		parent[v] = bestP
 	}
 }
@@ -200,21 +210,21 @@ func (e *Engine) sweepOrderedParents() {
 	mark := e.mark
 	parent := e.parent
 	for _, v := range e.s.order {
-		best := uint64(graph.Inf)
+		best := graph.Inf
 		bestP := int32(-1)
 		if mark[v] {
-			best = uint64(dist[v])
+			best = dist[v]
 			bestP = parent[v]
 			mark[v] = false
 		}
 		for i := first[v]; i < first[v+1]; i++ {
 			a := arcs[i]
-			if nd := uint64(dist[a.Head]) + uint64(a.Weight); nd < best {
+			if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
 				best = nd
 				bestP = a.Head
 			}
 		}
-		dist[v] = uint32(best)
+		dist[v] = best
 		parent[v] = bestP
 	}
 }

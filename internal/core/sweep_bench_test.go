@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"phast/internal/ch"
+)
+
+// Sweep-kernel microbenchmarks: phase 2 only, no upward search in the
+// timed region, so the packed stream and the legacy CSR+mark kernels
+// are compared on exactly the code the fused layout changes.
+
+var sweepBench struct {
+	h *ch.Hierarchy
+	n int
+}
+
+func sweepHierarchy(b *testing.B) (*ch.Hierarchy, int) {
+	if sweepBench.h == nil {
+		rng := rand.New(rand.NewSource(9))
+		g := gridGraph(rng, 120, 100, 30)
+		sweepBench.h = ch.Build(g, ch.Options{Workers: 1})
+		sweepBench.n = g.NumVertices()
+	}
+	return sweepBench.h, sweepBench.n
+}
+
+func benchSweepKernel(b *testing.B, packed PackedSetting) {
+	h, n := sweepHierarchy(b)
+	e, err := NewEngine(h, Options{Mode: SweepReordered, Workers: 1, PackedSweep: packed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := int32(n / 2)
+	b.ResetTimer()
+	if packed != PackedOff {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e.chSearch(src, nil)
+			e.buildSeeds()
+			b.StartTimer()
+			e.sweepPacked()
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e.chSearch(src, nil)
+			b.StartTimer()
+			e.sweepIdentity()
+		}
+	}
+}
+
+func BenchmarkSweepKernelPacked(b *testing.B) { benchSweepKernel(b, PackedOn) }
+func BenchmarkSweepKernelLegacy(b *testing.B) { benchSweepKernel(b, PackedOff) }

@@ -140,6 +140,7 @@ func Suite() []Runner {
 		{"table6", "Dijkstra vs PHAST vs GPHAST, time and energy", Table6},
 		{"table7", "other inputs: Europe/USA x time/distance", Table7},
 		{"lowerbound", "memory-bandwidth lower bounds (Sec. VIII-B)", LowerBound},
+		{"bound", "achieved sweep bandwidth vs the Sec. VIII-B memory bounds", Bound},
 		{"apps", "applications: arc flags, diameter, reach, betweenness", Apps},
 		{"ablation", "design-choice ablations: priority terms, hop limits, sweep order", Ablation},
 		{"rphast", "RPHAST extension: one-to-many restricted sweeps", RPHAST},

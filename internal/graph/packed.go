@@ -1,0 +1,179 @@
+package graph
+
+import "fmt"
+
+// Packed is the fused single-stream sweep layout: the adjacency arrays
+// of a (downward, incoming-arc) graph flattened into one []uint32 the
+// linear sweep reads front to back, so phase 2 of PHAST touches exactly
+// one sequential array instead of first + arclist (+ order).
+//
+// Stream grammar, one block per sweep position p = 0..n-1:
+//
+//	[deg]            out-degree of the vertex scanned at position p
+//	[v]              the vertex itself — present only when the sweep
+//	                 order is not the identity (ExplicitVertex)
+//	[head] [weight]  deg arc pairs, in adjacency-list order
+//
+// In the reordered layout of Section IV-A the order is the identity, the
+// vertex word is elided, and the stream is n+2m words: strictly fewer
+// bytes than the legacy first (4(n+1)) + AoS arcs (8m) + mark (n) walk.
+// Head IDs remain plain vertex IDs (not word offsets), so the label
+// array is indexed directly.
+type Packed struct {
+	stream     []uint32
+	blockStart []int // len n+1: word offset of each position's block
+	n, m       int
+	explicitV  bool
+}
+
+// NewPacked fuses g's adjacency arrays into a packed stream scanned in
+// the given sweep order (order[p] = vertex visited at position p). A nil
+// order means the identity scan 0..n-1, which elides the per-block
+// vertex word. order, when non-nil, must be a permutation of [0,n).
+func NewPacked(g *Graph, order []int32) (*Packed, error) {
+	n := g.NumVertices()
+	m := g.NumArcs()
+	explicit := order != nil
+	if explicit {
+		if len(order) != n {
+			return nil, fmt.Errorf("graph: packed order has length %d, want %d", len(order), n)
+		}
+		seen := make([]bool, n)
+		for p, v := range order {
+			if v < 0 || int(v) >= n || seen[v] {
+				return nil, fmt.Errorf("graph: packed order is not a permutation at position %d", p)
+			}
+			seen[v] = true
+		}
+	}
+	words := n + 2*m
+	if explicit {
+		words += n
+	}
+	stream := make([]uint32, words)
+	blockStart := make([]int, n+1)
+	i := 0
+	for p := 0; p < n; p++ {
+		blockStart[p] = i
+		v := int32(p)
+		if explicit {
+			v = order[p]
+		}
+		arcs := g.Arcs(v)
+		stream[i] = uint32(len(arcs))
+		i++
+		if explicit {
+			stream[i] = uint32(v)
+			i++
+		}
+		for _, a := range arcs {
+			stream[i] = uint32(a.Head)
+			stream[i+1] = a.Weight
+			i += 2
+		}
+	}
+	blockStart[n] = i
+	return &Packed{stream: stream, blockStart: blockStart, n: n, m: m, explicitV: explicit}, nil
+}
+
+// Stream exposes the fused word stream. Callers must not modify it.
+func (p *Packed) Stream() []uint32 { return p.stream }
+
+// BlockStarts exposes the word offset of every sweep position's block
+// (length n+1, ending at Words). The parallel sweep uses it to enter the
+// stream at a level chunk boundary. Callers must not modify it.
+func (p *Packed) BlockStarts() []int { return p.blockStart }
+
+// ExplicitVertex reports whether each block carries a vertex word (true
+// for non-identity sweep orders).
+func (p *Packed) ExplicitVertex() bool { return p.explicitV }
+
+// NumVertices returns n.
+func (p *Packed) NumVertices() int { return p.n }
+
+// NumArcs returns m.
+func (p *Packed) NumArcs() int { return p.m }
+
+// Words returns the stream length in uint32 words.
+func (p *Packed) Words() int { return len(p.stream) }
+
+// MemoryBytes reports the footprint of the stream and block index.
+func (p *Packed) MemoryBytes() int64 {
+	return int64(len(p.stream))*4 + int64(len(p.blockStart))*8
+}
+
+// Unpack decodes the stream back into a CSR graph and the sweep order it
+// was built with (nil for the identity). It validates the grammar as it
+// goes and is the round-trip half of the phastdebug packed invariant.
+func (p *Packed) Unpack() (*Graph, []int32, error) {
+	n, m := p.n, p.m
+	var order []int32
+	if p.explicitV {
+		order = make([]int32, n)
+	}
+	deg := make([]int32, n)
+	heads := make([][2]uint32, 0, m) // (head, weight) in stream order per vertex
+	type block struct{ v, off, deg int32 }
+	blocks := make([]block, 0, n)
+	seen := make([]bool, n)
+	i := 0
+	for pos := 0; pos < n; pos++ {
+		if i >= len(p.stream) {
+			return nil, nil, fmt.Errorf("graph: packed stream truncated at position %d", pos)
+		}
+		d := int(p.stream[i])
+		i++
+		v := int32(pos)
+		if p.explicitV {
+			if i >= len(p.stream) {
+				return nil, nil, fmt.Errorf("graph: packed stream truncated at position %d", pos)
+			}
+			v = int32(p.stream[i])
+			i++
+			if v < 0 || int(v) >= n {
+				return nil, nil, fmt.Errorf("graph: packed vertex %d out of range at position %d", v, pos)
+			}
+			if seen[v] {
+				return nil, nil, fmt.Errorf("graph: packed vertex %d appears twice", v)
+			}
+			seen[v] = true
+			order[pos] = v
+		}
+		if i+2*d > len(p.stream) {
+			return nil, nil, fmt.Errorf("graph: packed block of vertex %d overruns the stream", v)
+		}
+		deg[v] = int32(d)
+		blocks = append(blocks, block{v: v, off: int32(len(heads)), deg: int32(d)})
+		for a := 0; a < d; a++ {
+			h := p.stream[i]
+			if int(h) >= n {
+				return nil, nil, fmt.Errorf("graph: packed head %d out of range", h)
+			}
+			heads = append(heads, [2]uint32{h, p.stream[i+1]})
+			i += 2
+		}
+	}
+	if i != len(p.stream) {
+		return nil, nil, fmt.Errorf("graph: packed stream has %d trailing words", len(p.stream)-i)
+	}
+	if len(heads) != m {
+		return nil, nil, fmt.Errorf("graph: packed degrees sum to %d arcs, want %d", len(heads), m)
+	}
+	first := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		first[v+1] = first[v] + deg[v]
+	}
+	arcs := make([]Arc, m)
+	for _, b := range blocks {
+		dst := arcs[first[b.v] : first[b.v]+b.deg]
+		src := heads[b.off : b.off+b.deg]
+		for j, hw := range src {
+			dst[j] = Arc{Head: int32(hw[0]), Weight: hw[1]}
+		}
+	}
+	g, err := FromRaw(first, arcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, order, nil
+}

@@ -159,6 +159,17 @@ type Stats struct {
 	QueueDepth int
 	// QueueHighWater is the maximum queue depth observed.
 	QueueHighWater int
+	// SweepSeconds is the total wall time executors spent inside
+	// multi-source sweeps (summed across engines, so it can exceed the
+	// server's elapsed time under parallel batches).
+	SweepSeconds float64
+	// SweepBytes is the modeled memory traffic of those sweeps
+	// (core.Engine.SweepBytes, k-lane aware).
+	SweepBytes uint64
+	// SweepGBps is the modeled achieved sweep bandwidth,
+	// SweepBytes/SweepSeconds — comparable against the Section VIII-B
+	// Sequential/Traversal lower bounds (see cmd/experiments -run bound).
+	SweepGBps float64
 }
 
 // TreeServer batches concurrent tree queries into multi-source PHAST
@@ -186,6 +197,8 @@ type TreeServer struct {
 	occupancy  atomic.Uint64
 	queueDepth atomic.Int64
 	queueHW    atomic.Int64
+	sweepNanos atomic.Uint64
+	sweepBytes atomic.Uint64
 }
 
 // New starts a TreeServer over proto's preprocessed data. proto itself
@@ -351,6 +364,11 @@ func (s *TreeServer) Stats() Stats {
 	if st.Batches > 0 {
 		st.MeanBatchOccupancy = float64(s.occupancy.Load()) / float64(st.Batches)
 	}
+	st.SweepSeconds = float64(s.sweepNanos.Load()) / 1e9
+	st.SweepBytes = s.sweepBytes.Load()
+	if st.SweepSeconds > 0 {
+		st.SweepGBps = float64(st.SweepBytes) / st.SweepSeconds / 1e9
+	}
 	return st
 }
 
@@ -434,7 +452,10 @@ func (s *TreeServer) executor(eng *core.Engine) {
 		for _, r := range live {
 			sources = append(sources, r.source)
 		}
+		sweepStart := time.Now()
 		eng.MultiTreeParallel(sources)
+		s.sweepNanos.Add(uint64(time.Since(sweepStart).Nanoseconds()))
+		s.sweepBytes.Add(uint64(eng.SweepBytes(len(sources))))
 		s.batchCount.Add(1)
 		s.occupancy.Add(uint64(len(live)))
 		for i, r := range live {

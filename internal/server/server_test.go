@@ -146,6 +146,16 @@ func TestStatsCountQueriesAndBatches(t *testing.T) {
 	if st.QueueHighWater < 1 {
 		t.Fatalf("QueueHighWater=%d, want ≥1", st.QueueHighWater)
 	}
+	// Bandwidth accounting: every batch adds sweep time and modeled bytes.
+	if st.SweepSeconds <= 0 {
+		t.Fatalf("SweepSeconds=%v after %d batches, want >0", st.SweepSeconds, st.Batches)
+	}
+	if st.SweepBytes == 0 {
+		t.Fatal("SweepBytes=0 after batches")
+	}
+	if st.SweepGBps <= 0 {
+		t.Fatalf("SweepGBps=%v, want >0", st.SweepGBps)
+	}
 }
 
 func TestContextCancellation(t *testing.T) {
