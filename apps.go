@@ -83,9 +83,10 @@ func allVertices(n int) []int32 {
 // point-to-point queries with a flag-pruned Dijkstra (Section VII-B.b),
 // unidirectional or bidirectional.
 type ArcFlags struct {
-	f   *arcflags.ArcFlags
-	q   *arcflags.Query
-	biq *arcflags.BiQuery // nil unless built with Bidirectional
+	f       *arcflags.ArcFlags
+	q       *arcflags.Query
+	biq     *arcflags.BiQuery // nil unless built with Bidirectional
+	chStats []BuildStats      // one entry per hierarchy preprocessed
 }
 
 // ArcFlagsOptions configures BuildArcFlags.
@@ -126,21 +127,26 @@ func BuildArcFlags(g *Graph, opt *ArcFlagsOptions) (*ArcFlags, error) {
 		return nil, err
 	}
 	var reverseTree, forwardTree arcflags.ReverseTreeFunc
+	var chStats []BuildStats
 	if opt.UseDijkstra {
 		reverseTree = arcflags.DijkstraReverseTrees(g)
 		forwardTree = arcflags.DijkstraReverseTrees(g.Transpose())
 	} else {
-		rev, err := arcflags.NewReverseEngine(g, ch.Options{Workers: opt.CHWorkers}, core.Options{})
+		var revStats BuildStats
+		rev, err := arcflags.NewReverseEngine(g, ch.Options{Workers: opt.CHWorkers, Stats: &revStats}, core.Options{})
 		if err != nil {
 			return nil, err
 		}
+		chStats = append(chStats, revStats)
 		reverseTree = arcflags.PHASTReverseTrees(rev)
 		if opt.Bidirectional {
-			hFwd := ch.Build(g, ch.Options{Workers: opt.CHWorkers})
+			var fwdStats BuildStats
+			hFwd := ch.Build(g, ch.Options{Workers: opt.CHWorkers, Stats: &fwdStats})
 			fwdEng, err := core.NewEngine(hFwd, core.Options{})
 			if err != nil {
 				return nil, err
 			}
+			chStats = append(chStats, fwdStats)
 			forwardTree = arcflags.PHASTForwardTrees(fwdEng)
 		}
 	}
@@ -150,17 +156,24 @@ func BuildArcFlags(g *Graph, opt *ArcFlagsOptions) (*ArcFlags, error) {
 			return nil, err
 		}
 		return &ArcFlags{
-			f:   bi.Forward(),
-			q:   arcflags.NewQuery(bi.Forward()),
-			biq: arcflags.NewBiQuery(bi),
+			f:       bi.Forward(),
+			q:       arcflags.NewQuery(bi.Forward()),
+			biq:     arcflags.NewBiQuery(bi),
+			chStats: chStats,
 		}, nil
 	}
 	f, err := arcflags.Compute(g, cells, k, reverseTree)
 	if err != nil {
 		return nil, err
 	}
-	return &ArcFlags{f: f, q: arcflags.NewQuery(f)}, nil
+	return &ArcFlags{f: f, q: arcflags.NewQuery(f), chStats: chStats}, nil
 }
+
+// PreprocessStats returns the CH preprocessing counters of the
+// hierarchies built for this index: the reverse hierarchy first, then
+// the forward one when the index is bidirectional. Empty when the index
+// was built with UseDijkstra (no hierarchy was preprocessed).
+func (a *ArcFlags) PreprocessStats() []BuildStats { return a.chStats }
 
 // Query returns the exact s→t distance: a bidirectional flag-pruned
 // search when the index was built with Bidirectional, the forward-only

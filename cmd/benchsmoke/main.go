@@ -1,15 +1,20 @@
-// Command benchsmoke is the CI benchmark smoke check for the packed
-// single-stream sweep layout: it times the packed kernels against their
-// legacy CSR+mark twins on the europe-xs benchmark fixture (same DFS
-// layout and source stream as the root bench_test.go), writes the
-// numbers to a JSON report (BENCH_3.json at the repo root), and exits
-// non-zero if the packed sweep is slower than legacy beyond the
-// tolerance — the regression gate for the layout's reason to exist.
+// Command benchsmoke is the CI benchmark smoke check, with two gated
+// metrics:
+//
+//   - sweep: times the packed single-stream sweep kernels against their
+//     legacy CSR+mark twins on the europe-m fixture (same DFS layout and
+//     source stream as the root bench_test.go), writes BENCH_3.json, and
+//     exits non-zero if packed is slower than legacy beyond tolerance.
+//   - chbuild: times batch-parallel CH preprocessing at Workers 1 and
+//     NumCPU on the same fixture graph, writes BENCH_4.json, and exits
+//     non-zero if the parallel build is slower than the sequential one
+//     (on a multi-core host) or the shortcut count drifts more than 5%.
 //
 // Usage:
 //
-//	benchsmoke                       write BENCH_3.json, gate at 1.05
-//	benchsmoke -out report.json -tolerance 1.10
+//	benchsmoke                       run both gates, write BENCH_3.json + BENCH_4.json
+//	benchsmoke -mode sweep -out report.json -tolerance 1.10
+//	benchsmoke -mode chbuild -chbuild-out BENCH_4.json
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"phast/internal/bandwidth"
 	"phast/internal/ch"
@@ -53,13 +59,17 @@ type Report struct {
 	Results      []Result `json:"results"`
 }
 
-func buildFixture(preset roadnet.Preset) (*graph.Graph, *ch.Hierarchy, []int32, error) {
+func fixtureGraph(preset roadnet.Preset) (*graph.Graph, error) {
 	net, err := roadnet.GeneratePreset(preset, roadnet.TravelTime)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	perm := layout.DFS(net.Graph, 0)
-	g, err := net.Graph.Permute(perm)
+	return net.Graph.Permute(perm)
+}
+
+func buildFixture(preset roadnet.Preset) (*graph.Graph, *ch.Hierarchy, []int32, error) {
+	g, err := fixtureGraph(preset)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -140,21 +150,8 @@ func measure(h *ch.Hierarchy, name string, k int, warm []int32,
 	return p, l, nil
 }
 
-func run() error {
-	var (
-		out = flag.String("out", "BENCH_3.json", "report path")
-		// 1.15 rather than a tight 1.02: shared CI hosts show ±10%
-		// run-to-run jitter even with interleaved fresh-engine rounds,
-		// and the gate exists to catch real regressions (packed
-		// suddenly 2x slower), not to flake on scheduler noise. The
-		// recorded speedup ratios in the report carry the actual
-		// measurement.
-		tolerance = flag.Float64("tolerance", 1.15, "max allowed packed/legacy time ratio before failing")
-		preset    = flag.String("preset", "europe-m", "roadnet instance preset")
-	)
-	flag.Parse()
-
-	g, h, sources, err := buildFixture(roadnet.Preset(*preset))
+func runSweep(out, preset string, tolerance float64) error {
+	g, h, sources, err := buildFixture(roadnet.Preset(preset))
 	if err != nil {
 		return err
 	}
@@ -162,7 +159,7 @@ func run() error {
 	rep := Report{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
-		Instance:  *preset + "/dfs",
+		Instance:  preset + "/dfs",
 		N:         g.NumVertices(),
 		M:         g.NumArcs(),
 	}
@@ -184,7 +181,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
 	for _, r := range rep.Results {
@@ -192,20 +189,160 @@ func run() error {
 			r.Name, r.NsPerOp, r.NsPerTree, r.ModeledGBps)
 	}
 	fmt.Printf("packed speedup: %.3fx single-tree, %.3fx multi k=16 (gate: ratio ≤ %.2f)\n",
-		rep.SpeedupTree, rep.SpeedupMulti, *tolerance)
+		rep.SpeedupTree, rep.SpeedupMulti, tolerance)
 
-	if ratio := pt.NsPerTree / lt.NsPerTree; ratio > *tolerance {
-		return fmt.Errorf("packed single-tree sweep is %.3fx legacy time (tolerance %.2f)", ratio, *tolerance)
+	if ratio := pt.NsPerTree / lt.NsPerTree; ratio > tolerance {
+		return fmt.Errorf("packed single-tree sweep is %.3fx legacy time (tolerance %.2f)", ratio, tolerance)
 	}
-	if ratio := pm.NsPerTree / lm.NsPerTree; ratio > *tolerance {
-		return fmt.Errorf("packed multi-tree sweep is %.3fx legacy time (tolerance %.2f)", ratio, *tolerance)
+	if ratio := pm.NsPerTree / lm.NsPerTree; ratio > tolerance {
+		return fmt.Errorf("packed multi-tree sweep is %.3fx legacy time (tolerance %.2f)", ratio, tolerance)
+	}
+	return nil
+}
+
+// CHBuildResult is one measured preprocessing configuration.
+type CHBuildResult struct {
+	Workers         int     `json:"workers"`
+	BuildMs         float64 `json:"build_ms"` // min over rounds
+	Shortcuts       int     `json:"shortcuts"`
+	Batches         int     `json:"batches"`
+	AvgBatch        float64 `json:"avg_batch"`
+	MaxBatch        int     `json:"max_batch"`
+	WitnessSearches int64   `json:"witness_searches"`
+}
+
+// CHBuildReport is the BENCH_4.json schema: the chbuild scaling gate.
+type CHBuildReport struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Instance  string `json:"instance"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	// SpeedupParallel is sequential build wall time divided by the
+	// NumCPU-worker wall time (>1 means the parallel build wins; 1.0 by
+	// construction on a single-core host).
+	SpeedupParallel float64 `json:"speedup_parallel"`
+	// ShortcutRatio is parallel shortcuts over sequential shortcuts. The
+	// batch contractor is deterministic across worker counts, so any
+	// value other than 1.0 is a regression; the gate allows 5%.
+	ShortcutRatio float64         `json:"shortcut_ratio"`
+	Results       []CHBuildResult `json:"results"`
+}
+
+// chbuildRounds is how many interleaved measurements each worker count
+// gets (minimum wall time reported); preprocessing runs seconds per
+// round, so two rounds balance jitter rejection against CI budget.
+const chbuildRounds = 2
+
+func runCHBuild(out, preset string, tolerance float64) error {
+	g, err := fixtureGraph(roadnet.Preset(preset))
+	if err != nil {
+		return err
+	}
+	workerSets := []int{1, runtime.NumCPU()}
+	if workerSets[1] == 1 {
+		workerSets = workerSets[:1]
+	}
+	results := make([]CHBuildResult, len(workerSets))
+	for i := range results {
+		results[i] = CHBuildResult{Workers: workerSets[i], BuildMs: math.Inf(1)}
+	}
+	for r := 0; r < chbuildRounds; r++ {
+		for j := range workerSets {
+			// Alternate run order across rounds so frequency ramp-up and
+			// allocator state do not bias one configuration.
+			i := j
+			if r%2 == 1 {
+				i = len(workerSets) - 1 - j
+			}
+			var bs ch.BuildStats
+			start := time.Now()
+			h := ch.Build(g, ch.Options{Workers: results[i].Workers, Stats: &bs})
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if ms < results[i].BuildMs {
+				results[i].BuildMs = ms
+			}
+			results[i].Shortcuts = h.NumShortcuts
+			results[i].Batches = bs.Batches
+			results[i].AvgBatch = bs.AvgBatch()
+			results[i].MaxBatch = bs.MaxBatch
+			results[i].WitnessSearches = bs.WitnessSearches
+		}
+	}
+	rep := CHBuildReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Instance:  preset + "/dfs",
+		N:         g.NumVertices(),
+		M:         g.NumArcs(),
+		Results:   results,
+	}
+	seq, par := results[0], results[len(results)-1]
+	rep.SpeedupParallel = seq.BuildMs / par.BuildMs
+	rep.ShortcutRatio = float64(par.Shortcuts) / float64(seq.Shortcuts)
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("chbuild workers=%-3d %10.0f ms %9d shortcuts %6d batches (avg %6.1f) %9d witness searches\n",
+			r.Workers, r.BuildMs, r.Shortcuts, r.Batches, r.AvgBatch, r.WitnessSearches)
+	}
+	fmt.Printf("chbuild speedup: %.3fx at %d workers, shortcut ratio %.4f (gate: not slower than sequential ×%.2f, drift ≤ 5%%)\n",
+		rep.SpeedupParallel, par.Workers, rep.ShortcutRatio, tolerance)
+
+	if rep.ShortcutRatio > 1.05 || rep.ShortcutRatio < 0.95 {
+		return fmt.Errorf("parallel build shortcut count drifted: ratio %.4f (gate 5%%)", rep.ShortcutRatio)
+	}
+	if len(workerSets) == 1 {
+		fmt.Println("chbuild: single-CPU host, speedup gate skipped")
+		return nil
+	}
+	if par.BuildMs > seq.BuildMs*tolerance {
+		return fmt.Errorf("parallel build (%d workers) is %.3fx sequential time (tolerance %.2f)",
+			par.Workers, par.BuildMs/seq.BuildMs, tolerance)
 	}
 	return nil
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
-		os.Exit(1)
+	var (
+		mode = flag.String("mode", "all", "which gates to run: sweep, chbuild, or all")
+		out  = flag.String("out", "BENCH_3.json", "sweep report path")
+		// 1.15 rather than a tight 1.02: shared CI hosts show ±10%
+		// run-to-run jitter even with interleaved fresh-engine rounds,
+		// and the gates exist to catch real regressions (packed suddenly
+		// 2x slower, parallel build losing to sequential), not to flake
+		// on scheduler noise. The recorded ratios in the reports carry
+		// the actual measurements.
+		tolerance  = flag.Float64("tolerance", 1.15, "max allowed packed/legacy (or parallel/sequential) time ratio before failing")
+		chbuildOut = flag.String("chbuild-out", "BENCH_4.json", "chbuild report path")
+		preset     = flag.String("preset", "europe-m", "roadnet instance preset")
+	)
+	flag.Parse()
+	runs := map[string]func() error{
+		"sweep":   func() error { return runSweep(*out, *preset, *tolerance) },
+		"chbuild": func() error { return runCHBuild(*chbuildOut, *preset, *tolerance) },
+	}
+	var selected []func() error
+	switch *mode {
+	case "all":
+		selected = []func() error{runs["sweep"], runs["chbuild"]}
+	case "sweep", "chbuild":
+		selected = []func() error{runs[*mode]}
+	default:
+		fmt.Fprintf(os.Stderr, "benchsmoke: unknown -mode %q (sweep, chbuild, all)\n", *mode)
+		os.Exit(2)
+	}
+	for _, fn := range selected {
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"phast/internal/ch"
 	"phast/internal/dimacs"
 )
 
@@ -64,5 +65,40 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run("", 8, 8, 1, "time", "/nonexistent-dir/x.gr", ""); err == nil {
 		t.Fatal("unwritable path accepted")
+	}
+}
+
+// TestRaceStressParallelBuild generates a mid-size grid with the tool's
+// own generator and runs the batch-parallel contractor over it with
+// several workers. Under -race this exercises the simulate/reprioritize
+// fan-out on a realistically sized instance; in any build it checks that
+// the parallel hierarchy is bit-identical to the sequential one.
+func TestRaceStressParallelBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size parallel build; skipped with -short")
+	}
+	dir := t.TempDir()
+	gr := filepath.Join(dir, "stress.gr")
+	if err := run("", 56, 48, 7, "time", gr, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dimacs.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ch.Build(g, ch.Options{Workers: 1})
+	par := ch.Build(g, ch.Options{Workers: 4})
+	if seq.NumShortcuts != par.NumShortcuts {
+		t.Fatalf("shortcuts diverge: sequential %d, parallel %d", seq.NumShortcuts, par.NumShortcuts)
+	}
+	for v := range par.Rank {
+		if seq.Rank[v] != par.Rank[v] {
+			t.Fatalf("rank of vertex %d diverges: sequential %d, parallel %d", v, seq.Rank[v], par.Rank[v])
+		}
 	}
 }

@@ -45,14 +45,20 @@ const (
 	SweepRankOrder  = core.SweepRankOrder
 )
 
+// BuildStats reports what CH preprocessing did — independent-set batch
+// sizes, witness-search counts, lazy re-queues, and per-phase wall time.
+// See Engine.BuildStats.
+type BuildStats = ch.BuildStats
+
 // Engine answers single-source (PHAST) and point-to-point (CH) queries
 // over one preprocessed graph. It is not safe for concurrent use; Clone
 // gives each goroutine its own cursor over the shared preprocessed data.
 type Engine struct {
-	g     *Graph
-	h     *ch.Hierarchy
-	core  *core.Engine
-	query *ch.Query
+	g          *Graph
+	h          *ch.Hierarchy
+	core       *core.Engine
+	query      *ch.Query
+	buildStats BuildStats
 }
 
 // Preprocess runs contraction-hierarchy preprocessing on g and prepares
@@ -63,12 +69,13 @@ func Preprocess(g *Graph, opt *Options) (*Engine, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
-	h := ch.Build(g, ch.Options{Workers: opt.CHWorkers})
+	var bs BuildStats
+	h := ch.Build(g, ch.Options{Workers: opt.CHWorkers, Stats: &bs})
 	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers, PackedSweep: opt.packed()})
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
-	return &Engine{g: g, h: h, core: c, query: ch.NewQuery(h)}, nil
+	return &Engine{g: g, h: h, core: c, query: ch.NewQuery(h), buildStats: bs}, nil
 }
 
 // SaveHierarchy serializes the preprocessed contraction hierarchy
@@ -99,8 +106,14 @@ func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
 // Clone returns an engine sharing all preprocessed data but owning
 // private per-query buffers, for concurrent use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{g: e.g, h: e.h, core: e.core.Clone(), query: ch.NewQuery(e.h)}
+	return &Engine{g: e.g, h: e.h, core: e.core.Clone(), query: ch.NewQuery(e.h), buildStats: e.buildStats}
 }
+
+// BuildStats returns the preprocessing counters recorded when this
+// engine was built with Preprocess: contraction batch sizes, witness
+// searches, and per-phase wall time. Engines restored with LoadEngine
+// (no preprocessing ran) report the zero value.
+func (e *Engine) BuildStats() BuildStats { return e.buildStats }
 
 // Graph returns the original graph.
 func (e *Engine) Graph() *Graph { return e.g }

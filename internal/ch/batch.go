@@ -1,0 +1,116 @@
+package ch
+
+// Batch selection machinery for parallel contraction. A batch is a
+// 2-hop-independent set of heap candidates: no two members are adjacent
+// and no two share a live neighbor in the remaining graph. Under that
+// rule one member's contraction cannot touch another member's adjacency
+// lists (shortcuts from contracting a connect only neighbors of a, and
+// none of those is a member or a member's neighbor), and witness
+// searches stay valid because contraction preserves distances among the
+// remaining vertices — so the whole batch can be simulated in parallel
+// against the frozen pre-batch graph and then applied sequentially.
+
+// stampSet is a vertex set with O(1) reset: membership means "stamp
+// equals the current version", so clearing is one counter increment
+// instead of a wipe. The insertion-order list makes iteration
+// deterministic regardless of worker count.
+type stampSet struct {
+	stamp   []int32
+	version int32
+	list    []int32
+}
+
+func newStampSet(n int) *stampSet {
+	return &stampSet{stamp: make([]int32, n)}
+}
+
+func (s *stampSet) reset() {
+	s.version++
+	s.list = s.list[:0]
+}
+
+// add inserts v and reports whether it was newly added.
+func (s *stampSet) add(v int32) bool {
+	if s.stamp[v] == s.version {
+		return false
+	}
+	s.stamp[v] = s.version
+	s.list = append(s.list, v)
+	return true
+}
+
+func (s *stampSet) has(v int32) bool { return s.stamp[v] == s.version }
+
+// maxBatch caps how many candidates one round pops off the heap. Large
+// batches amortize the per-round synchronization but contract against
+// increasingly stale heap keys; a thousand is far past the point where
+// every worker stays busy.
+const maxBatch = 1024
+
+// batchLimit is the number of heap entries popped as candidates this
+// round: an eighth of the heap, but at least enough to keep every worker
+// busy after independence filtering, and never more than maxBatch.
+func (c *contractor) batchLimit() int {
+	limit := c.heap.len() / 8
+	if lo := 8 * c.opt.Workers; limit < lo {
+		limit = lo
+	}
+	if limit < 64 {
+		limit = 64
+	}
+	if limit > maxBatch {
+		limit = maxBatch
+	}
+	if hl := c.heap.len(); limit > hl {
+		limit = hl
+	}
+	return limit
+}
+
+// conflicts reports whether v is within two hops of a vertex already
+// claimed for this batch: claim holds every accepted member and all of
+// their live neighbors, so a hit on v means adjacency and a hit on one
+// of v's live neighbors means adjacency or a shared neighbor.
+func (c *contractor) conflicts(v int32) bool {
+	if c.claim.has(v) {
+		return true
+	}
+	d := c.d
+	for _, a := range d.out[v] {
+		if !d.contracted[a.to] && c.claim.has(a.to) {
+			return true
+		}
+	}
+	for _, a := range d.in[v] {
+		if !d.contracted[a.to] && c.claim.has(a.to) {
+			return true
+		}
+	}
+	return false
+}
+
+// claimNeighborhood claims v and its live neighbors, blocking every
+// vertex within two hops of v from joining the current batch.
+func (c *contractor) claimNeighborhood(v int32) {
+	d := c.d
+	c.claim.add(v)
+	for _, a := range d.out[v] {
+		if !d.contracted[a.to] {
+			c.claim.add(a.to)
+		}
+	}
+	for _, a := range d.in[v] {
+		if !d.contracted[a.to] {
+			c.claim.add(a.to)
+		}
+	}
+}
+
+// grow returns s resized to n, reallocating only when capacity is short
+// — the batch loop reuses these scratch slices across rounds.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -166,21 +166,17 @@ func TestPathSelfLoopQuery(t *testing.T) {
 }
 
 func TestBuildDeterministic(t *testing.T) {
+	// Worker count must not change the hierarchy at all; the full
+	// differential suite (distance tables vs Dijkstra across worker
+	// counts) lives in batch_test.go.
 	rng := rand.New(rand.NewSource(6))
 	g := gridGraph(rng, 9, 7, 25)
 	h1 := Build(g, Options{Workers: 1})
 	h2 := Build(g, Options{Workers: 3})
-	for v := range h1.Rank {
-		if h1.Rank[v] != h2.Rank[v] {
-			t.Fatalf("rank of %d differs across builds: %d vs %d", v, h1.Rank[v], h2.Rank[v])
-		}
-		if h1.Level[v] != h2.Level[v] {
-			t.Fatalf("level of %d differs across builds", v)
-		}
-	}
-	if h1.NumShortcuts != h2.NumShortcuts {
-		t.Fatalf("shortcut counts differ: %d vs %d", h1.NumShortcuts, h2.NumShortcuts)
-	}
+	hierarchiesIdentical(t, h1, h2, "workers 1 vs 3")
+	// And repeated builds with the same options are bit-identical too.
+	h3 := Build(g, Options{Workers: 3})
+	hierarchiesIdentical(t, h2, h3, "repeated workers 3")
 }
 
 func TestUpwardSearchSpaceIsSmall(t *testing.T) {

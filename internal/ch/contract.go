@@ -1,8 +1,11 @@
 package ch
 
 import (
+	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"phast/internal/graph"
 )
@@ -19,11 +22,19 @@ type Options struct {
 	// 10); beyond DegreeMid searches are unlimited.
 	HopLimitMid int32
 	DegreeMid   float64
-	// Workers bounds the goroutines used for initial priority computation
-	// and for re-prioritizing neighbors after each contraction
-	// (paper: "we update the priorities of all neighbors simultaneously").
+	// Workers bounds the goroutines used throughout preprocessing: the
+	// initial priority pass, the parallel simulation of each
+	// independent-set contraction batch, and the re-prioritization of
+	// dirtied neighbors after a batch is applied (paper: "we update the
+	// priorities of all neighbors simultaneously"). The produced
+	// hierarchy is identical for every worker count — parallelism only
+	// divides the simulation work, never the contraction order.
 	// 0 selects GOMAXPROCS.
 	Workers int
+	// Stats, when non-nil, receives preprocessing observability counters
+	// (batch sizes, witness searches, lazy re-queues, per-phase wall
+	// time) when Build returns.
+	Stats *BuildStats
 	// Priority overrides the vertex-ordering weights; nil selects the
 	// paper's 2·ED + CN + H + 5·L. Any ordering is correct (Section
 	// II-B); the weights trade preprocessing time against hierarchy
@@ -154,6 +165,15 @@ type contractor struct {
 	// remaining arc/vertex counts drive the hop-limit schedule.
 	remainingArcs     int
 	remainingVertices int
+	// claim marks the 2-hop neighborhoods of accepted batch members;
+	// dirty collects vertices whose priorities the batch invalidated;
+	// nbrSeen dedups contract's neighbor scan (a vertex can be both in-
+	// and out-neighbor). All three reset in O(1) between rounds.
+	claim   *stampSet
+	dirty   *stampSet
+	nbrSeen *stampSet
+	nbrs    []int32
+	stats   BuildStats
 }
 
 // simResult is the outcome of simulating the contraction of one vertex.
@@ -163,9 +183,13 @@ type simResult struct {
 	hCost     int64
 }
 
-// Build runs CH preprocessing on g and returns the hierarchy.
+// Build runs CH preprocessing on g and returns the hierarchy. The
+// contraction order and shortcut set are deterministic functions of the
+// graph and options alone: Workers only divides the simulation work
+// across goroutines, so any worker count yields the identical hierarchy.
 func Build(g *graph.Graph, opt Options) *Hierarchy {
 	opt = opt.withDefaults()
+	start := time.Now()
 	n := g.NumVertices()
 	c := &contractor{
 		g:                 g,
@@ -176,10 +200,16 @@ func Build(g *graph.Graph, opt Options) *Hierarchy {
 		cn:                make([]int32, n),
 		heap:              newVheap(n),
 		remainingVertices: n,
+		claim:             newStampSet(n),
+		dirty:             newStampSet(n),
+		nbrSeen:           newStampSet(n),
 	}
 	for v := int32(0); v < int32(n); v++ {
 		c.remainingArcs += len(c.d.out[v])
 	}
+	c.stats.Workers = opt.Workers
+	c.stats.Vertices = n
+	c.stats.Arcs = c.remainingArcs
 	c.searchers = make([]*witnessSearcher, opt.Workers)
 	for i := range c.searchers {
 		c.searchers[i] = newWitnessSearcher(n)
@@ -189,39 +219,187 @@ func Build(g *graph.Graph, opt Options) *Hierarchy {
 		if !graph.IsPermutation(opt.FixedOrder) || len(opt.FixedOrder) != n {
 			panic("ch: FixedOrder is not a permutation of the vertices")
 		}
-		for i, v := range opt.FixedOrder {
-			sim := c.simulate(v, c.searchers[0])
-			c.contract(v, sim, int32(i))
-		}
-		return assemble(g, c.rank, c.level, c.shortcuts)
+		c.buildFixedOrder()
+	} else {
+		c.buildBatched()
 	}
+	h := assemble(g, c.rank, c.level, c.shortcuts)
+	if opt.Stats != nil {
+		for _, ws := range c.searchers {
+			c.stats.WitnessSearches += ws.searches
+		}
+		c.stats.Shortcuts = len(c.shortcuts)
+		c.stats.Total = time.Since(start)
+		*opt.Stats = c.stats
+	}
+	return h
+}
 
-	// Initial priorities, computed in parallel.
-	prios := make([]int64, n)
+// buildBatched is the priority-driven contraction loop, organized in
+// independent-set batches: pop a prefix of the heap, keep a
+// 2-hop-independent subset (the rest go straight back with their stale
+// keys), simulate the subset in parallel against the frozen graph, apply
+// the survivors of the lazy priority check in deterministic
+// (priority, vertex) order, then re-prioritize every dirtied neighbor in
+// parallel before the next round.
+func (c *contractor) buildBatched() {
+	n := c.g.NumVertices()
+	t0 := time.Now()
+	initPrios := make([]int64, n)
 	c.forEachParallel(n, func(worker int, v int32) {
 		sim := c.simulate(v, c.searchers[worker])
-		prios[v] = c.priority(v, sim)
+		initPrios[v] = c.priority(v, sim)
 	})
 	for v := int32(0); v < int32(n); v++ {
-		c.heap.push(v, prios[v])
+		c.heap.push(v, initPrios[v])
 	}
+	c.stats.InitTime = time.Since(t0)
 
-	// Main contraction loop with lazy re-evaluation: the popped vertex is
-	// re-simulated (we need its shortcut list anyway); if its fresh
-	// priority no longer beats the heap top it is re-queued.
+	var (
+		cand    []int32     // popped heap prefix
+		keys    []int64     // their (possibly stale) heap keys
+		sel     []int32     // 2-hop-independent subset, in key order
+		selKeys []int64     // heap keys of sel, aligned
+		sims    []simResult // parallel simulation results for sel
+		fresh   []int64     // fresh priorities for sel, then dirty scratch
+		order   []int32     // indices into sel, batch-order sorted
+	)
 	nextRank := int32(0)
 	for !c.heap.empty() {
-		v, _ := c.heap.pop()
-		sim := c.simulate(v, c.searchers[0])
-		p := c.priority(v, sim)
-		if !c.heap.empty() && p > c.heap.topKey() {
-			c.heap.push(v, p)
-			continue
+		c.stats.Batches++
+		cand, keys = c.heap.popBatch(cand[:0], keys[:0], c.batchLimit())
+
+		// Select the independent subset in key order; everything else is
+		// restored untouched so the heap's relative order is preserved.
+		c.claim.reset()
+		sel, selKeys = sel[:0], selKeys[:0]
+		for i, v := range cand {
+			if c.conflicts(v) {
+				c.stats.IndependenceDeferred++
+				c.heap.push(v, keys[i])
+				continue
+			}
+			c.claimNeighborhood(v)
+			sel = append(sel, v)
+			selKeys = append(selKeys, keys[i])
 		}
-		c.contract(v, sim, nextRank)
-		nextRank++
+		c.stats.SimulatedVertices += int64(len(sel))
+		if len(sel) > c.stats.MaxBatch {
+			c.stats.MaxBatch = len(sel)
+		}
+
+		// Re-simulate the batch in parallel. The graph is frozen, so the
+		// results are independent of worker count and schedule.
+		t1 := time.Now()
+		sims = grow(sims, len(sel))
+		fresh = grow(fresh, len(sel))
+		c.forEachParallel(len(sel), func(worker int, i int32) {
+			sims[i] = c.simulate(sel[i], c.searchers[worker])
+			fresh[i] = c.priority(sel[i], sims[i])
+		})
+		c.stats.SimulateTime += time.Since(t1)
+
+		// Apply in deterministic batch order — fresh priority with vertex
+		// ID as tie-breaker, the same rule the heap uses — with the lazy
+		// re-evaluation check against the remaining heap top.
+		t2 := time.Now()
+		order = grow(order, len(sel))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if fresh[ia] != fresh[ib] {
+				return fresh[ia] < fresh[ib]
+			}
+			return sel[ia] < sel[ib]
+		})
+		restTop := int64(math.MaxInt64)
+		if !c.heap.empty() {
+			restTop = c.heap.topKey()
+		}
+		c.dirty.reset()
+		for _, i := range order {
+			v := sel[i]
+			// Lazy re-evaluation, batch form: contract v only if its
+			// fresh priority did not deteriorate past what the heap
+			// believed (the eager re-prioritization below keeps keys
+			// fresh, so this is the common case) or it still beats the
+			// best vertex left in the heap. Requeueing with the fresh
+			// priority keeps progress guaranteed: if a round contracts
+			// nothing the graph is unchanged, so the next round
+			// re-derives the same priorities and its minimum passes.
+			if fresh[i] > selKeys[i] && fresh[i] > restTop {
+				c.stats.LazyRequeues++
+				c.heap.push(v, fresh[i])
+				continue
+			}
+			c.contract(v, sims[i], nextRank, c.dirty)
+			nextRank++
+		}
+		c.stats.ApplyTime += time.Since(t2)
+
+		// Eagerly re-prioritize dirtied neighbors in parallel (instead of
+		// relying purely on lazy pop-time re-simulation); key updates are
+		// applied sequentially in the deterministic dirty-list order.
+		t3 := time.Now()
+		dirtied := c.dirty.list
+		fresh = grow(fresh, len(dirtied))
+		c.forEachParallel(len(dirtied), func(worker int, i int32) {
+			u := dirtied[i]
+			sim := c.simulate(u, c.searchers[worker])
+			fresh[i] = c.priority(u, sim)
+		})
+		for i, u := range dirtied {
+			c.heap.update(u, fresh[i])
+		}
+		c.stats.Reprioritized += int64(len(dirtied))
+		c.stats.ReprioTime += time.Since(t3)
 	}
-	return assemble(g, c.rank, c.level, c.shortcuts)
+}
+
+// buildFixedOrder contracts vertices in exactly the given sequence, with
+// pipelined simulate-ahead: consecutive positions that are pairwise
+// 2-hop independent form a run whose simulations are all valid against
+// the graph state at the run's start, so the run simulates in parallel
+// and then contracts sequentially at its fixed ranks.
+func (c *contractor) buildFixedOrder() {
+	order := c.opt.FixedOrder
+	maxRun := 8 * c.opt.Workers
+	if maxRun < 64 {
+		maxRun = 64
+	}
+	var sims []simResult
+	for i := 0; i < len(order); {
+		c.claim.reset()
+		j := i
+		for j < len(order) && j-i < maxRun {
+			v := order[j]
+			if j > i && c.conflicts(v) {
+				break // dependent on an earlier run member: next run
+			}
+			c.claimNeighborhood(v)
+			j++
+		}
+		run := order[i:j]
+		c.stats.Batches++
+		c.stats.SimulatedVertices += int64(len(run))
+		if len(run) > c.stats.MaxBatch {
+			c.stats.MaxBatch = len(run)
+		}
+		t1 := time.Now()
+		sims = grow(sims, len(run))
+		c.forEachParallel(len(run), func(worker int, k int32) {
+			sims[k] = c.simulate(run[k], c.searchers[worker])
+		})
+		c.stats.SimulateTime += time.Since(t1)
+		t2 := time.Now()
+		for k, v := range run {
+			c.contract(v, sims[k], int32(i+k), nil)
+		}
+		c.stats.ApplyTime += time.Since(t2)
+		i = j
+	}
 }
 
 // hopLimit returns the current witness-search hop limit given the average
@@ -242,10 +420,12 @@ func (c *contractor) hopLimit() int32 {
 }
 
 // simulate determines the shortcuts contracting v would create, using ws
-// for witness searches. It does not modify the graph.
+// for witness searches and neighbor scratch. It does not modify the
+// graph, so any number of simulations (with distinct searchers) may run
+// concurrently against the same frozen dyngraph.
 func (c *contractor) simulate(v int32, ws *witnessSearcher) simResult {
 	d := c.d
-	var ins, outs []dynArc
+	ins, outs := ws.ins[:0], ws.outs[:0]
 	for _, a := range d.in[v] {
 		if !d.contracted[a.to] {
 			ins = append(ins, a)
@@ -256,6 +436,7 @@ func (c *contractor) simulate(v int32, ws *witnessSearcher) simResult {
 			outs = append(outs, a)
 		}
 	}
+	ws.ins, ws.outs = ins, outs
 	res := simResult{removed: len(ins) + len(outs)}
 	if len(ins) == 0 || len(outs) == 0 {
 		return res
@@ -303,22 +484,26 @@ func (c *contractor) priority(v int32, sim simResult) int64 {
 }
 
 // contract applies a simulated contraction: records rank, inserts the
-// shortcuts into the overlay graph, bumps neighbor levels and
-// contracted-neighbor counts, and re-prioritizes all live neighbors in
-// parallel.
-func (c *contractor) contract(v int32, sim simResult, rank int32) {
+// shortcuts into the overlay graph, and bumps neighbor levels and
+// contracted-neighbor counts. Live neighbors are added to dirty (when
+// non-nil) so the batch loop can re-prioritize them after the whole
+// batch is applied; the FixedOrder path passes nil.
+func (c *contractor) contract(v int32, sim simResult, rank int32, dirty *stampSet) {
 	d := c.d
 	c.rank[v] = rank
-	// Collect live neighbors before marking v contracted.
-	neighborSet := map[int32]struct{}{}
+	// Collect live neighbors before marking v contracted; a vertex can
+	// appear as both in- and out-neighbor, so dedup with a stamp set
+	// (iteration order stays deterministic, unlike a map).
+	c.nbrSeen.reset()
+	c.nbrs = c.nbrs[:0]
 	for _, a := range d.out[v] {
-		if !d.contracted[a.to] {
-			neighborSet[a.to] = struct{}{}
+		if !d.contracted[a.to] && c.nbrSeen.add(a.to) {
+			c.nbrs = append(c.nbrs, a.to)
 		}
 	}
 	for _, a := range d.in[v] {
-		if !d.contracted[a.to] {
-			neighborSet[a.to] = struct{}{}
+		if !d.contracted[a.to] && c.nbrSeen.add(a.to) {
+			c.nbrs = append(c.nbrs, a.to)
 		}
 	}
 	d.contracted[v] = true
@@ -333,27 +518,14 @@ func (c *contractor) contract(v int32, sim simResult, rank int32) {
 		c.remainingArcs++
 	}
 
-	neighbors := make([]int32, 0, len(neighborSet))
-	for u := range neighborSet {
+	for _, u := range c.nbrs {
 		if c.level[u] < c.level[v]+1 {
 			c.level[u] = c.level[v] + 1
 		}
 		c.cn[u]++
-		neighbors = append(neighbors, u)
-	}
-
-	if c.opt.FixedOrder != nil {
-		return // fixed order: no priorities to maintain
-	}
-	// Re-prioritize neighbors in parallel; heap updates stay sequential.
-	prios := make([]int64, len(neighbors))
-	c.forEachParallel(len(neighbors), func(worker int, i int32) {
-		u := neighbors[i]
-		sim := c.simulate(u, c.searchers[worker])
-		prios[i] = c.priority(u, sim)
-	})
-	for i, u := range neighbors {
-		c.heap.update(u, prios[i])
+		if dirty != nil {
+			dirty.add(u)
+		}
 	}
 }
 

@@ -1,0 +1,55 @@
+package ch
+
+import "time"
+
+// BuildStats reports what one run of CH preprocessing did: how large the
+// independent-set contraction batches were, how much witness-search work
+// ran, and where the wall time went. Request it via Options.Stats; the
+// struct is plain data and safe to copy once Build returns.
+type BuildStats struct {
+	// Workers is the resolved parallelism the build ran with.
+	Workers int
+	// Vertices and Arcs describe the input graph.
+	Vertices, Arcs int
+	// Batches is the number of contraction rounds: independent-set
+	// batches in the priority-driven build, simulate-ahead runs in the
+	// FixedOrder build.
+	Batches int
+	// MaxBatch is the largest simulated batch.
+	MaxBatch int
+	// SimulatedVertices counts batch members whose contraction was
+	// simulated in parallel (initial-priority and re-prioritization
+	// simulations are counted separately below).
+	SimulatedVertices int64
+	// LazyRequeues counts batch members whose freshly simulated priority
+	// lost to the remaining heap top and were pushed back instead of
+	// contracted — the batched form of classic lazy re-evaluation.
+	LazyRequeues int64
+	// IndependenceDeferred counts popped candidates returned to the heap
+	// unsimulated because they were within two hops of a better batch
+	// member this round.
+	IndependenceDeferred int64
+	// Reprioritized counts eager neighbor re-prioritizations performed
+	// after batch application (each one is a simulation).
+	Reprioritized int64
+	// WitnessSearches is the total number of local witness Dijkstra runs
+	// across all phases and workers.
+	WitnessSearches int64
+	// Shortcuts is the number of shortcut arcs added (before the Up/Down
+	// parallel-arc merge).
+	Shortcuts int
+	// Phase wall times. InitTime covers the initial-priority pass,
+	// SimulateTime the parallel batch simulations, ApplyTime selection
+	// plus sequential contraction, ReprioTime the parallel dirty-set
+	// re-prioritization. Total covers the whole Build call including
+	// graph setup and hierarchy assembly.
+	InitTime, SimulateTime, ApplyTime, ReprioTime, Total time.Duration
+}
+
+// AvgBatch is the mean number of vertices simulated per batch.
+func (s BuildStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.SimulatedVertices) / float64(s.Batches)
+}

@@ -64,6 +64,20 @@ func (h *vheap) update(v int32, key int64) {
 	}
 }
 
+// popBatch pops up to max entries in ascending key order, appending the
+// vertices to vs and their keys to keys (callers pass scratch[:0] to
+// reuse capacity). Candidates a round does not contract are restored
+// with push/update: rejected-unsimulated ones with the key popped here,
+// re-simulated ones with their fresh priority.
+func (h *vheap) popBatch(vs []int32, keys []int64, max int) ([]int32, []int64) {
+	for i := 0; i < max && !h.empty(); i++ {
+		v, k := h.pop()
+		vs = append(vs, v)
+		keys = append(keys, k)
+	}
+	return vs, keys
+}
+
 func (h *vheap) pop() (int32, int64) {
 	v, key := h.vs[0], h.keys[0]
 	last := int32(len(h.vs) - 1)

@@ -14,6 +14,13 @@ type witnessSearcher struct {
 	stamp   []int32
 	version int32
 	heap    *vheap
+	// searches counts run invocations; per-searcher so the hot path
+	// needs no atomics — Build sums the pool into BuildStats.
+	searches int64
+	// ins/outs are simulate's per-call live-neighbor scratch; keeping
+	// them on the searcher makes simulation allocation-free after
+	// warm-up (phastlint hotalloc would flag fresh-slice appends).
+	ins, outs []dynArc
 }
 
 func newWitnessSearcher(n int) *witnessSearcher {
@@ -30,8 +37,11 @@ func newWitnessSearcher(n int) *witnessSearcher {
 // already-contracted vertices. It stops when the bound is exceeded or
 // hopLimit (<=0 means unlimited) would be. Distances of settled and
 // labeled vertices are readable via distTo until the next run.
+//
+//phast:hotpath
 func (ws *witnessSearcher) run(d *dyngraph, source, excluded int32, bound uint32, hopLimit int32) {
 	ws.version++
+	ws.searches++
 	for !ws.heap.empty() { // clear leftovers from an aborted run
 		ws.heap.pop()
 	}
@@ -63,6 +73,7 @@ func (ws *witnessSearcher) run(d *dyngraph, source, excluded int32, bound uint32
 	// Leftover heap entries (beyond bound) are cleared lazily next run.
 }
 
+//phast:hotpath
 func (ws *witnessSearcher) set(v int32, dist uint32, hops int32) {
 	ws.dist[v] = dist
 	ws.hops[v] = hops
@@ -71,6 +82,8 @@ func (ws *witnessSearcher) set(v int32, dist uint32, hops int32) {
 
 // distTo returns the best distance label found for v by the last run, or
 // graph.Inf.
+//
+//phast:hotpath
 func (ws *witnessSearcher) distTo(v int32) uint32 {
 	if ws.stamp[v] != ws.version {
 		return graph.Inf

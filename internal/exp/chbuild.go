@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"phast/internal/ch"
+)
+
+// ChBuild is the §VIII-A-style preprocessing scaling table for the
+// batch-parallel contractor: build wall time, shortcut count, batch
+// shape, witness-search volume, and speedup as the worker count grows.
+// The hierarchy is deterministic across worker counts, so the shortcut
+// column doubles as the equivalence check — any drift is a bug, not a
+// quality trade-off.
+func ChBuild(e *Env) ([]*Table, error) {
+	workerSets := []int{1, 2, 4, MaxProcs()}
+	seen := map[int]bool{}
+	t := &Table{
+		ID:    "chbuild",
+		Title: "parallel batched CH preprocessing on " + string(e.Cfg.Preset),
+		Headers: []string{"workers", "build [ms]", "speedup", "shortcuts",
+			"batches", "avg batch", "max batch", "witness searches", "lazy requeues"},
+	}
+	var baseTime time.Duration
+	baseShortcuts := -1
+	for _, w := range workerSets {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		var bs ch.BuildStats
+		start := time.Now()
+		h := ch.Build(e.G, ch.Options{Workers: w, Stats: &bs})
+		dur := time.Since(start)
+		if baseShortcuts == -1 {
+			baseTime = dur
+			baseShortcuts = h.NumShortcuts
+		} else if h.NumShortcuts != baseShortcuts {
+			return nil, fmt.Errorf("chbuild: shortcut count changed with workers=%d: %d vs %d",
+				w, h.NumShortcuts, baseShortcuts)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.1f", float64(dur.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", float64(baseTime)/float64(dur)),
+			fmt.Sprintf("%d", h.NumShortcuts),
+			fmt.Sprintf("%d", bs.Batches),
+			fmt.Sprintf("%.1f", bs.AvgBatch()),
+			fmt.Sprintf("%d", bs.MaxBatch),
+			fmt.Sprintf("%d", bs.WitnessSearches),
+			fmt.Sprintf("%d", bs.LazyRequeues),
+		)
+		e.logf("chbuild workers=%d: %v, %d batches (avg %.1f), %d witness searches",
+			w, dur.Round(time.Millisecond), bs.Batches, bs.AvgBatch(), bs.WitnessSearches)
+	}
+	t.AddNote("hierarchies are identical across worker counts (deterministic batch order); speedup is wall-time vs workers=1")
+	t.AddNote("phase split at max workers: init/simulate/apply/reprio — see cmd/benchsmoke BENCH_4.json for the CI-gated numbers")
+	return []*Table{t}, nil
+}

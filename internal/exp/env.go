@@ -145,6 +145,7 @@ func Suite() []Runner {
 		{"ablation", "design-choice ablations: priority terms, hop limits, sweep order", Ablation},
 		{"rphast", "RPHAST extension: one-to-many restricted sweeps", RPHAST},
 		{"scaling", "speedup growth with instance size", Scaling},
+		{"chbuild", "parallel batched CH preprocessing scaling (Sec. VIII-A)", ChBuild},
 	}
 }
 

@@ -1,0 +1,32 @@
+//go:build phastdebug
+
+package invariant
+
+import (
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/roadnet"
+)
+
+// TestParallelBuildHierarchyInvariants deep-validates the full
+// hierarchy produced by the batch-parallel contractor on a realistic
+// instance. The release build exercises the same code path through the
+// differential tests in internal/ch; this checked-build pass is the one
+// that walks every CSR array, the arc partition, and the level
+// relabeling of a parallel-built hierarchy.
+func TestParallelBuildHierarchyInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-instance build; skipped with -short")
+	}
+	net, err := roadnet.GeneratePreset(roadnet.PresetEuropeXS, roadnet.TravelTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		h := ch.Build(net.Graph, ch.Options{Workers: workers})
+		if err := Hierarchy(h); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
