@@ -9,12 +9,21 @@
 //     NumCPU on the same fixture graph, writes BENCH_4.json, and exits
 //     non-zero if the parallel build is slower than the sequential one
 //     (on a multi-core host) or the shortcut count drifts more than 5%.
+//   - sched: times the persistent dependency-bounded chunk scheduler
+//     against the retained per-level fork-join oracle (single-tree and
+//     k=16 multi-tree), writes BENCH_5.json, and exits non-zero if the
+//     pooled scheduler is slower than fork-join beyond the sched
+//     tolerance. On a multi-core host it also records the pooled
+//     scheduler's parallel speedup over one worker; that half
+//     auto-skips on single-CPU hosts, where both configurations
+//     degenerate to one goroutine.
 //
 // Usage:
 //
-//	benchsmoke                       run both gates, write BENCH_3.json + BENCH_4.json
+//	benchsmoke                       run all gates, write BENCH_3/4/5.json
 //	benchsmoke -mode sweep -out report.json -tolerance 1.10
 //	benchsmoke -mode chbuild -chbuild-out BENCH_4.json
+//	benchsmoke -mode sched -sched-out BENCH_5.json -sched-tolerance 1.10
 package main
 
 import (
@@ -310,6 +319,176 @@ func runCHBuild(out, preset string, tolerance float64) error {
 	return nil
 }
 
+// SchedResult is one measured scheduler configuration.
+type SchedResult struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerTree   float64 `json:"ns_per_tree"`
+	ModeledGBps float64 `json:"modeled_gbps"`
+}
+
+// SchedReport is the BENCH_5.json schema: the persistent-scheduler gate.
+type SchedReport struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Instance  string `json:"instance"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	// Workers is the worker count of the pooled-vs-fork-join comparison:
+	// max(2, NumCPU), so the scheduling machinery engages even on a
+	// single-CPU host (two goroutines timeslicing one core).
+	Workers int `json:"workers"`
+	// RatioTree and RatioMulti are pooled time over fork-join time (<1
+	// means the persistent scheduler wins); the gate fails when either
+	// exceeds the sched tolerance.
+	RatioTree  float64 `json:"ratio_pooled_vs_forkjoin_tree"`
+	RatioMulti float64 `json:"ratio_pooled_vs_forkjoin_multi_k16"`
+	// SpeedupParallel is one-worker time over pooled NumCPU-worker time
+	// for the single-tree sweep (>1 means parallelism pays); 0 when the
+	// half was skipped on a single-CPU host.
+	SpeedupParallel float64       `json:"speedup_parallel_tree"`
+	Results         []SchedResult `json:"results"`
+}
+
+func schedEngine(h *ch.Hierarchy, workers int, forkJoin bool) (*core.Engine, error) {
+	return core.NewEngine(h, core.Options{Mode: core.SweepReordered, Workers: workers, ForkJoinSweep: forkJoin})
+}
+
+// benchTreeParallel times parallel single-tree sweeps.
+func benchTreeParallel(e *core.Engine, sources []int32) (float64, float64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.TreeParallel(sources[i%len(sources)])
+		}
+	})
+	return float64(r.NsPerOp()), bandwidth.GBps(e.SweepBytes(1)*int64(r.N), r.T)
+}
+
+// benchMultiParallel times parallel k-tree sweeps (one op grows k trees).
+func benchMultiParallel(e *core.Engine, sources []int32, k int) (float64, float64) {
+	batch := make([]int32, k)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range batch {
+				batch[j] = sources[(i*k+j)%len(sources)]
+			}
+			e.MultiTreeParallel(batch, false)
+		}
+	})
+	return float64(r.NsPerOp()), bandwidth.GBps(e.SweepBytes(k)*int64(r.N), r.T)
+}
+
+// measureSched runs `rounds` interleaved fresh-engine A/B rounds of fn
+// over the pooled scheduler and the fork-join oracle at the same worker
+// count, returning each side's best cell.
+func measureSched(h *ch.Hierarchy, name string, workers, k int, warm []int32,
+	fn func(e *core.Engine) (float64, float64)) (pooled, fj SchedResult, err error) {
+	pooled = SchedResult{Name: name + "_pooled", Workers: workers, NsPerOp: math.Inf(1)}
+	fj = SchedResult{Name: name + "_forkjoin", Workers: workers, NsPerOp: math.Inf(1)}
+	for r := 0; r < rounds; r++ {
+		variants := []bool{false, true} // forkJoin flag
+		if r%2 == 1 {                   // alternate construction and run order
+			variants[0], variants[1] = variants[1], variants[0]
+		}
+		for _, forkJoin := range variants {
+			e, err := schedEngine(h, workers, forkJoin)
+			if err != nil {
+				return pooled, fj, err
+			}
+			e.TreeParallel(warm[0]) // pay first-touch faults outside the timer
+			ns, gbps := fn(e)
+			res := &pooled
+			if forkJoin {
+				res = &fj
+			}
+			if ns < res.NsPerOp {
+				res.NsPerOp = ns
+				res.NsPerTree = ns / float64(k)
+				res.ModeledGBps = gbps
+			}
+		}
+	}
+	return pooled, fj, nil
+}
+
+func runSched(out, preset string, tolerance float64) error {
+	g, h, sources, err := buildFixture(roadnet.Preset(preset))
+	if err != nil {
+		return err
+	}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	rep := SchedReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Instance:  preset + "/dfs",
+		N:         g.NumVertices(),
+		M:         g.NumArcs(),
+		Workers:   workers,
+	}
+
+	pt, ft, err := measureSched(h, "Sched_Tree", workers, 1, sources,
+		func(e *core.Engine) (float64, float64) { return benchTreeParallel(e, sources) })
+	if err != nil {
+		return err
+	}
+	pm, fm, err := measureSched(h, "Sched_MultiTree_k16", workers, 16, sources,
+		func(e *core.Engine) (float64, float64) { return benchMultiParallel(e, sources, 16) })
+	if err != nil {
+		return err
+	}
+	rep.Results = []SchedResult{pt, ft, pm, fm}
+	rep.RatioTree = pt.NsPerTree / ft.NsPerTree
+	rep.RatioMulti = pm.NsPerTree / fm.NsPerTree
+
+	// Speedup half: pooled at NumCPU workers against a single worker
+	// (the sequential kernels). Meaningless when there is one CPU.
+	if runtime.NumCPU() > 1 {
+		one, err := schedEngine(h, 1, false)
+		if err != nil {
+			return err
+		}
+		one.TreeParallel(sources[0])
+		seqNs, seqGBps := benchTreeParallel(one, sources)
+		seq := SchedResult{Name: "Sched_Tree_1worker", Workers: 1,
+			NsPerOp: seqNs, NsPerTree: seqNs, ModeledGBps: seqGBps}
+		rep.Results = append(rep.Results, seq)
+		rep.SpeedupParallel = seq.NsPerTree / pt.NsPerTree
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-28s w=%-3d %12.0f ns/op %12.0f ns/tree %8.2f modeled GB/s\n",
+			r.Name, r.Workers, r.NsPerOp, r.NsPerTree, r.ModeledGBps)
+	}
+	fmt.Printf("sched pooled/forkjoin: %.3fx single-tree, %.3fx multi k=16 (gate: ratio ≤ %.2f)\n",
+		rep.RatioTree, rep.RatioMulti, tolerance)
+	if rep.SpeedupParallel > 0 {
+		fmt.Printf("sched parallel speedup: %.3fx at %d workers over 1\n", rep.SpeedupParallel, workers)
+	} else {
+		fmt.Println("sched: single-CPU host, parallel speedup half skipped")
+	}
+
+	if rep.RatioTree > tolerance {
+		return fmt.Errorf("pooled single-tree sweep is %.3fx fork-join time (tolerance %.2f)", rep.RatioTree, tolerance)
+	}
+	if rep.RatioMulti > tolerance {
+		return fmt.Errorf("pooled multi-tree sweep is %.3fx fork-join time (tolerance %.2f)", rep.RatioMulti, tolerance)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		mode = flag.String("mode", "all", "which gates to run: sweep, chbuild, or all")
@@ -322,21 +501,28 @@ func main() {
 		// the actual measurements.
 		tolerance  = flag.Float64("tolerance", 1.15, "max allowed packed/legacy (or parallel/sequential) time ratio before failing")
 		chbuildOut = flag.String("chbuild-out", "BENCH_4.json", "chbuild report path")
-		preset     = flag.String("preset", "europe-m", "roadnet instance preset")
+		schedOut   = flag.String("sched-out", "BENCH_5.json", "sched report path")
+		// The sched gate compares two parallel drivers over identical
+		// kernels, so run-to-run jitter is smaller than the packed/legacy
+		// comparison's; 1.10 keeps the pooled scheduler honestly at least
+		// as fast as the barrier code it replaced.
+		schedTolerance = flag.Float64("sched-tolerance", 1.10, "max allowed pooled/fork-join time ratio before failing")
+		preset         = flag.String("preset", "europe-m", "roadnet instance preset")
 	)
 	flag.Parse()
 	runs := map[string]func() error{
 		"sweep":   func() error { return runSweep(*out, *preset, *tolerance) },
 		"chbuild": func() error { return runCHBuild(*chbuildOut, *preset, *tolerance) },
+		"sched":   func() error { return runSched(*schedOut, *preset, *schedTolerance) },
 	}
 	var selected []func() error
 	switch *mode {
 	case "all":
-		selected = []func() error{runs["sweep"], runs["chbuild"]}
-	case "sweep", "chbuild":
+		selected = []func() error{runs["sweep"], runs["chbuild"], runs["sched"]}
+	case "sweep", "chbuild", "sched":
 		selected = []func() error{runs[*mode]}
 	default:
-		fmt.Fprintf(os.Stderr, "benchsmoke: unknown -mode %q (sweep, chbuild, all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchsmoke: unknown -mode %q (sweep, chbuild, sched, all)\n", *mode)
 		os.Exit(2)
 	}
 	for _, fn := range selected {

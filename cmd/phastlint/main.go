@@ -18,7 +18,7 @@
 // be suppressed — with a reason — by a comment on the same line or the
 // line above:
 //
-//	//phastlint:ignore hotalloc per-level barrier goroutines are deliberate
+//	//phastlint:ignore rawalias this test deliberately reads a stale raw view
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main

@@ -26,6 +26,15 @@ type Options struct {
 	// packed stream is the default; this switch exists for A/B
 	// comparison and as an escape hatch.
 	LegacySweep bool
+	// ForkJoinSweep routes parallel sweeps through the original
+	// per-level fork-join barriers instead of the persistent
+	// dependency-bounded chunk scheduler. Retained as a differential
+	// oracle and A/B baseline.
+	ForkJoinSweep bool
+	// ParallelGrain is the chunk size (in sweep positions) the
+	// persistent scheduler self-schedules; 0 selects the default 1024
+	// (core.DefaultParallelGrain).
+	ParallelGrain int
 }
 
 func (o *Options) packed() core.PackedSetting {
@@ -33,6 +42,16 @@ func (o *Options) packed() core.PackedSetting {
 		return core.PackedOff
 	}
 	return core.PackedDefault
+}
+
+func (o *Options) coreOptions() core.Options {
+	return core.Options{
+		Mode:          o.SweepMode,
+		Workers:       o.SweepWorkers,
+		PackedSweep:   o.packed(),
+		ForkJoinSweep: o.ForkJoinSweep,
+		ParallelGrain: o.ParallelGrain,
+	}
 }
 
 // SweepMode selects the linear-sweep vertex order.
@@ -71,7 +90,7 @@ func Preprocess(g *Graph, opt *Options) (*Engine, error) {
 	}
 	var bs BuildStats
 	h := ch.Build(g, ch.Options{Workers: opt.CHWorkers, Stats: &bs})
-	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers, PackedSweep: opt.packed()})
+	c, err := core.NewEngine(h, opt.coreOptions())
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
@@ -96,7 +115,7 @@ func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.NewEngine(h, core.Options{Mode: opt.SweepMode, Workers: opt.SweepWorkers, PackedSweep: opt.packed()})
+	c, err := core.NewEngine(h, opt.coreOptions())
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
@@ -153,11 +172,40 @@ func (e *Engine) CheckInvariants() error {
 // sequential PHAST sweep. Read results with Dist or Distances.
 func (e *Engine) Tree(source int32) { e.core.Tree(source) }
 
-// TreeParallel is Tree with the intra-level parallel sweep of Section V.
+// TreeParallel is Tree with the parallel sweep of Section V, executed by
+// the persistent dependency-bounded chunk scheduler (or the per-level
+// fork-join barriers when Options.ForkJoinSweep is set).
 func (e *Engine) TreeParallel(source int32) { e.core.TreeParallel(source) }
 
 // TreeWithParents is Tree plus parent pointers; enables PathTo.
 func (e *Engine) TreeWithParents(source int32) { e.core.TreeWithParents(source) }
+
+// TreeWithParentsParallel is TreeWithParents with the parallel sweep.
+func (e *Engine) TreeWithParentsParallel(source int32) { e.core.TreeWithParentsParallel(source) }
+
+// MultiTreeParallel is MultiTree with the parallel sweep; each chunk of
+// the sweep relaxes all k trees before moving on.
+func (e *Engine) MultiTreeParallel(sources []int32, useLanes bool) {
+	e.core.MultiTreeParallel(sources, useLanes)
+}
+
+// SetWorkers adjusts the parallel-sweep worker budget at runtime
+// (0 = GOMAXPROCS), resizing the shared persistent pool. It returns an
+// error if a parallel sweep is in flight on any engine sharing this
+// preprocessed data; no sweep state is disturbed in that case.
+func (e *Engine) SetWorkers(workers int) error { return e.core.SetWorkers(workers) }
+
+// Workers returns the current parallel-sweep worker budget.
+func (e *Engine) Workers() int { return e.core.Workers() }
+
+// SchedStats is the persistent scheduler's counter snapshot (see
+// core.SchedStats): sweeps executed, chunks claimed, dependency stalls,
+// and idle wakeups.
+type SchedStats = core.SchedStats
+
+// SchedStats returns cumulative persistent-scheduler counters for all
+// engines sharing this preprocessed data.
+func (e *Engine) SchedStats() SchedStats { return e.core.SchedStats() }
 
 // Dist returns the distance of v from the last tree's source, or Inf.
 func (e *Engine) Dist(v int32) uint32 { return e.core.Dist(v) }

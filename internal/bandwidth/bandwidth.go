@@ -132,6 +132,13 @@ type SweepTraffic struct {
 	Ordered bool
 	// Parents adds the parent-pointer write stream (TreeWithParents).
 	Parents bool
+	// SchedChunks, when positive, adds the persistent scheduler's
+	// chunk-grain control traffic: per chunk one dependency-bound read,
+	// one completion-flag write, and the cursor/frontier atomics —
+	// modeled at 16 bytes per chunk. At the default 1024-position grain
+	// this is under 0.01% of the label streams; it is modeled so the
+	// GB/s figures stay honest about what the scheduler itself touches.
+	SchedChunks int
 }
 
 // Bytes returns the modeled bytes one sweep touches.
@@ -153,6 +160,9 @@ func (t SweepTraffic) Bytes() int64 {
 	b += k * (int64(t.M)*4 + int64(t.N)*4) // tail-label reads + label writes
 	if t.Parents {
 		b += int64(t.N) * 4
+	}
+	if t.SchedChunks > 0 {
+		b += int64(t.SchedChunks) * 16
 	}
 	return b
 }

@@ -148,8 +148,8 @@ func TestTreeParallelMatchesSequential(t *testing.T) {
 }
 
 func TestParallelSmallLevelsThreshold(t *testing.T) {
-	// A graph smaller than minParallelLevel exercises the sequential
-	// fallback inside the parallel sweep.
+	// A graph smaller than one scheduler chunk (DefaultParallelGrain)
+	// exercises the sequential fallback inside the parallel sweep.
 	rng := rand.New(rand.NewSource(4))
 	g := gridGraph(rng, 6, 6, 10)
 	e := newEngine(t, g, Options{Workers: 8})
@@ -274,7 +274,7 @@ func TestMultiTreeParallelMatchesSequential(t *testing.T) {
 		for i := range sources {
 			sources[i] = int32(rng.Intn(n))
 		}
-		par.MultiTreeParallel(sources)
+		par.MultiTreeParallel(sources, false)
 		seq.MultiTree(sources, false)
 		for i := 0; i < k; i++ {
 			for v := int32(0); v < int32(n); v++ {
@@ -286,11 +286,11 @@ func TestMultiTreeParallelMatchesSequential(t *testing.T) {
 		}
 	}
 	// Workers=1 falls back to the sequential path.
-	seq.MultiTreeParallel([]int32{3, 5})
+	seq.MultiTreeParallel([]int32{3, 5}, false)
 	if seq.K() != 2 {
 		t.Fatal("fallback path broken")
 	}
-	par.MultiTreeParallel(nil)
+	par.MultiTreeParallel(nil, false)
 	if par.K() != 0 {
 		t.Fatal("empty batch should clear K")
 	}

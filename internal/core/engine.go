@@ -22,6 +22,8 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"phast/internal/bandwidth"
 	"phast/internal/ch"
@@ -76,16 +78,36 @@ const (
 	PackedOff
 )
 
+// DefaultParallelGrain is the sweep chunk size (in sweep positions)
+// used when Options.ParallelGrain is zero. It doubles as the level-size
+// threshold below which the fork-join oracle stays sequential — the
+// historical minParallelLevel constant, now a documented, tunable
+// default: upper CH levels hold a handful of vertices each, and
+// scheduling (or a barrier) would cost more than the work.
+const DefaultParallelGrain = 1024
+
 // Options configures engine construction.
 type Options struct {
 	// Mode is the sweep order; the zero value is SweepReordered.
 	Mode SweepMode
 	// Workers is the number of goroutines used when a tree is computed
-	// with the intra-level parallel sweep. 0 selects GOMAXPROCS.
+	// with a parallel sweep; the persistent scheduler parks Workers-1
+	// pool goroutines at construction. 0 selects GOMAXPROCS. Adjustable
+	// later with Engine.SetWorkers.
 	Workers int
 	// PackedSweep selects the fused single-stream sweep layout (default
 	// on) or the legacy CSR kernels (PackedOff), kept as an A/B oracle.
 	PackedSweep PackedSetting
+	// ForkJoinSweep routes parallel sweeps through the original
+	// per-level fork-join barriers instead of the persistent
+	// dependency-bounded scheduler. Kept as a differential oracle and
+	// A/B baseline; production sweeps should leave it off.
+	ForkJoinSweep bool
+	// ParallelGrain is the chunk size, in sweep positions, that the
+	// persistent scheduler self-schedules (and the level-size threshold
+	// of the fork-join oracle). 0 selects DefaultParallelGrain (1024);
+	// a negative grain is an error.
+	ParallelGrain int
 }
 
 // shared is the immutable, source-independent state every Engine clone
@@ -100,13 +122,29 @@ type shared struct {
 	levelRanges [][2]int32 // positions in the sweep order, one per level
 	toEngine    []int32    // original ID -> engine ID
 	toOrig      []int32    // engine ID -> original ID
-	workers     int
 	// packed is the fused single-stream sweep layout of downIn in sweep
 	// order; nil when Options.PackedSweep is PackedOff.
 	packed *graph.Packed
 	// pos maps an engine vertex ID to its sweep position (the inverse of
 	// order); nil when the order is the identity.
 	pos []int32
+
+	// Persistent sweep scheduler state (scheduler.go), shared by clones:
+	// the parked worker pool, the chunk grain, and the precomputed
+	// per-chunk dependency bounds that relax the Section V level barrier.
+	workers   atomic.Int32 // current worker count; SetWorkers adjusts it
+	grain     int32        // chunk size in sweep positions
+	numChunks int32
+	// chunkDep[c] is the chunk index the completion frontier must pass
+	// before chunk c may start (-1: no external dependency). Derived
+	// from graph.ChunkDepBounds position bounds at construction.
+	chunkDep []int32
+	forkJoin bool
+	pool     *sweepPool
+	// resizeMu makes SetWorkers and parallel sweeps mutually exclusive:
+	// sweeps hold the read side, a resize try-locks the write side and
+	// rejects (rather than blocks) while any sweep is in flight.
+	resizeMu sync.RWMutex
 }
 
 // Engine computes shortest-path trees with PHAST. One Engine owns one
@@ -130,6 +168,9 @@ type Engine struct {
 	// lastMulti guards against reading single-tree labels after a
 	// multi-tree sweep (they live in different buffers).
 	lastMulti bool
+	// job is this engine's reusable scheduler state (cursor, frontier,
+	// done flags); allocated on the first pooled sweep.
+	job *sweepJob
 }
 
 // NewEngine prepares PHAST over a built hierarchy. The hierarchy is not
@@ -139,7 +180,14 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
-	s := &shared{mode: opt.Mode, n: n, workers: opt.Workers}
+	if opt.ParallelGrain < 0 {
+		return nil, fmt.Errorf("core: ParallelGrain %d is negative", opt.ParallelGrain)
+	}
+	if opt.ParallelGrain == 0 {
+		opt.ParallelGrain = DefaultParallelGrain
+	}
+	s := &shared{mode: opt.Mode, n: n, grain: int32(opt.ParallelGrain), forkJoin: opt.ForkJoinSweep}
+	s.workers.Store(int32(opt.Workers))
 	switch opt.Mode {
 	case SweepReordered:
 		perm := layout.ByLevelDescending(h.Level)
@@ -181,19 +229,48 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	}
 	s.up = s.h.Up
 	s.downIn = s.h.DownIn
+	if s.order != nil {
+		s.pos = make([]int32, n)
+		for i, v := range s.order {
+			s.pos[v] = int32(i)
+		}
+	}
 	if opt.PackedSweep != PackedOff {
 		p, err := graph.NewPacked(s.downIn, s.order)
 		if err != nil {
 			return nil, fmt.Errorf("core: packing sweep stream: %w", err)
 		}
 		s.packed = p
-		if s.order != nil {
-			s.pos = make([]int32, n)
-			for i, v := range s.order {
-				s.pos[v] = int32(i)
-			}
+	}
+	// Precompute the per-chunk dependency bounds the persistent
+	// scheduler starts chunks by (scheduler.go). The packed flavor walks
+	// the fused stream — the same words the workers will read; engines
+	// built with PackedOff derive identical bounds from the CSR arrays.
+	var dep []int32
+	var err error
+	if s.packed != nil {
+		dep, err = s.packed.ChunkDepBounds(s.pos, opt.ParallelGrain)
+	} else {
+		dep, err = graph.ChunkDepBounds(s.downIn, s.order, opt.ParallelGrain)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: chunk dependency bounds: %w", err)
+	}
+	s.numChunks = int32(len(dep))
+	s.chunkDep = make([]int32, len(dep))
+	for c, bound := range dep {
+		if bound < 0 {
+			s.chunkDep[c] = -1
+		} else {
+			s.chunkDep[c] = bound / s.grain
 		}
 	}
+	// The pool's workers are spawned once here and parked between
+	// queries; they reference only the pool, so when every engine over
+	// this shared state is dropped the finalizer can retire them (a
+	// goroutine parked on a channel is a GC root and never collected).
+	s.pool = newSweepPool(opt.Workers - 1)
+	runtime.SetFinalizer(s, func(s *shared) { s.pool.shutdown() })
 	return newEngineFromShared(s), nil
 }
 
@@ -248,6 +325,12 @@ func (e *Engine) SweepBytes(k int) int64 {
 		t.PackedWords = e.s.packed.Words()
 	} else {
 		t.Ordered = e.s.order != nil
+	}
+	// Pooled sweeps add chunk-grain scheduling traffic (dependency-bound
+	// reads and completion flags); the sequential and fork-join paths
+	// touch none of it.
+	if e.s.workers.Load() > 1 && !e.s.forkJoin && e.s.numChunks > 1 {
+		t.SchedChunks = int(e.s.numChunks)
 	}
 	return t.Bytes()
 }

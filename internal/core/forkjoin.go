@@ -1,0 +1,59 @@
+package core
+
+import "sync"
+
+// forkJoinSweep is the original per-level fork-join parallel sweep,
+// retained behind Options.ForkJoinSweep as a differential oracle for
+// the persistent scheduler: every level above the grain threshold is
+// split into near-equal worker slices joined on a barrier before the
+// next level starts (Lemma 4.1 makes each level a valid parallel step).
+// It reuses the same chunk-scan kernels as the scheduler, so the two
+// paths differ only in how work is ordered and synchronized — exactly
+// what a differential test wants. Requires level ranges (reordered or
+// level order modes); parallelSweep never routes rank order here.
+//
+// This function deliberately spawns goroutines per level slice; that is
+// the overhead the scheduler exists to remove, and why this path is not
+// //phast:hotpath annotated (phastlint's hotalloc rule now rejects
+// goroutine launches in hot kernels).
+func (e *Engine) forkJoinSweep(kind sweepKind, k int) {
+	s := e.s
+	workers := int32(s.workers.Load())
+	threshold := int(s.grain)
+	kScale := 1
+	if kind.multiKind() {
+		kScale = k
+	}
+	var wg sync.WaitGroup
+	for _, r := range s.levelRanges {
+		lo, hi := r[0], r[1]
+		size := hi - lo
+		if int(size)*kScale < threshold {
+			e.scanChunkKind(kind, k, lo, hi)
+			continue
+		}
+		chunk := (size + workers - 1) / workers
+		for w := int32(1); w < workers; w++ {
+			clo := lo + w*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			if clo >= chi {
+				continue
+			}
+			wg.Add(1)
+			go func(clo, chi int32) {
+				defer wg.Done()
+				//phastlint:ignore engineshare workers scan disjoint [clo,chi) slices of one level and never touch the cursor; the per-level wg.Wait() orders them
+				e.scanChunkKind(kind, k, clo, chi)
+			}(clo, chi)
+		}
+		chi := lo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		e.scanChunkKind(kind, k, lo, chi)
+		wg.Wait() // barrier: the next level reads this level's labels
+	}
+}

@@ -39,6 +39,11 @@ func (e *Engine) CheckInvariants() error {
 			return err
 		}
 	}
+	if s.chunkDep != nil {
+		if err := invariant.ChunkDeps(s.downIn, s.order, int(s.grain), s.chunkDep); err != nil {
+			return err
+		}
+	}
 	if err := invariant.MinHeap(e.queue.keys); err != nil {
 		return err
 	}

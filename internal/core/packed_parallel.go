@@ -1,182 +1,199 @@
 package core
 
-import (
-	"sync"
+import "phast/internal/graph"
 
-	"phast/internal/graph"
-)
+// Chunk kernels over the fused single-stream layout (Section V over the
+// packed stream, scheduled by scheduler.go). A worker enters the stream
+// at a chunk boundary through Packed.BlockStarts and positions its own
+// seed cursor with one binary search per chunk; within the chunk the
+// scan is identical to the sequential packed kernels of packed.go.
 
-// Intra-level parallel variants of the packed kernels (Section V over
-// the fused stream). Workers enter the stream at level-chunk boundaries
-// through Packed.BlockStarts and each carries its own seed cursor,
-// positioned with one binary search per chunk; the barrier scaffolding
-// is identical to sweepParallel/sweepMultiParallel.
-
-// sweepPackedParallel is sweepPacked with a per-level barrier.
+// scanPackedChunk relaxes sweep positions [lo,hi) of the packed
+// single-tree sweep.
 //
 //phast:hotpath
-func (e *Engine) sweepPackedParallel() {
+func (e *Engine) scanPackedChunk(lo, hi int32) {
 	pk := e.s.packed
 	stream := pk.Stream()
-	blockStart := pk.BlockStarts()
 	hasV := pk.ExplicitVertex()
 	dist := e.dist
 	seeds := e.seedPos
-	workers := e.s.workers
-
-	// scanRange processes sweep positions [lo,hi).
-	scanRange := func(lo, hi int32) {
-		si := seedLowerBound(seeds, lo)
-		next := int32(-1)
-		if si < len(seeds) {
-			next = seeds[si]
-		}
-		i := blockStart[lo]
-		for p := lo; p < hi; p++ {
-			deg := int(stream[i])
-			i++
-			v := p
-			if hasV {
-				v = int32(stream[i])
-				i++
-			}
-			best := graph.Inf
-			if p == next {
-				best = dist[v]
-				si++
-				next = -1
-				if si < len(seeds) {
-					next = seeds[si]
-				}
-			}
-			for end := i + 2*deg; i < end; i += 2 {
-				nd := graph.AddSat(dist[stream[i]], stream[i+1])
-				if nd < best {
-					best = nd
-				}
-			}
-			dist[v] = best
-		}
+	si := seedLowerBound(seeds, lo)
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
 	}
-
-	var wg sync.WaitGroup
-	for _, r := range e.s.levelRanges {
-		lo, hi := r[0], r[1]
-		size := hi - lo
-		if int(size) < minParallelLevel {
-			scanRange(lo, hi)
-			continue
+	i := pk.BlockStarts()[lo]
+	for p := lo; p < hi; p++ {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
 		}
-		chunk := (size + int32(workers) - 1) / int32(workers)
-		for w := 1; w < workers; w++ {
-			clo := lo + int32(w)*chunk
-			chi := clo + chunk
-			if chi > hi {
-				chi = hi
+		best := graph.Inf
+		if p == next {
+			best = dist[v]
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
 			}
-			if clo >= chi {
-				continue
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			nd := graph.AddSat(dist[stream[i]], stream[i+1])
+			if nd < best {
+				best = nd
 			}
-			wg.Add(1)
-			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
-			go func(clo, chi int32) {
-				defer wg.Done()
-				scanRange(clo, chi)
-			}(clo, chi)
 		}
-		chi := lo + chunk
-		if chi > hi {
-			chi = hi
-		}
-		scanRange(lo, chi)
-		wg.Wait() // barrier: the next level reads this level's labels
+		dist[v] = best
 	}
 }
 
-// sweepPackedMultiParallel is sweepPackedMulti with a per-level barrier.
+// scanPackedParentsChunk is scanPackedChunk recording G+ parents.
 //
 //phast:hotpath
-func (e *Engine) sweepPackedMultiParallel(k int) {
+func (e *Engine) scanPackedParentsChunk(lo, hi int32) {
 	pk := e.s.packed
 	stream := pk.Stream()
-	blockStart := pk.BlockStarts()
+	hasV := pk.ExplicitVertex()
+	dist := e.dist
+	parent := e.parent
+	seeds := e.seedPos
+	si := seedLowerBound(seeds, lo)
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	i := pk.BlockStarts()[lo]
+	for p := lo; p < hi; p++ {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
+		}
+		best := graph.Inf
+		bestP := int32(-1)
+		if p == next {
+			best = dist[v]
+			bestP = parent[v] // set by the CH search
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
+			}
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			h := stream[i]
+			nd := graph.AddSat(dist[h], stream[i+1])
+			if nd < best {
+				best = nd
+				bestP = int32(h)
+			}
+		}
+		dist[v] = best
+		parent[v] = bestP
+	}
+}
+
+// scanPackedMultiChunk relaxes all k trees of sweep positions [lo,hi)
+// over the fused stream with a scalar inner loop.
+//
+//phast:hotpath
+func (e *Engine) scanPackedMultiChunk(lo, hi int32, k int) {
+	pk := e.s.packed
+	stream := pk.Stream()
 	hasV := pk.ExplicitVertex()
 	kd := e.kdist
 	seeds := e.seedPos
-	workers := e.s.workers
-
-	scanRange := func(lo, hi int32) {
-		si := seedLowerBound(seeds, lo)
-		next := int32(-1)
-		if si < len(seeds) {
-			next = seeds[si]
-		}
-		i := blockStart[lo]
-		for p := lo; p < hi; p++ {
-			deg := int(stream[i])
+	si := seedLowerBound(seeds, lo)
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	i := pk.BlockStarts()[lo]
+	for p := lo; p < hi; p++ {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
 			i++
-			v := p
-			if hasV {
-				v = int32(stream[i])
-				i++
+		}
+		base := int(v) * k
+		dv := kd[base : base+k]
+		if p == next {
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
 			}
-			base := int(v) * k
-			dv := kd[base : base+k]
-			if p == next {
-				si++
-				next = -1
-				if si < len(seeds) {
-					next = seeds[si]
-				}
-			} else {
-				for j := range dv {
-					dv[j] = graph.Inf
-				}
+		} else {
+			for j := range dv {
+				dv[j] = graph.Inf
 			}
-			for end := i + 2*deg; i < end; i += 2 {
-				ub := int(stream[i]) * k
-				du := kd[ub : ub+k]
-				w := stream[i+1]
-				for j := 0; j < k; j++ {
-					nd := graph.AddSat(du[j], w)
-					if nd < dv[j] {
-						dv[j] = nd
-					}
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			ub := int(stream[i]) * k
+			du := kd[ub : ub+k]
+			w := stream[i+1]
+			for j := 0; j < k; j++ {
+				nd := graph.AddSat(du[j], w)
+				if nd < dv[j] {
+					dv[j] = nd
 				}
 			}
 		}
 	}
+}
 
-	var wg sync.WaitGroup
-	for _, r := range e.s.levelRanges {
-		lo, hi := r[0], r[1]
-		size := hi - lo
-		if int(size)*k < minParallelLevel {
-			scanRange(lo, hi)
-			continue
+// scanPackedLanesChunk is scanPackedMultiChunk with the inner loop
+// unrolled into the 4-wide relax4 lanes.
+//
+//phast:hotpath
+func (e *Engine) scanPackedLanesChunk(lo, hi int32, k int) {
+	pk := e.s.packed
+	stream := pk.Stream()
+	hasV := pk.ExplicitVertex()
+	kd := e.kdist
+	seeds := e.seedPos
+	si := seedLowerBound(seeds, lo)
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	i := pk.BlockStarts()[lo]
+	for p := lo; p < hi; p++ {
+		deg := int(stream[i])
+		i++
+		v := p
+		if hasV {
+			v = int32(stream[i])
+			i++
 		}
-		chunk := (size + int32(workers) - 1) / int32(workers)
-		for w := 1; w < workers; w++ {
-			clo := lo + int32(w)*chunk
-			chi := clo + chunk
-			if chi > hi {
-				chi = hi
+		base := int(v) * k
+		dv := kd[base : base+k : base+k]
+		if p == next {
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
 			}
-			if clo >= chi {
-				continue
+		} else {
+			for j := range dv {
+				dv[j] = graph.Inf
 			}
-			wg.Add(1)
-			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
-			go func(clo, chi int32) {
-				defer wg.Done()
-				scanRange(clo, chi)
-			}(clo, chi)
 		}
-		chi := lo + chunk
-		if chi > hi {
-			chi = hi
+		for end := i + 2*deg; i < end; i += 2 {
+			ub := int(stream[i]) * k
+			du := kd[ub : ub+k : ub+k]
+			w := stream[i+1]
+			for j := 0; j+4 <= k; j += 4 {
+				relax4(dv[j:j+4:j+4], du[j:j+4:j+4], w)
+			}
 		}
-		scanRange(lo, chi)
-		wg.Wait()
 	}
 }

@@ -310,7 +310,7 @@ func TestLegacyParallelBarrierRace(t *testing.T) {
 		}
 	}
 	sources := []int32{s, int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(n))}
-	e.MultiTreeParallel(sources)
+	e.MultiTreeParallel(sources, false)
 	for i, src := range sources {
 		raceFixture.d.Run(src)
 		for v := int32(0); v < int32(n); v += 11 {
@@ -345,7 +345,7 @@ func TestPackedParallelStress(t *testing.T) {
 					return
 				}
 				sources := []int32{s, int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(n))}
-				e.MultiTreeParallel(sources)
+				e.MultiTreeParallel(sources, false)
 				for i, src := range sources {
 					e.CopyLaneDistances(i, buf)
 					if buf[src] != 0 {

@@ -1,61 +1,85 @@
 package core
 
-import (
-	"sync"
+import "phast/internal/graph"
 
-	"phast/internal/graph"
-)
+// Parallel sweep entry points and the CSR chunk kernels they schedule.
+// All parallel kernel families (single-tree, parents, scalar multi,
+// k-lane; CSR and packed) run as chunk scans on the persistent
+// scheduler of scheduler.go: the entry point runs the upward search,
+// picks the kernel family, and hands fixed-size position chunks to the
+// parked worker pool with dependency-bounded starts. The per-level
+// fork-join of the first Section V implementation survives behind
+// Options.ForkJoinSweep as a differential oracle (forkjoin.go).
 
-// minParallelLevel is the level size below which the parallel sweep
-// processes the level on the calling goroutine: upper CH levels hold a
-// handful of vertices each and a barrier would cost more than the work.
-const minParallelLevel = 1024
-
-// TreeParallel computes the tree from source using the intra-level
-// parallel sweep of Section V: vertices of one level are partitioned
-// into near-equal blocks, one per worker, and workers synchronize with a
-// barrier between levels (Lemma 4.1 makes every level a valid parallel
-// step). Requires a mode with level ranges (reordered or level order);
-// rank order falls back to the sequential sweep.
+// TreeParallel computes the tree from source using the multi-core sweep
+// of Section V on the persistent scheduler. Falls back to the
+// sequential sweep when a single worker is configured or the graph is
+// smaller than one chunk (Options.ParallelGrain).
 func (e *Engine) TreeParallel(source int32) {
 	e.hasParents = false
 	e.lastMulti = false
 	e.chSearch(source, nil)
 	if e.s.packed != nil {
 		e.buildSeeds()
-		if e.s.levelRanges == nil || e.s.workers <= 1 {
+		if !e.parallelSweep(packedSingle, 1) {
 			e.sweepPacked()
-		} else {
-			e.sweepPackedParallel()
 		}
 		return
 	}
-	if e.s.levelRanges == nil || e.s.workers <= 1 {
-		if e.s.order == nil {
-			e.sweepIdentity()
-		} else {
-			e.sweepOrdered()
-		}
+	if e.parallelSweep(csrSingle, 1) {
 		return
 	}
-	e.sweepParallel()
+	if e.s.order == nil {
+		e.sweepIdentity()
+	} else {
+		e.sweepOrdered()
+	}
 }
 
-// MultiTreeParallel combines the k-sources-per-sweep batching of Section
-// IV-B with the intra-level parallel sweep of Section V: the k upward
-// searches run sequentially (they are microseconds), then each level's
-// vertices are partitioned across workers, every worker relaxing all k
-// lanes of its block. Falls back to the sequential multi-sweep when the
-// mode has no level ranges or a single worker is configured.
-func (e *Engine) MultiTreeParallel(sources []int32) {
+// TreeWithParentsParallel is TreeParallel additionally recording, for
+// every vertex, the arc of G+ responsible for its label (Section
+// VII-A), enabling PathTo. Under the fork-join oracle the parents
+// family falls back to the sequential kernel — the oracle exists to
+// differentially check the scheduler, not to serve queries.
+func (e *Engine) TreeWithParentsParallel(source int32) {
+	if e.parent == nil {
+		e.parent = make([]int32, e.s.n)
+	}
+	e.hasParents = true
+	e.lastMulti = false
+	e.chSearch(source, e.parent)
+	if e.s.packed != nil {
+		e.buildSeeds()
+		if !e.parallelSweep(packedParents, 1) {
+			e.sweepPackedParents()
+		}
+		return
+	}
+	if e.parallelSweep(csrParents, 1) {
+		return
+	}
+	if e.s.order == nil {
+		e.sweepIdentityParents()
+	} else {
+		e.sweepOrderedParents()
+	}
+}
+
+// MultiTreeParallel combines the k-sources-per-sweep batching of
+// Section IV-B with the scheduled parallel sweep: the k upward searches
+// run sequentially (they are microseconds), then the workers relax all
+// k lanes of every chunk they claim. useLanes selects the 4-wide
+// unrolled relaxation (k must then be a multiple of 4), mirroring
+// MultiTree. Falls back to the sequential multi-sweep when a single
+// worker is configured or the graph is smaller than one chunk.
+func (e *Engine) MultiTreeParallel(sources []int32, useLanes bool) {
 	k := len(sources)
 	if k == 0 {
 		e.k = 0
 		return
 	}
-	if e.s.levelRanges == nil || e.s.workers <= 1 {
-		e.MultiTree(sources, false)
-		return
+	if useLanes && k%4 != 0 {
+		panic("core: lane-based MultiTreeParallel requires k to be a multiple of 4")
 	}
 	if cap(e.kdist) < k*e.s.n {
 		e.kdist = make([]uint32, k*e.s.n)
@@ -69,153 +93,167 @@ func (e *Engine) MultiTreeParallel(sources []int32) {
 	}
 	if e.s.packed != nil {
 		e.buildSeeds()
-		e.sweepPackedMultiParallel(k)
+		kind := packedMulti
+		if useLanes {
+			kind = packedLanes
+		}
+		if !e.parallelSweep(kind, k) {
+			if useLanes {
+				e.sweepPackedMultiLanes(k)
+			} else {
+				e.sweepPackedMulti(k)
+			}
+		}
 		return
 	}
-	e.sweepMultiParallel(k)
-}
-
-// sweepMultiParallel is sweepMulti with intra-level parallelism: the
-// vertices of one level have no arcs among them (Lemma 4.1), so each
-// level range splits into worker chunks with a barrier per level
-// (Section V). Levels below minParallelLevel stay sequential.
-//
-//phast:hotpath
-func (e *Engine) sweepMultiParallel(k int) {
-	first := e.s.downIn.FirstOut()
-	arcs := e.s.downIn.ArcList()
-	kd := e.kdist
-	mark := e.mark
-	order := e.s.order
-	workers := e.s.workers
-
-	scanRange := func(lo, hi int32) {
-		for p := lo; p < hi; p++ {
-			v := p
-			if order != nil {
-				v = order[p]
-			}
-			base := int(v) * k
-			dv := kd[base : base+k]
-			if !mark[v] {
-				for j := range dv {
-					dv[j] = graph.Inf
-				}
-			} else {
-				mark[v] = false
-			}
-			for i := first[v]; i < first[v+1]; i++ {
-				a := arcs[i]
-				ub := int(a.Head) * k
-				du := kd[ub : ub+k]
-				w := a.Weight
-				for j := 0; j < k; j++ {
-					if nd := graph.AddSat(du[j], w); nd < dv[j] {
-						dv[j] = nd
-					}
-				}
-			}
-		}
+	kind := csrMulti
+	if useLanes {
+		kind = csrLanes
 	}
-
-	var wg sync.WaitGroup
-	for _, r := range e.s.levelRanges {
-		lo, hi := r[0], r[1]
-		size := hi - lo
-		if int(size)*k < minParallelLevel {
-			scanRange(lo, hi)
-			continue
+	if !e.parallelSweep(kind, k) {
+		if useLanes {
+			e.sweepMultiLanes(k)
+		} else {
+			e.sweepMulti(k)
 		}
-		chunk := (size + int32(workers) - 1) / int32(workers)
-		for w := 1; w < workers; w++ {
-			clo := lo + int32(w)*chunk
-			chi := clo + chunk
-			if chi > hi {
-				chi = hi
-			}
-			if clo >= chi {
-				continue
-			}
-			wg.Add(1)
-			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
-			go func(clo, chi int32) {
-				defer wg.Done()
-				scanRange(clo, chi)
-			}(clo, chi)
-		}
-		chi := lo + chunk
-		if chi > hi {
-			chi = hi
-		}
-		scanRange(lo, chi)
-		wg.Wait()
 	}
 }
 
-// sweepParallel is sweepIdentity/sweepOrdered with the same per-level
-// barrier parallelization as sweepMultiParallel.
+// scanCSRChunk relaxes sweep positions [lo,hi) of the single-tree CSR
+// sweep. Every position is owned by exactly one chunk, so the mark
+// clear and label write race with nobody; external labels are read only
+// after the scheduler's frontier passed the chunk's dependency bound.
 //
 //phast:hotpath
-func (e *Engine) sweepParallel() {
+func (e *Engine) scanCSRChunk(lo, hi int32) {
 	first := e.s.downIn.FirstOut()
 	arcs := e.s.downIn.ArcList()
 	dist := e.dist
 	mark := e.mark
 	order := e.s.order
-	workers := e.s.workers
+	for p := lo; p < hi; p++ {
+		v := p
+		if order != nil {
+			v = order[p]
+		}
+		best := graph.Inf
+		if mark[v] {
+			best = dist[v]
+			mark[v] = false
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			a := arcs[i]
+			if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
+				best = nd
+			}
+		}
+		dist[v] = best
+	}
+}
 
-	// scanRange processes sweep positions [lo,hi).
-	scanRange := func(lo, hi int32) {
-		for p := lo; p < hi; p++ {
-			v := p
-			if order != nil {
-				v = order[p]
+// scanCSRParentsChunk is scanCSRChunk recording G+ parent pointers.
+//
+//phast:hotpath
+func (e *Engine) scanCSRParentsChunk(lo, hi int32) {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	dist := e.dist
+	mark := e.mark
+	parent := e.parent
+	order := e.s.order
+	for p := lo; p < hi; p++ {
+		v := p
+		if order != nil {
+			v = order[p]
+		}
+		best := graph.Inf
+		bestP := int32(-1)
+		if mark[v] {
+			best = dist[v]
+			bestP = parent[v] // set by the CH search
+			mark[v] = false
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			a := arcs[i]
+			if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
+				best = nd
+				bestP = a.Head
 			}
-			best := graph.Inf
-			if mark[v] {
-				best = dist[v]
-				mark[v] = false
+		}
+		dist[v] = best
+		parent[v] = bestP
+	}
+}
+
+// scanCSRMultiChunk relaxes all k trees of sweep positions [lo,hi) with
+// a scalar inner loop.
+//
+//phast:hotpath
+func (e *Engine) scanCSRMultiChunk(lo, hi int32, k int) {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	kd := e.kdist
+	mark := e.mark
+	order := e.s.order
+	for p := lo; p < hi; p++ {
+		v := p
+		if order != nil {
+			v = order[p]
+		}
+		base := int(v) * k
+		dv := kd[base : base+k]
+		if !mark[v] {
+			for j := range dv {
+				dv[j] = graph.Inf
 			}
-			for i := first[v]; i < first[v+1]; i++ {
-				a := arcs[i]
-				if nd := graph.AddSat(dist[a.Head], a.Weight); nd < best {
-					best = nd
+		} else {
+			mark[v] = false
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			a := arcs[i]
+			ub := int(a.Head) * k
+			du := kd[ub : ub+k]
+			w := a.Weight
+			for j := 0; j < k; j++ {
+				if nd := graph.AddSat(du[j], w); nd < dv[j] {
+					dv[j] = nd
 				}
 			}
-			dist[v] = best
 		}
 	}
+}
 
-	var wg sync.WaitGroup
-	for _, r := range e.s.levelRanges {
-		lo, hi := r[0], r[1]
-		size := hi - lo
-		if int(size) < minParallelLevel {
-			scanRange(lo, hi)
-			continue
+// scanCSRLanesChunk is scanCSRMultiChunk with the inner loop unrolled
+// into the 4-wide relax4 lanes (Section IV-B SSE analogue).
+//
+//phast:hotpath
+func (e *Engine) scanCSRLanesChunk(lo, hi int32, k int) {
+	first := e.s.downIn.FirstOut()
+	arcs := e.s.downIn.ArcList()
+	kd := e.kdist
+	mark := e.mark
+	order := e.s.order
+	for p := lo; p < hi; p++ {
+		v := p
+		if order != nil {
+			v = order[p]
 		}
-		chunk := (size + int32(workers) - 1) / int32(workers)
-		for w := 1; w < workers; w++ {
-			clo := lo + int32(w)*chunk
-			chi := clo + chunk
-			if chi > hi {
-				chi = hi
+		base := int(v) * k
+		dv := kd[base : base+k : base+k]
+		if !mark[v] {
+			for j := range dv {
+				dv[j] = graph.Inf
 			}
-			if clo >= chi {
-				continue
+		} else {
+			mark[v] = false
+		}
+		for i := first[v]; i < first[v+1]; i++ {
+			a := arcs[i]
+			ub := int(a.Head) * k
+			du := kd[ub : ub+k : ub+k]
+			for j := 0; j+4 <= k; j += 4 {
+				relax4(dv[j:j+4:j+4], du[j:j+4:j+4], a.Weight)
 			}
-			wg.Add(1)
-			//phastlint:ignore hotalloc per-level barrier goroutines are the Section V design; one launch per level chunk, amortized over the whole level scan
-			go func(clo, chi int32) {
-				defer wg.Done()
-				scanRange(clo, chi)
-			}(clo, chi)
 		}
-		chi := lo + chunk
-		if chi > hi {
-			chi = hi
-		}
-		scanRange(lo, chi)
-		wg.Wait() // barrier: the next level reads this level's labels
 	}
 }

@@ -10,12 +10,13 @@ import (
 	"phast/internal/sssp"
 )
 
-// These tests exist to run under `go test -race`: the intra-level
-// parallel sweeps (sweepParallel / sweepMultiParallel) spawn worker
-// goroutines with a barrier per level, and before this file nothing
-// exercised that handoff with the race detector watching. The graph is
-// sized so at least one level exceeds minParallelLevel — otherwise the
-// sequential fallback would hide the workers entirely.
+// These tests exist to run under `go test -race`: the parallel sweeps
+// hand chunks to persistent pool workers (or, under ForkJoinSweep, spawn
+// per-level goroutine waves), and before this file nothing exercised
+// that handoff with the race detector watching. The graph is sized so
+// the sweep spans several grain-sized chunks and at least one level
+// exceeds DefaultParallelGrain — otherwise the sequential fallback would
+// hide the workers entirely.
 
 // raceFixture builds one hierarchy big enough for real worker spawns and
 // shares it across the race tests (CH construction dominates test time).
@@ -29,7 +30,7 @@ var raceFixture = struct {
 func raceHierarchy(t *testing.T) (*ch.Hierarchy, int) {
 	raceFixture.once.Do(func() {
 		rng := rand.New(rand.NewSource(50))
-		g := gridGraph(rng, 90, 60, 30) // 5400 vertices; largest CH level 1185 > minParallelLevel
+		g := gridGraph(rng, 90, 60, 30) // 5400 vertices; largest CH level 1185 > DefaultParallelGrain
 		raceFixture.h = ch.Build(g, ch.Options{Workers: 1})
 		raceFixture.n = g.NumVertices()
 		raceFixture.d = sssp.NewDijkstra(g, pq.KindBinaryHeap)
@@ -37,16 +38,18 @@ func raceHierarchy(t *testing.T) (*ch.Hierarchy, int) {
 	return raceFixture.h, raceFixture.n
 }
 
-// levelsBigEnough asserts the fixture actually triggers parallel worker
-// spawns for the single-tree sweep (size ≥ minParallelLevel).
+// levelsBigEnough asserts the fixture actually triggers parallel work:
+// at least one level reaches the default grain, so the fork-join oracle
+// splits it across workers (the pooled scheduler parallelizes whenever
+// the sweep spans more than one chunk, which 5400 vertices guarantee).
 func levelsBigEnough(t *testing.T, e *Engine) {
 	t.Helper()
 	for _, r := range e.LevelRanges() {
-		if r[1]-r[0] >= minParallelLevel {
+		if r[1]-r[0] >= DefaultParallelGrain {
 			return
 		}
 	}
-	t.Fatal("race fixture has no level ≥ minParallelLevel; workers never spawn and the race test is vacuous")
+	t.Fatal("race fixture has no level ≥ DefaultParallelGrain; fork-join workers never spawn and the race test is vacuous")
 }
 
 // TestTreeParallelBarrierRace drives the single-tree parallel sweep with
@@ -90,7 +93,7 @@ func TestMultiTreeParallelBarrierRace(t *testing.T) {
 		for i := range sources {
 			sources[i] = int32(rng.Intn(n))
 		}
-		e.MultiTreeParallel(sources)
+		e.MultiTreeParallel(sources, false)
 		for i, s := range sources {
 			raceFixture.d.Run(s)
 			for v := int32(0); v < int32(n); v += 11 {
@@ -137,7 +140,7 @@ func TestParallelSweepsAcrossClones(t *testing.T) {
 					}
 				} else {
 					sources := []int32{int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(n))}
-					e.MultiTreeParallel(sources)
+					e.MultiTreeParallel(sources, false)
 					for i, s := range sources {
 						e.CopyLaneDistances(i, want)
 						if want[s] != 0 {

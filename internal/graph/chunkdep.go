@@ -1,0 +1,120 @@
+package graph
+
+import "fmt"
+
+// This file computes the per-chunk dependency bounds the persistent
+// sweep scheduler relaxes the Section V level barrier with. The sweep
+// order is a reverse topological order of the downward graph (every arc
+// read at position p has its tail at some earlier position), so any
+// fixed-size chunk of positions [a,b) may start as soon as every
+// position < a that the chunk reads is final. The bound precomputed
+// here is exactly that horizon: the maximum sweep position among tails
+// of arcs entering the chunk from before its start. Dependencies within
+// the chunk need no bound — the in-order scan of the chunk satisfies
+// them, as in the sequential sweep.
+
+// ChunkDepBounds partitions the sweep positions of g (an incoming-arc
+// downward graph: Arcs(v) lists the arcs relaxed when v is scanned,
+// with Head naming the dependency tail) into chunks of grain positions
+// and returns, for each chunk c covering [c*grain, min((c+1)*grain, n)),
+// the maximum sweep position among tails of its incoming arcs that lie
+// before the chunk start, or -1 when the chunk depends on no earlier
+// position. order is the sweep order (order[p] = vertex scanned at
+// position p); nil means the identity scan.
+//
+// A tail position at or after the scanning position would contradict
+// the reverse-topological property of the sweep order; that is reported
+// as an error rather than silently folded into a bound.
+func ChunkDepBounds(g *Graph, order []int32, grain int) ([]int32, error) {
+	n := g.NumVertices()
+	if grain <= 0 {
+		return nil, fmt.Errorf("graph: chunk grain %d is not positive", grain)
+	}
+	if order != nil && len(order) != n {
+		return nil, fmt.Errorf("graph: chunk order has length %d, want %d", len(order), n)
+	}
+	var pos []int32 // vertex -> sweep position; nil = identity
+	if order != nil {
+		pos = make([]int32, n)
+		for p, v := range order {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: chunk order has vertex %d at position %d, want [0,%d)", v, p, n)
+			}
+			pos[v] = int32(p)
+		}
+	}
+	numChunks := (n + grain - 1) / grain
+	dep := make([]int32, numChunks)
+	for c := range dep {
+		dep[c] = -1
+	}
+	for p := 0; p < n; p++ {
+		v := int32(p)
+		if order != nil {
+			v = order[p]
+		}
+		c := p / grain
+		start := int32(c * grain)
+		for _, a := range g.Arcs(v) {
+			tp := a.Head
+			if pos != nil {
+				tp = pos[a.Head]
+			}
+			if int(tp) >= p {
+				return nil, fmt.Errorf("graph: sweep order is not topological: position %d reads tail at position %d", p, tp)
+			}
+			if tp < start && tp > dep[c] {
+				dep[c] = tp
+			}
+		}
+	}
+	return dep, nil
+}
+
+// ChunkDepBounds is the packed-stream flavor of the package-level
+// function: it walks the fused stream instead of the CSR arrays, so the
+// precompute reads the same words the scheduler's workers will. pos
+// maps a vertex ID to its sweep position and must be non-nil exactly
+// when the stream carries explicit vertex words (non-identity orders);
+// for the identity layout a head's ID is its position.
+func (p *Packed) ChunkDepBounds(pos []int32, grain int) ([]int32, error) {
+	if grain <= 0 {
+		return nil, fmt.Errorf("graph: chunk grain %d is not positive", grain)
+	}
+	if p.explicitV != (pos != nil) {
+		return nil, fmt.Errorf("graph: packed chunk bounds need a position map iff the stream has vertex words (explicit=%v, pos=%v)",
+			p.explicitV, pos != nil)
+	}
+	if pos != nil && len(pos) != p.n {
+		return nil, fmt.Errorf("graph: chunk position map has length %d, want %d", len(pos), p.n)
+	}
+	numChunks := (p.n + grain - 1) / grain
+	dep := make([]int32, numChunks)
+	for c := range dep {
+		dep[c] = -1
+	}
+	stream := p.stream
+	i := 0
+	for sp := 0; sp < p.n; sp++ {
+		deg := int(stream[i])
+		i++
+		if p.explicitV {
+			i++ // the vertex word; heads are what matters here
+		}
+		c := sp / grain
+		start := int32(c * grain)
+		for end := i + 2*deg; i < end; i += 2 {
+			tp := int32(stream[i])
+			if pos != nil {
+				tp = pos[stream[i]]
+			}
+			if int(tp) >= sp {
+				return nil, fmt.Errorf("graph: packed stream is not topological: position %d reads tail at position %d", sp, tp)
+			}
+			if tp < start && tp > dep[c] {
+				dep[c] = tp
+			}
+		}
+	}
+	return dep, nil
+}

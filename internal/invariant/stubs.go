@@ -30,6 +30,9 @@ func Hierarchy(h *ch.Hierarchy) error { return nil }
 // PackedStream is a release-build no-op; see the phastdebug flavor.
 func PackedStream(p *graph.Packed, g *graph.Graph, order []int32) error { return nil }
 
+// ChunkDeps is a release-build no-op; see the phastdebug flavor.
+func ChunkDeps(g *graph.Graph, order []int32, grain int, chunkDep []int32) error { return nil }
+
 // MinHeap is a release-build no-op; see the phastdebug flavor.
 func MinHeap(keys []uint32) error { return nil }
 

@@ -116,6 +116,27 @@ func ByLevelDescending(levels []int32) []int32 {
 	return perm
 }
 
+// ChunkRanges partitions the sweep positions [0,n) into fixed-size
+// chunks of grain positions (the last one possibly shorter) and returns
+// their half-open ranges. This is the unit of work the persistent sweep
+// scheduler self-schedules, cutting across level boundaries: unlike
+// LevelRanges it needs no level data, because chunk starts are ordered
+// by the precomputed dependency bounds instead of a per-level barrier.
+func ChunkRanges(n, grain int) [][2]int32 {
+	if n <= 0 || grain <= 0 {
+		return nil
+	}
+	ranges := make([][2]int32, 0, (n+grain-1)/grain)
+	for from := 0; from < n; from += grain {
+		to := from + grain
+		if to > n {
+			to = n
+		}
+		ranges = append(ranges, [2]int32{int32(from), int32(to)})
+	}
+	return ranges
+}
+
 // LevelRanges returns, for levels already relabeled by ByLevelDescending
 // (i.e. levelOf[newID]), the half-open vertex ID range [from,to) of each
 // level in sweep order (descending level). It is the index the parallel

@@ -15,11 +15,15 @@ import (
 //   - composite literals (slice/map/struct literals allocate or copy),
 //   - append calls that are not the amortized self-append idiom
 //     `x = append(x, ...)` / `x = append(x[:0], ...)` on a reused buffer,
-//   - closures that escape (go statements; any use other than binding to
-//     a local variable or passing as a direct call argument) — escaping
-//     closures heap-allocate their captures. The call-argument allowance
-//     covers the simulator's kernel-launch idiom, which invokes the
-//     closure synchronously,
+//   - go statements — a goroutine launch allocates a stack and heap-boxes
+//     the closure's captures; a launch nested in a loop (the retired
+//     per-level fork-join idiom, one spawn wave per level) gets its own
+//     diagnostic pointing at the persistent worker pool,
+//   - closures that escape (any use other than binding to a local
+//     variable or passing as a direct call argument) — escaping closures
+//     heap-allocate their captures. The call-argument allowance covers
+//     the simulator's kernel-launch idiom, which invokes the closure
+//     synchronously,
 //   - interface boxing: passing a non-interface value where an
 //     interface is expected, including variadic ...any,
 //   - string<->[]byte/[]rune conversions.
@@ -60,6 +64,29 @@ func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
 		}
 		return obj != nil && obj.Parent() != pkgScope
 	}
+
+	// Pre-walk: mark go statements nested inside a loop, the signature
+	// of the retired per-level fork-join sweep (spawn a wave of
+	// goroutines per level, barrier, repeat). Those get a diagnostic
+	// that names the replacement, not just the allocation.
+	goInLoop := make(map[*ast.GoStmt]bool)
+	markGos := func(loopBody ast.Node) {
+		ast.Inspect(loopBody, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goInLoop[g] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			markGos(n.Body)
+		case *ast.RangeStmt:
+			markGos(n.Body)
+		}
+		return true
+	})
 
 	// Pre-walk: collect the sanctioned patterns.
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -103,7 +130,11 @@ func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "%s is //phast:hotpath but launches a goroutine; the closure and goroutine allocate — hoist the launch out of the kernel or suppress with a reason", fname)
+			if goInLoop[n] {
+				pass.Reportf(n.Pos(), "%s is //phast:hotpath but launches a goroutine per loop iteration (the per-level fork-join idiom); park persistent workers outside the kernel and hand them chunks instead", fname)
+			} else {
+				pass.Reportf(n.Pos(), "%s is //phast:hotpath but launches a goroutine; the closure and goroutine allocate — hoist the launch out of the kernel", fname)
+			}
 			// Do not additionally report the go closure itself.
 			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 				allow.lits[lit] = true

@@ -31,7 +31,7 @@ func rawAccessor(name string) bool {
 // receiver (it runs, or may run, a sweep that rewrites working buffers).
 func sweepCall(name string) bool {
 	switch name {
-	case "Tree", "TreeParallel", "TreeWithParents", "MultiTree", "MultiTreeParallel", "Run":
+	case "Tree", "TreeParallel", "TreeWithParents", "TreeWithParentsParallel", "MultiTree", "MultiTreeParallel", "Run":
 		return true
 	}
 	return strings.HasPrefix(name, "Sweep") || strings.HasPrefix(name, "sweep")

@@ -3,6 +3,8 @@
 // allocate freely.
 package hotalloc
 
+import "sync"
+
 var sink func()
 
 // relaxAll is the shape of a conforming sweep kernel: loads and stores
@@ -46,6 +48,34 @@ func badGo(dist []uint32) {
 	go func() { // want `launches a goroutine`
 		dist[0] = 0
 	}()
+}
+
+// badLevelForkJoin reconstructs the retired per-level parallel sweep —
+// a fresh wave of goroutines and a WaitGroup barrier per level — which
+// the persistent dependency-bounded scheduler replaced. The loop-nested
+// launch gets the idiom-specific diagnostic.
+//
+//phast:hotpath
+func badLevelForkJoin(dist []uint32, levelRanges [][2]int32, workers int) {
+	for _, lr := range levelRanges {
+		lo, hi := lr[0], lr[1]
+		var wg sync.WaitGroup
+		span := (hi - lo + int32(workers) - 1) / int32(workers)
+		for clo := lo; clo < hi; clo += span {
+			chi := clo + span
+			if chi > hi {
+				chi = hi
+			}
+			wg.Add(1)
+			go func(clo, chi int32) { // want `goroutine per loop iteration \(the per-level fork-join idiom\)`
+				defer wg.Done()
+				for v := clo; v < chi; v++ {
+					dist[v] = 0
+				}
+			}(clo, chi)
+		}
+		wg.Wait()
+	}
 }
 
 //phast:hotpath

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -46,6 +48,31 @@ func waitQueueDepth(t *testing.T, s *TreeServer, want int) {
 	}
 }
 
+// countPops installs a testHookRequestPopped counter (restored via
+// t.Cleanup) and returns a waiter that blocks until the dispatcher has
+// popped want requests off the queue. Queue depth cannot sequence the
+// pipeline-filling steps — it reads 0 both before a query enqueues and
+// after it is popped — so the tests gate on dispatcher progress
+// instead; otherwise two staged queries can race for the one queue
+// slot and the overflow query is rejected one step early.
+func countPops(t *testing.T) func(want uint64) {
+	t.Helper()
+	var pops atomic.Uint64
+	old := testHookRequestPopped
+	testHookRequestPopped = func() { pops.Add(1) }
+	t.Cleanup(func() { testHookRequestPopped = old })
+	return func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for pops.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("dispatcher never popped %d requests (now %d)", want, pops.Load())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
 // TestRejectOnFullDeterministic fills every stage of the pipeline —
 // executor (wedged on the hook), batch channel, dispatcher's blocked
 // hand-off, request queue — and asserts the next query is rejected with
@@ -53,12 +80,15 @@ func waitQueueDepth(t *testing.T, s *TreeServer, want int) {
 func TestRejectOnFullDeterministic(t *testing.T) {
 	entered := make(chan struct{}, 8)
 	gate := make(chan struct{})
+	var gateOnce sync.Once
+	lift := func() { gateOnce.Do(func() { close(gate) }) }
 	old := testHookBatchStart
 	testHookBatchStart = func() {
 		entered <- struct{}{}
 		<-gate
 	}
 	defer func() { testHookBatchStart = old }()
+	waitPops := countPops(t)
 
 	s, err := New(overloadEngine(t), Options{
 		MaxBatch: 1, Engines: 1, QueueSize: 1,
@@ -68,6 +98,10 @@ func TestRejectOnFullDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
+	// Registered after s.Close so it runs first: if an assertion fails
+	// while the executor is wedged, Close would otherwise wait forever
+	// for the executor parked in the hook.
+	defer lift()
 
 	// Pipeline capacity before rejection: 1 wedged in the executor,
 	// 1 in the batch channel buffer, 1 held by the blocked dispatcher,
@@ -86,9 +120,9 @@ func TestRejectOnFullDeterministic(t *testing.T) {
 	fire() // q1 -> executor
 	<-entered
 	fire() // q2 -> batch channel buffer
-	waitQueueDepth(t, s, 0)
+	waitPops(2)
 	fire() // q3 -> dispatcher, blocked sending the batch
-	waitQueueDepth(t, s, 0)
+	waitPops(3)
 	fire() // q4 -> request queue
 	waitQueueDepth(t, s, 1)
 
@@ -99,7 +133,7 @@ func TestRejectOnFullDeterministic(t *testing.T) {
 		t.Fatalf("Stats().Rejected=%d, want 1", st.Rejected)
 	}
 
-	close(gate) // lift the wedge; later batches pass the hook instantly
+	lift() // lift the wedge; later batches pass the hook instantly
 	for i := 0; i < 4; i++ {
 		o := <-results
 		if o.err != nil {
@@ -122,12 +156,15 @@ func TestRejectOnFullDeterministic(t *testing.T) {
 func TestBlockOnFullWaitsInsteadOfRejecting(t *testing.T) {
 	entered := make(chan struct{}, 8)
 	gate := make(chan struct{})
+	var gateOnce sync.Once
+	lift := func() { gateOnce.Do(func() { close(gate) }) }
 	old := testHookBatchStart
 	testHookBatchStart = func() {
 		entered <- struct{}{}
 		<-gate
 	}
 	defer func() { testHookBatchStart = old }()
+	waitPops := countPops(t)
 
 	s, err := New(overloadEngine(t), Options{
 		MaxBatch: 1, Engines: 1, QueueSize: 1, Linger: -1,
@@ -136,6 +173,7 @@ func TestBlockOnFullWaitsInsteadOfRejecting(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
+	defer lift() // after s.Close in LIFO order: unwedge before Close waits
 
 	results := make(chan error, 8)
 	fire := func() {
@@ -150,9 +188,9 @@ func TestBlockOnFullWaitsInsteadOfRejecting(t *testing.T) {
 	fire()
 	<-entered
 	fire()
-	waitQueueDepth(t, s, 0)
+	waitPops(2)
 	fire()
-	waitQueueDepth(t, s, 0)
+	waitPops(3)
 	fire()
 	waitQueueDepth(t, s, 1)
 
@@ -167,7 +205,7 @@ func TestBlockOnFullWaitsInsteadOfRejecting(t *testing.T) {
 		t.Fatalf("blocking policy counted %d rejections", st.Rejected)
 	}
 
-	close(gate)
+	lift()
 	for i := 0; i < 4; i++ {
 		if err := <-results; err != nil {
 			t.Fatalf("queued query %d failed: %v", i, err)

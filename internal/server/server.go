@@ -170,6 +170,16 @@ type Stats struct {
 	// SweepBytes/SweepSeconds — comparable against the Section VIII-B
 	// Sequential/Traversal lower bounds (see cmd/experiments -run bound).
 	SweepGBps float64
+	// SchedSweeps/SchedChunks/SchedStalls/SchedIdle mirror the persistent
+	// sweep scheduler's counters (core.SchedStats). The server's engine
+	// clones all share one parked worker pool, so these aggregate every
+	// executor's sweeps: SchedStalls is how often a worker waited on the
+	// dependency frontier, SchedIdle how often a parked worker woke for a
+	// sweep that had already finished.
+	SchedSweeps uint64
+	SchedChunks uint64
+	SchedStalls uint64
+	SchedIdle   uint64
 }
 
 // TreeServer batches concurrent tree queries into multi-source PHAST
@@ -189,6 +199,11 @@ type TreeServer struct {
 	wg       sync.WaitGroup // dispatcher + executors
 
 	resultPool sync.Pool
+
+	// schedStats snapshots the scheduler counters of the shared worker
+	// pool; bound to the prototype engine at New (clones share the pool,
+	// so any engine's snapshot covers all of them).
+	schedStats func() core.SchedStats
 
 	queries    atomic.Uint64
 	rejected   atomic.Uint64
@@ -210,10 +225,11 @@ func New(proto *core.Engine, opt Options) (*TreeServer, error) {
 		return nil, err
 	}
 	s := &TreeServer{
-		opt:      o,
-		n:        proto.NumVertices(),
-		requests: make(chan request, o.QueueSize),
-		batches:  make(chan []request, o.Engines),
+		opt:        o,
+		n:          proto.NumVertices(),
+		requests:   make(chan request, o.QueueSize),
+		batches:    make(chan []request, o.Engines),
+		schedStats: proto.SchedStats,
 	}
 	s.resultPool.New = func() any {
 		return &TreeResult{dist: make([]uint32, s.n)}
@@ -369,6 +385,11 @@ func (s *TreeServer) Stats() Stats {
 	if st.SweepSeconds > 0 {
 		st.SweepGBps = float64(st.SweepBytes) / st.SweepSeconds / 1e9
 	}
+	sched := s.schedStats()
+	st.SchedSweeps = sched.Sweeps
+	st.SchedChunks = sched.Chunks
+	st.SchedStalls = sched.Stalls
+	st.SchedIdle = sched.Idle
 	return st
 }
 
@@ -384,6 +405,7 @@ func (s *TreeServer) dispatch() {
 			return
 		}
 		s.queueDepth.Add(-1)
+		testHookRequestPopped()
 		batch := make([]request, 1, s.opt.MaxBatch)
 		batch[0] = r
 		if s.opt.Linger > 0 && s.opt.MaxBatch > 1 {
@@ -396,6 +418,7 @@ func (s *TreeServer) dispatch() {
 						break linger
 					}
 					s.queueDepth.Add(-1)
+					testHookRequestPopped()
 					batch = append(batch, r)
 				case <-t.C:
 					break linger
@@ -411,6 +434,7 @@ func (s *TreeServer) dispatch() {
 						break greedy
 					}
 					s.queueDepth.Add(-1)
+					testHookRequestPopped()
 					batch = append(batch, r)
 				default:
 					break greedy
@@ -427,6 +451,13 @@ func (s *TreeServer) dispatch() {
 // substitute it to wedge the pipeline deterministically (overload and
 // drain scenarios are unreachable by timing alone on a small machine).
 var testHookBatchStart = func() {}
+
+// testHookRequestPopped runs after the dispatcher takes one request off
+// the queue; the overload tests count these to know a query has really
+// advanced past the queue before they fill the next pipeline stage
+// (queue depth alone cannot distinguish "not yet enqueued" from
+// "already popped").
+var testHookRequestPopped = func() {}
 
 // executor owns one pooled engine clone and serves batches until the
 // dispatcher closes the batch channel.
@@ -453,7 +484,7 @@ func (s *TreeServer) executor(eng *core.Engine) {
 			sources = append(sources, r.source)
 		}
 		sweepStart := time.Now()
-		eng.MultiTreeParallel(sources)
+		eng.MultiTreeParallel(sources, false)
 		s.sweepNanos.Add(uint64(time.Since(sweepStart).Nanoseconds()))
 		s.sweepBytes.Add(uint64(eng.SweepBytes(len(sources))))
 		s.batchCount.Add(1)
