@@ -17,13 +17,28 @@
 //     scheduler's parallel speedup over one worker; that half
 //     auto-skips on single-CPU hosts, where both configurations
 //     degenerate to one goroutine.
+//   - customize: times metric customization (triangle relaxation plus
+//     mounting the customized hierarchy as a pool-sharing engine)
+//     against a full from-scratch customizable build plus engine, on
+//     the europe-xs fixture, writes BENCH_6.json, and exits non-zero
+//     if customization costs more than the customize tolerance (20%)
+//     of the rebuild it replaces — the whole point of the topology/
+//     metric split. On a multi-core host it also records the parallel
+//     (pooled) customization's speedup over the sequential pass; that
+//     half auto-skips on single-CPU hosts. The fixture is europe-xs
+//     rather than europe-m because the baseline side — an all-pairs
+//     (witness-free) contraction — is minutes-long at 66k vertices,
+//     which is exactly the cost customization exists to avoid; the
+//     measured ratio is scale-robust in customization's favor (both
+//     sides grow with the same triangle count).
 //
 // Usage:
 //
-//	benchsmoke                       run all gates, write BENCH_3/4/5.json
+//	benchsmoke                       run all gates, write BENCH_3/4/5/6.json
 //	benchsmoke -mode sweep -out report.json -tolerance 1.10
 //	benchsmoke -mode chbuild -chbuild-out BENCH_4.json
 //	benchsmoke -mode sched -sched-out BENCH_5.json -sched-tolerance 1.10
+//	benchsmoke -mode customize -customize-out BENCH_6.json
 package main
 
 import (
@@ -489,6 +504,175 @@ func runSched(out, preset string, tolerance float64) error {
 	return nil
 }
 
+// CustomizeResult is one measured customization-path configuration.
+type CustomizeResult struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"` // min over rounds
+}
+
+// CustomizeReport is the BENCH_6.json schema: the metric-customization
+// gate.
+type CustomizeReport struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Instance  string `json:"instance"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Shortcuts int    `json:"shortcuts"`
+	Triangles int64  `json:"triangles"`
+	// RatioCustomizeVsBuild is (Customize + pool-sharing engine mount)
+	// time over (BuildCustomizable + engine) time; the gate fails above
+	// the customize tolerance (default 0.20: rebinding a metric must
+	// cost at most a fifth of the re-contraction it replaces).
+	RatioCustomizeVsBuild float64 `json:"ratio_customize_vs_build"`
+	// SpeedupParallel is sequential customization time over pooled
+	// NumCPU-worker customization time; 0 when skipped on a single-CPU
+	// host.
+	SpeedupParallel float64           `json:"speedup_parallel"`
+	Results         []CustomizeResult `json:"results"`
+}
+
+// customizeRounds is how many measurements the (cheap) customization
+// side gets; the expensive build side reuses chbuildRounds.
+const customizeRounds = 5
+
+func runCustomize(out, preset string, maxRatio float64) error {
+	g, err := fixtureGraph(roadnet.Preset(preset))
+	if err != nil {
+		return err
+	}
+	// Build side: full from-scratch customizable preprocessing plus a
+	// fresh engine — what serving a new metric would cost without the
+	// topology/metric split.
+	buildMs := math.Inf(1)
+	var topo *ch.Topology
+	for r := 0; r < chbuildRounds; r++ {
+		start := time.Now()
+		tp, err := ch.BuildCustomizable(g, ch.Options{})
+		if err != nil {
+			return err
+		}
+		if _, err := core.NewEngine(tp.Hierarchy(), core.Options{Mode: core.SweepReordered, Workers: 1}); err != nil {
+			return err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ms < buildMs {
+			buildMs = ms
+		}
+		topo = tp
+	}
+	base, err := core.NewEngine(topo.Hierarchy(), core.Options{Mode: core.SweepReordered, Workers: runtime.NumCPU()})
+	if err != nil {
+		return err
+	}
+
+	// Sanity: rebinding the reference metric must reproduce the
+	// reference hierarchy's weights bit for bit.
+	ref := make([]uint32, g.NumArcs())
+	for i, a := range g.ArcList() {
+		ref[i] = a.Weight
+	}
+	hRef, err := topo.Customize(ref, ch.CustomizeOptions{})
+	if err != nil {
+		return err
+	}
+	if !hRef.Up.Equal(topo.Hierarchy().Up) || !hRef.Down.Equal(topo.Hierarchy().Down) {
+		return fmt.Errorf("customize: reference metric did not reproduce the reference hierarchy")
+	}
+
+	// Customize side: a perturbed metric (halved weights — any valid
+	// vector, the pass is metric-oblivious) rebound and mounted as a
+	// sibling engine sharing the sweep layout and worker pool.
+	w := make([]uint32, len(ref))
+	for i, x := range ref {
+		w[i] = x / 2
+	}
+	custMs := math.Inf(1)
+	for r := 0; r < customizeRounds; r++ {
+		start := time.Now()
+		h2, err := topo.Customize(w, ch.CustomizeOptions{Epoch: int64(r + 1)})
+		if err != nil {
+			return err
+		}
+		if _, err := core.NewEngineSharingPool(base, h2); err != nil {
+			return err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ms < custMs {
+			custMs = ms
+		}
+	}
+
+	rep := CustomizeReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Instance:  preset + "/dfs",
+		N:         g.NumVertices(),
+		M:         g.NumArcs(),
+		Shortcuts: topo.Hierarchy().NumShortcuts,
+		Triangles: topo.NumTriangles(),
+		Results: []CustomizeResult{
+			{Name: "BuildCustomizable_plus_engine", Ms: buildMs},
+			{Name: "Customize_plus_engine", Ms: custMs},
+		},
+	}
+	rep.RatioCustomizeVsBuild = custMs / buildMs
+
+	// Parallel half: the same customization on the persistent worker
+	// pool. Meaningless when there is one CPU.
+	if runtime.NumCPU() > 1 {
+		parMs := math.Inf(1)
+		for r := 0; r < customizeRounds; r++ {
+			var st ch.CustomizeStats
+			start := time.Now()
+			if _, err := topo.Customize(w, ch.CustomizeOptions{Pool: base.SchedPool(), Stats: &st}); err != nil {
+				return err
+			}
+			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < parMs && st.Parallel {
+				parMs = ms
+			}
+		}
+		rep.Results = append(rep.Results, CustomizeResult{Name: "Customize_parallel", Ms: parMs})
+		// Sequential customize alone (no engine mount) for a like-for-like
+		// speedup denominator.
+		seqMs := math.Inf(1)
+		for r := 0; r < customizeRounds; r++ {
+			start := time.Now()
+			if _, err := topo.Customize(w, ch.CustomizeOptions{}); err != nil {
+				return err
+			}
+			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < seqMs {
+				seqMs = ms
+			}
+		}
+		rep.Results = append(rep.Results, CustomizeResult{Name: "Customize_sequential", Ms: seqMs})
+		rep.SpeedupParallel = seqMs / parMs
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-32s %12.2f ms\n", r.Name, r.Ms)
+	}
+	fmt.Printf("customize/build ratio: %.4f over %d shortcuts, %d triangles (gate: ≤ %.2f)\n",
+		rep.RatioCustomizeVsBuild, rep.Shortcuts, rep.Triangles, maxRatio)
+	if rep.SpeedupParallel > 0 {
+		fmt.Printf("customize parallel speedup: %.3fx at %d workers\n", rep.SpeedupParallel, runtime.NumCPU())
+	} else {
+		fmt.Println("customize: single-CPU host, parallel speedup half skipped")
+	}
+
+	if rep.RatioCustomizeVsBuild > maxRatio {
+		return fmt.Errorf("customization is %.3fx a full rebuild (tolerance %.2f)", rep.RatioCustomizeVsBuild, maxRatio)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		mode = flag.String("mode", "all", "which gates to run: sweep, chbuild, or all")
@@ -508,21 +692,31 @@ func main() {
 		// as fast as the barrier code it replaced.
 		schedTolerance = flag.Float64("sched-tolerance", 1.10, "max allowed pooled/fork-join time ratio before failing")
 		preset         = flag.String("preset", "europe-m", "roadnet instance preset")
+		customizeOut   = flag.String("customize-out", "BENCH_6.json", "customize report path")
+		// 0.20: customization must cost at most a fifth of the full
+		// re-contraction it replaces; measured ratios run well under 1%,
+		// so this gate has enormous slack against jitter while still
+		// catching a customization path that degenerated to rebuild cost.
+		customizeTolerance = flag.Float64("customize-tolerance", 0.20, "max allowed customize/build time ratio before failing")
+		// europe-xs, not -preset: the baseline side (all-pairs rebuild)
+		// is minutes-long at europe-m — see the package comment.
+		customizePreset = flag.String("customize-preset", "europe-xs", "roadnet preset for the customize gate")
 	)
 	flag.Parse()
 	runs := map[string]func() error{
-		"sweep":   func() error { return runSweep(*out, *preset, *tolerance) },
-		"chbuild": func() error { return runCHBuild(*chbuildOut, *preset, *tolerance) },
-		"sched":   func() error { return runSched(*schedOut, *preset, *schedTolerance) },
+		"sweep":     func() error { return runSweep(*out, *preset, *tolerance) },
+		"chbuild":   func() error { return runCHBuild(*chbuildOut, *preset, *tolerance) },
+		"sched":     func() error { return runSched(*schedOut, *preset, *schedTolerance) },
+		"customize": func() error { return runCustomize(*customizeOut, *customizePreset, *customizeTolerance) },
 	}
 	var selected []func() error
 	switch *mode {
 	case "all":
-		selected = []func() error{runs["sweep"], runs["chbuild"], runs["sched"]}
-	case "sweep", "chbuild", "sched":
+		selected = []func() error{runs["sweep"], runs["chbuild"], runs["sched"], runs["customize"]}
+	case "sweep", "chbuild", "sched", "customize":
 		selected = []func() error{runs[*mode]}
 	default:
-		fmt.Fprintf(os.Stderr, "benchsmoke: unknown -mode %q (sweep, chbuild, sched, all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchsmoke: unknown -mode %q (sweep, chbuild, sched, customize, all)\n", *mode)
 		os.Exit(2)
 	}
 	for _, fn := range selected {

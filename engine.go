@@ -3,6 +3,7 @@ package phast
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"phast/internal/ch"
 	"phast/internal/core"
@@ -78,6 +79,16 @@ type Engine struct {
 	core       *core.Engine
 	query      *ch.Query
 	buildStats BuildStats
+
+	// topo is the metric-independent customization topology, set only by
+	// PreprocessCustomizable (and inherited by Customize/Clone). It is
+	// what makes Customize possible: nil means this engine's hierarchy is
+	// witness-pruned and metric-bound.
+	topo *ch.Topology
+	// metricSeq hands out hierarchy-level metric epochs; shared (by
+	// pointer) among every engine derived from one topology so sibling
+	// metrics never reuse an epoch.
+	metricSeq *atomic.Int64
 }
 
 // Preprocess runs contraction-hierarchy preprocessing on g and prepares
@@ -96,6 +107,78 @@ func Preprocess(g *Graph, opt *Options) (*Engine, error) {
 	}
 	return &Engine{g: g, h: h, core: c, query: ch.NewQuery(h), buildStats: bs}, nil
 }
+
+// PreprocessCustomizable is Preprocess in the customizable (CCH-style)
+// flavor: contraction keeps every all-pairs shortcut instead of
+// pruning by witness search, so the resulting hierarchy's *structure*
+// is metric-independent and Customize can later rebind it to any
+// weight vector in milliseconds instead of re-running contraction.
+// The returned engine answers queries under g's own weights (metric
+// epoch 0); derive sibling metrics from it with Customize. The
+// hierarchy is larger than Preprocess's (no witness pruning), which
+// is the classic CCH space-for-flexibility trade.
+func PreprocessCustomizable(g *Graph, opt *Options) (*Engine, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	var bs BuildStats
+	topo, err := ch.BuildCustomizable(g, ch.Options{Workers: opt.CHWorkers, Stats: &bs})
+	if err != nil {
+		return nil, fmt.Errorf("phast: %w", err)
+	}
+	h := topo.Hierarchy()
+	c, err := core.NewEngine(h, opt.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("phast: %w", err)
+	}
+	return &Engine{g: g, h: h, core: c, query: ch.NewQuery(h), buildStats: bs,
+		topo: topo, metricSeq: &atomic.Int64{}}, nil
+}
+
+// Customizable reports whether this engine was built by
+// PreprocessCustomizable and therefore supports Customize.
+func (e *Engine) Customizable() bool { return e.topo != nil }
+
+// Customize rebinds the shared topology to a new weight vector
+// (indexed like Graph.ArcList; graph.Inf closes an arc) and returns a
+// fresh engine for the new metric. The triangle-relaxation pass runs
+// on the same persistent worker pool the sweeps use, and the new
+// engine shares that pool, the topology, and the sweep layout with
+// its siblings — only weights are new. name labels the metric (e.g.
+// "car", "truck"); the returned engine's hierarchy is stamped with it
+// and a fresh epoch. The receiver remains fully usable: customization
+// never mutates published state, which is what lets a server swap
+// metrics mid-traffic.
+func (e *Engine) Customize(name string, weights []uint32) (*Engine, error) {
+	if e.topo == nil {
+		return nil, fmt.Errorf("phast: engine was not built with PreprocessCustomizable")
+	}
+	epoch := e.metricSeq.Add(1)
+	h2, err := e.topo.Customize(weights, ch.CustomizeOptions{
+		Pool:  e.core.SchedPool(),
+		Epoch: epoch,
+		Name:  name,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("phast: %w", err)
+	}
+	c2, err := core.NewEngineSharingPool(e.core, h2)
+	if err != nil {
+		return nil, fmt.Errorf("phast: %w", err)
+	}
+	return &Engine{g: h2.G, h: h2, core: c2, query: ch.NewQuery(h2), buildStats: e.buildStats,
+		topo: e.topo, metricSeq: e.metricSeq}, nil
+}
+
+// MetricEpoch returns the hierarchy-level epoch of this engine's
+// metric: 0 for the reference metric a build produced, and the value
+// stamped by Customize otherwise. (A TreeServer assigns its own,
+// independent epochs at InstallMetric time.)
+func (e *Engine) MetricEpoch() int64 { return e.h.MetricEpoch }
+
+// MetricName returns the metric label passed to Customize, or "" for
+// the reference metric.
+func (e *Engine) MetricName() string { return e.h.MetricName }
 
 // SaveHierarchy serializes the preprocessed contraction hierarchy
 // (including the graph) so Preprocess never has to run twice for the
@@ -125,7 +208,8 @@ func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
 // Clone returns an engine sharing all preprocessed data but owning
 // private per-query buffers, for concurrent use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{g: e.g, h: e.h, core: e.core.Clone(), query: ch.NewQuery(e.h), buildStats: e.buildStats}
+	return &Engine{g: e.g, h: e.h, core: e.core.Clone(), query: ch.NewQuery(e.h), buildStats: e.buildStats,
+		topo: e.topo, metricSeq: e.metricSeq}
 }
 
 // BuildStats returns the preprocessing counters recorded when this
@@ -164,6 +248,13 @@ const CheckedBuild = invariant.Enabled
 func (e *Engine) CheckInvariants() error {
 	if err := invariant.Hierarchy(e.h); err != nil {
 		return err
+	}
+	if e.topo != nil {
+		// Customizable hierarchies additionally satisfy the
+		// triangle-relaxation fixed point over their own weights.
+		if err := invariant.CustomizedMetric(e.h); err != nil {
+			return err
+		}
 	}
 	return e.core.CheckInvariants()
 }
@@ -283,7 +374,23 @@ var (
 	ErrServerOverloaded = server.ErrOverloaded
 	// ErrServerClosed is returned by TreeServer.Query after Close.
 	ErrServerClosed = server.ErrClosed
+	// ErrUnknownMetric is returned by TreeServer.QueryMetric for a name
+	// that was never installed.
+	ErrUnknownMetric = server.ErrUnknownMetric
 )
+
+// DefaultMetric is the server-side name of the metric Serve starts
+// with (the engine's own weights).
+const DefaultMetric = server.DefaultMetric
+
+// InstallMetric publishes this engine as the live epoch of the named
+// metric on srv — typically an engine returned by Customize, so a
+// freshly customized weight vector goes live mid-traffic without
+// draining. It returns the server-side epoch; every TreeResult swept
+// under it reports that epoch via Epoch().
+func (e *Engine) InstallMetric(srv *TreeServer, name string) (uint64, error) {
+	return srv.InstallMetric(name, e.core)
+}
 
 // Serve starts a concurrent tree server over this engine's preprocessed
 // data. The server owns its own pool of engine clones, so e remains

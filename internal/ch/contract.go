@@ -40,6 +40,19 @@ type Options struct {
 	// II-B); the weights trade preprocessing time against hierarchy
 	// quality, which the ablation experiment quantifies.
 	Priority *PriorityWeights
+	// Customizable drops the witness searches and records a shortcut
+	// for every (in, out) neighbor pair of each contracted vertex. The
+	// resulting hierarchy is larger but metric-independent in structure:
+	// for every vertex z, every pair of a downward-in arc (u,z) and an
+	// upward arc (z,w) has a corresponding hierarchy arc (u,w) — the
+	// lower-triangle closure that Topology.Customize relies on to
+	// recompute exact shortcut weights for an arbitrary metric by
+	// triangle relaxation alone. Witness-pruned hierarchies lack this
+	// property (a shortcut skipped under one metric may be needed under
+	// another), so BuildCustomizable sets this flag. The contraction
+	// order itself still uses the reference metric as a quality
+	// heuristic; customization is exact regardless.
+	Customizable bool
 	// FixedOrder, when non-nil, contracts vertices in exactly this
 	// sequence (FixedOrder[i] is contracted i-th, receiving rank i) and
 	// bypasses the priority queue entirely. Must be a permutation of the
@@ -439,6 +452,25 @@ func (c *contractor) simulate(v int32, ws *witnessSearcher) simResult {
 	ws.ins, ws.outs = ins, outs
 	res := simResult{removed: len(ins) + len(outs)}
 	if len(ins) == 0 || len(outs) == 0 {
+		return res
+	}
+	if c.opt.Customizable {
+		// All-pairs shortcuts, no witness pruning: the closure property
+		// (see Options.Customizable) must hold for every metric, and a
+		// witness under the reference weights proves nothing about
+		// others. Parallel arcs to an existing overlay arc are fine —
+		// addOrImprove and assemble keep the minimum.
+		for _, ua := range ins {
+			for _, wa := range outs {
+				if wa.to == ua.to {
+					continue
+				}
+				res.shortcuts = append(res.shortcuts, fullArc{
+					from: ua.to, to: wa.to, w: graph.AddSat(ua.w, wa.w), mid: v,
+				})
+				res.hCost += int64(min32(ua.hops, 3) + min32(wa.hops, 3))
+			}
+		}
 		return res
 	}
 	var maxOut uint32

@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"phast/internal/graph"
+	"phast/internal/pq"
+	"phast/internal/sssp"
 )
 
 // FuzzHierarchyRoundTrip drives ReadHierarchy with arbitrary bytes. The
@@ -16,6 +20,8 @@ func FuzzHierarchyRoundTrip(f *testing.F) {
 	// it; testdata/fuzz/FuzzHierarchyRoundTrip holds checked-in seeds.
 	rng := rand.New(rand.NewSource(84))
 	h := Build(gridGraph(rng, 5, 4, 10), Options{Workers: 1})
+	h.MetricEpoch = 0x1_0000_002A // straddles both words of the epoch pair
+	h.MetricName = "truck"
 	var buf bytes.Buffer
 	if err := WriteHierarchy(&buf, h); err != nil {
 		f.Fatal(err)
@@ -26,11 +32,27 @@ func FuzzHierarchyRoundTrip(f *testing.F) {
 	f.Add(valid[:8])                                    // magic+version, then truncated
 	f.Add(append([]byte(nil), valid[:len(valid)-3]...)) // torn tail
 	flip := append([]byte(nil), valid...)
-	flip[24] ^= 0xFF // corrupt the rank array's length word
+	flip[41] ^= 0xFF // corrupt the rank array's length word (after the 21-byte metric block)
 	f.Add(flip)
 	huge := append([]byte(nil), valid...)
 	huge[8], huge[9], huge[10], huge[11] = 0xFF, 0xFF, 0xFF, 0x7F // forged n
 	f.Add(huge)
+	// Metric-block mutations: a forged arc count (must be rejected once
+	// the graph is read) and a forged name length (must be bounds-checked,
+	// never a large allocation). The v2 block starts at byte 20.
+	badArcs := append([]byte(nil), valid...)
+	badArcs[28] ^= 0x55 // metricArcs word
+	f.Add(badArcs)
+	badName := append([]byte(nil), valid...)
+	badName[32], badName[33], badName[34], badName[35] = 0xFF, 0xFF, 0xFF, 0x7F // forged name length
+	f.Add(badName)
+	// A hand-built version-1 file: same payload with the version word
+	// downgraded and the metric block (16 bytes + name) cut out, covering
+	// the legacy-read path that yields epoch 0 and an empty name.
+	v1 := append([]byte(nil), valid[:20]...)
+	v1[4] = 1 // version word
+	v1 = append(v1, valid[20+16+len(h.MetricName):]...)
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := ReadHierarchy(bytes.NewReader(data))
@@ -48,6 +70,10 @@ func FuzzHierarchyRoundTrip(f *testing.F) {
 		if back.NumShortcuts != h.NumShortcuts || back.MaxLevel != h.MaxLevel {
 			t.Fatal("round trip changed metadata")
 		}
+		if back.MetricEpoch != h.MetricEpoch || back.MetricName != h.MetricName {
+			t.Fatalf("round trip changed metric identity: (%d,%q) became (%d,%q)",
+				h.MetricEpoch, h.MetricName, back.MetricEpoch, back.MetricName)
+		}
 		if !back.G.Equal(h.G) || !back.Up.Equal(h.Up) || !back.Down.Equal(h.Down) || !back.DownIn.Equal(h.DownIn) {
 			t.Fatal("round trip changed a graph")
 		}
@@ -62,6 +88,78 @@ func FuzzHierarchyRoundTrip(f *testing.F) {
 			for i := range pair[1] {
 				if pair[0][i] != pair[1][i] {
 					t.Fatalf("round trip changed a shortcut mid at %d", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCustomizeMetric feeds arbitrary byte strings as weight vectors
+// through Topology.Customize over a fixed customizable topology and
+// checks every customized query distance against Dijkstra on the
+// reweighted graph. Bytes decode to small weights with dedicated
+// escape values for 0 and Inf, so the fuzzer explores zero-weight
+// cycles and closed-arc (Inf) combinations without ever producing an
+// out-of-range weight; Customize must therefore never reject and never
+// disagree with the oracle. testdata/fuzz/FuzzCustomizeMetric holds
+// checked-in seeds covering the all-closed, all-zero and mixed cases.
+func FuzzCustomizeMetric(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	g := gridGraph(rng, 5, 4, 30)
+	topo, err := BuildCustomizable(g, Options{Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := g.NumArcs()
+	sample := []int32{0, 3, 9, 14, 19}
+
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, m)) // every arc closed
+	f.Add(bytes.Repeat([]byte{0xFE}, m)) // every arc free
+	mixed := make([]byte, m)
+	rng.Read(mixed)
+	f.Add(mixed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := make([]uint32, m)
+		for i := range w {
+			var b byte = 1
+			if len(data) > 0 {
+				b = data[i%len(data)]
+			}
+			switch b {
+			case 0xFF:
+				w[i] = graph.Inf
+			case 0xFE:
+				w[i] = 0
+			default:
+				w[i] = uint32(b)
+			}
+		}
+		h2, err := topo.Customize(w, CustomizeOptions{})
+		if err != nil {
+			t.Fatalf("Customize rejected an in-range metric: %v", err)
+		}
+		gw, err := g.WithWeights(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := NewQuery(h2)
+		dij := sssp.NewDijkstra(gw, pq.KindBinaryHeap)
+		for _, s := range sample {
+			dij.Run(s)
+			for _, d := range sample {
+				want := dij.Dist(d)
+				got := q.Distance(s, d)
+				if got != want {
+					t.Fatalf("customized distance %d->%d = %d, Dijkstra says %d (metric %v)", s, d, got, want, w)
+				}
+				if path := q.Path(s, d); want == graph.Inf {
+					if path != nil {
+						t.Fatalf("unreachable %d->%d returned path %v", s, d, path)
+					}
+				} else if pw := pathWeight(t, gw, path); pw != want {
+					t.Fatalf("path %d->%d weighs %d, distance says %d", s, d, pw, want)
 				}
 			}
 		}

@@ -47,6 +47,14 @@ type Hierarchy struct {
 	NumShortcuts int
 	// MaxLevel is max over Level.
 	MaxLevel int32
+	// MetricEpoch and MetricName identify the weight vector this
+	// hierarchy carries. Hierarchies produced by Build are epoch 0 with
+	// an empty name (the reference metric); Topology.Customize stamps
+	// the epoch/name the caller passed, and the serialization format
+	// round-trips both so a reloaded hierarchy still says which metric
+	// it answers for.
+	MetricEpoch int64
+	MetricName  string
 }
 
 // fullArc is an arc of A ∪ A+ before splitting into Up and Down.
@@ -120,18 +128,30 @@ func buildWithMids(n int, arcs []fullArc, transpose bool) (*graph.Graph, []int32
 		}
 		return a.w < b.w
 	})
-	b := graph.NewBuilder(n)
+	// Assemble the CSR arrays directly: the input is already sorted by
+	// (from,to), so mids stays aligned with the arc list, and skipping
+	// the builder keeps saturated shortcut weights (path sums above
+	// graph.MaxWeight, up to Inf) legal — AddSat arithmetic handles them
+	// everywhere downstream.
+	first := make([]int32, n+1)
+	out := make([]graph.Arc, 0, len(key))
 	var mids []int32
 	for i, a := range key {
 		if i > 0 && key[i-1].from == a.from && key[i-1].to == a.to {
 			continue // parallel arc; the lighter one came first
 		}
-		b.MustAddArc(a.from, a.to, a.w)
+		first[a.from+1]++
+		out = append(out, graph.Arc{Head: a.to, Weight: a.w})
 		mids = append(mids, a.mid)
 	}
-	// Builder sorts stably by tail and the input is already sorted by
-	// (from,to), so mids stays aligned with the built arc list.
-	return b.Build(), mids
+	for v := 0; v < n; v++ {
+		first[v+1] += first[v]
+	}
+	g, err := graph.FromRaw(first, out)
+	if err != nil {
+		panic("ch: assembling hierarchy graph: " + err.Error())
+	}
+	return g, mids
 }
 
 // Permute relabels the hierarchy with perm (old→new), returning a new
@@ -141,16 +161,23 @@ func (h *Hierarchy) Permute(perm []int32) (*Hierarchy, error) {
 	if !graph.IsPermutation(perm) || len(perm) != h.G.NumVertices() {
 		return nil, fmt.Errorf("ch: invalid permutation")
 	}
-	permGraphMids := func(g *graph.Graph, mids []int32) (*graph.Graph, []int32) {
+	// Graph.Permute relabels without revalidating weights (customized
+	// metrics legitimately carry Inf for closed arcs, which the builder
+	// would reject); it emits arcs of each new vertex in the old
+	// adjacency order of its pre-image, so the mid arrays permute with
+	// the same iteration.
+	permGraphMids := func(g *graph.Graph, mids []int32) (*graph.Graph, []int32, error) {
+		g2, err := g.Permute(perm)
+		if err != nil {
+			return nil, nil, err
+		}
 		n := g.NumVertices()
 		inv := graph.InvertPermutation(perm)
-		b := graph.NewBuilder(n)
 		out := make([]int32, 0, len(mids))
 		for newV := int32(0); newV < int32(n); newV++ {
 			old := inv[newV]
 			first := g.FirstOut()[old]
-			for i, a := range g.Arcs(old) {
-				b.MustAddArc(newV, perm[a.Head], a.Weight)
+			for i := range g.Arcs(old) {
 				mid := mids[int(first)+i]
 				if mid >= 0 {
 					mid = perm[mid]
@@ -158,15 +185,24 @@ func (h *Hierarchy) Permute(perm []int32) (*Hierarchy, error) {
 				out = append(out, mid)
 			}
 		}
-		return b.Build(), out
+		return g2, out, nil
 	}
 	g2, err := h.G.Permute(perm)
 	if err != nil {
 		return nil, err
 	}
-	up, upMid := permGraphMids(h.Up, h.UpMid)
-	down, downMid := permGraphMids(h.Down, h.DownMid)
-	downIn, downInMid := permGraphMids(h.DownIn, h.DownInMid)
+	up, upMid, err := permGraphMids(h.Up, h.UpMid)
+	if err != nil {
+		return nil, err
+	}
+	down, downMid, err := permGraphMids(h.Down, h.DownMid)
+	if err != nil {
+		return nil, err
+	}
+	downIn, downInMid, err := permGraphMids(h.DownIn, h.DownInMid)
+	if err != nil {
+		return nil, err
+	}
 	return &Hierarchy{
 		G:     g2,
 		Rank:  graph.ApplyPermutation(perm, append([]int32(nil), h.Rank...)),
@@ -175,6 +211,8 @@ func (h *Hierarchy) Permute(perm []int32) (*Hierarchy, error) {
 		UpMid: upMid, DownMid: downMid, DownInMid: downInMid,
 		NumShortcuts: h.NumShortcuts,
 		MaxLevel:     h.MaxLevel,
+		MetricEpoch:  h.MetricEpoch,
+		MetricName:   h.MetricName,
 	}, nil
 }
 

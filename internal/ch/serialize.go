@@ -17,14 +17,24 @@ import (
 // the caller's choice, they cost a full scan).
 
 const (
-	chMagic   uint32 = 0x50484348 // "PHCH"
-	chVersion uint32 = 1
+	chMagic uint32 = 0x50484348 // "PHCH"
+	// chVersion 2 added the metric identity block (epoch, name, and the
+	// metric's arc count for cross-validation against the stored graph);
+	// version-1 files are still read, with epoch 0 and an empty name.
+	chVersion   uint32 = 2
+	chVersionV1 uint32 = 1
+	// maxMetricName bounds the stored metric-name length so a forged
+	// header cannot force a large allocation.
+	maxMetricName = 1 << 10
 )
 
 // WriteHierarchy serializes h to w.
 func WriteHierarchy(w io.Writer, h *Hierarchy) error {
 	bw := bufio.NewWriter(w)
 	if err := writeHeader(bw, h); err != nil {
+		return err
+	}
+	if err := writeMetricBlock(bw, h); err != nil {
 		return err
 	}
 	if err := writeInt32s(bw, h.Rank); err != nil {
@@ -56,6 +66,23 @@ func writeHeader(w io.Writer, h *Hierarchy) error {
 	return binary.Write(w, binary.LittleEndian, hdr)
 }
 
+// writeMetricBlock emits the version-2 metric identity: the epoch (as
+// two little-endian words), the metric's arc count — ReadHierarchy
+// cross-checks it against the stored graph, catching a hierarchy saved
+// for one metric and patched onto another graph — and the metric name.
+func writeMetricBlock(w io.Writer, h *Hierarchy) error {
+	if len(h.MetricName) > maxMetricName {
+		return fmt.Errorf("ch: metric name of %d bytes exceeds %d", len(h.MetricName), maxMetricName)
+	}
+	epoch := uint64(h.MetricEpoch)
+	blk := []uint32{uint32(epoch), uint32(epoch >> 32), uint32(h.G.NumArcs()), uint32(len(h.MetricName))}
+	if err := binary.Write(w, binary.LittleEndian, blk); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(h.MetricName))
+	return err
+}
+
 func writeInt32s(w io.Writer, xs []int32) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(xs))); err != nil {
 		return err
@@ -85,11 +112,29 @@ func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
 	if hdr[0] != chMagic {
 		return nil, fmt.Errorf("ch: bad magic %#x", hdr[0])
 	}
-	if hdr[1] != chVersion {
+	if hdr[1] != chVersion && hdr[1] != chVersionV1 {
 		return nil, fmt.Errorf("ch: unsupported version %d", hdr[1])
 	}
 	n := int(hdr[2])
 	h := &Hierarchy{NumShortcuts: int(hdr[3]), MaxLevel: int32(hdr[4])}
+	metricArcs := -1 // v1 files carry no metric block to validate against
+	if hdr[1] >= chVersion {
+		var blk [4]uint32
+		if err := binary.Read(br, binary.LittleEndian, &blk); err != nil {
+			return nil, fmt.Errorf("ch: metric block: %w", err)
+		}
+		h.MetricEpoch = int64(uint64(blk[0]) | uint64(blk[1])<<32)
+		metricArcs = int(blk[2])
+		nameLen := int(blk[3])
+		if nameLen > maxMetricName {
+			return nil, fmt.Errorf("ch: metric name length %d exceeds %d", nameLen, maxMetricName)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("ch: metric name: %w", err)
+		}
+		h.MetricName = string(name)
+	}
 	var err error
 	if h.Rank, err = readInt32s(br, n); err != nil {
 		return nil, fmt.Errorf("ch: rank: %w", err)
@@ -99,6 +144,9 @@ func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
 	}
 	if h.G, err = readGraph(br, n); err != nil {
 		return nil, fmt.Errorf("ch: graph: %w", err)
+	}
+	if metricArcs >= 0 && metricArcs != h.G.NumArcs() {
+		return nil, fmt.Errorf("ch: metric block says %d arcs, graph has %d", metricArcs, h.G.NumArcs())
 	}
 	read := func(name string) (*graph.Graph, []int32, error) {
 		g, err := readGraph(br, n)
@@ -124,6 +172,9 @@ func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
 	}
 	if h.DownIn, h.DownInMid, err = read("downIn"); err != nil {
 		return nil, err
+	}
+	if h.DownIn.NumArcs() != h.Down.NumArcs() {
+		return nil, fmt.Errorf("ch: DownIn has %d arcs, Down has %d", h.DownIn.NumArcs(), h.Down.NumArcs())
 	}
 	if !graph.IsPermutation(h.Rank) {
 		return nil, fmt.Errorf("ch: ranks are not a permutation")

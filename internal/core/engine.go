@@ -22,13 +22,12 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"phast/internal/bandwidth"
 	"phast/internal/ch"
 	"phast/internal/graph"
 	"phast/internal/layout"
+	"phast/internal/sched"
 )
 
 // SweepMode selects the order in which the linear sweep scans vertices.
@@ -129,22 +128,20 @@ type shared struct {
 	// order); nil when the order is the identity.
 	pos []int32
 
-	// Persistent sweep scheduler state (scheduler.go), shared by clones:
-	// the parked worker pool, the chunk grain, and the precomputed
-	// per-chunk dependency bounds that relax the Section V level barrier.
-	workers   atomic.Int32 // current worker count; SetWorkers adjusts it
-	grain     int32        // chunk size in sweep positions
+	// Persistent sweep scheduler state (internal/sched), shared by
+	// clones and — since metric customization — by sibling engines over
+	// other metrics of the same topology: the parked worker pool, the
+	// chunk grain, and the precomputed per-chunk dependency bounds that
+	// relax the Section V level barrier. The pool is reference counted;
+	// each shared state Retains it and Releases via finalizer.
+	grain     int32 // chunk size in sweep positions
 	numChunks int32
 	// chunkDep[c] is the chunk index the completion frontier must pass
 	// before chunk c may start (-1: no external dependency). Derived
 	// from graph.ChunkDepBounds position bounds at construction.
 	chunkDep []int32
 	forkJoin bool
-	pool     *sweepPool
-	// resizeMu makes SetWorkers and parallel sweeps mutually exclusive:
-	// sweeps hold the read side, a resize try-locks the write side and
-	// rejects (rather than blocks) while any sweep is in flight.
-	resizeMu sync.RWMutex
+	pool     *sched.Pool
 }
 
 // Engine computes shortest-path trees with PHAST. One Engine owns one
@@ -170,7 +167,7 @@ type Engine struct {
 	lastMulti bool
 	// job is this engine's reusable scheduler state (cursor, frontier,
 	// done flags); allocated on the first pooled sweep.
-	job *sweepJob
+	job *sched.Job
 }
 
 // NewEngine prepares PHAST over a built hierarchy. The hierarchy is not
@@ -187,7 +184,6 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 		opt.ParallelGrain = DefaultParallelGrain
 	}
 	s := &shared{mode: opt.Mode, n: n, grain: int32(opt.ParallelGrain), forkJoin: opt.ForkJoinSweep}
-	s.workers.Store(int32(opt.Workers))
 	switch opt.Mode {
 	case SweepReordered:
 		perm := layout.ByLevelDescending(h.Level)
@@ -267,10 +263,70 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	}
 	// The pool's workers are spawned once here and parked between
 	// queries; they reference only the pool, so when every engine over
-	// this shared state is dropped the finalizer can retire them (a
-	// goroutine parked on a channel is a GC root and never collected).
-	s.pool = newSweepPool(opt.Workers - 1)
-	runtime.SetFinalizer(s, func(s *shared) { s.pool.shutdown() })
+	// this shared state is dropped the finalizer can drop its pool
+	// reference (a goroutine parked on a channel is a GC root and never
+	// collected). Customized sibling engines Retain the same pool, so
+	// the workers retire with the last shared state, not the first.
+	s.pool = sched.NewPool(opt.Workers)
+	runtime.SetFinalizer(s, func(s *shared) { s.pool.Release() })
+	return newEngineFromShared(s), nil
+}
+
+// NewEngineSharingPool builds an engine over h that inherits e's sweep
+// schedule wholesale: the relabeling permutation, sweep order, level
+// ranges, chunk grain and dependency bounds are shared (not recomputed),
+// and the new engine's sweeps run on e's parked worker pool. h must
+// have exactly the structure of e's hierarchy — same vertices, same
+// arcs in the same order — and differ only in weights and unpacking
+// mids, which is precisely what ch.Topology.Customize produces. The
+// packed sweep stream, whose words interleave structure and weights, is
+// weight-patched from e's rather than rebuilt.
+//
+// This is the engine half of a metric swap: topology-derived schedule
+// state is metric-independent, so installing a customized metric costs
+// one relabeling pass and one stream patch instead of a full NewEngine.
+func NewEngineSharingPool(e *Engine, h *ch.Hierarchy) (*Engine, error) {
+	old := e.s
+	if h.G.NumVertices() != old.n {
+		return nil, fmt.Errorf("core: sibling hierarchy has %d vertices, engine has %d", h.G.NumVertices(), old.n)
+	}
+	s := &shared{
+		mode:        old.mode,
+		n:           old.n,
+		order:       old.order,
+		levelRanges: old.levelRanges,
+		toEngine:    old.toEngine,
+		toOrig:      old.toOrig,
+		pos:         old.pos,
+		grain:       old.grain,
+		numChunks:   old.numChunks,
+		chunkDep:    old.chunkDep,
+		forkJoin:    old.forkJoin,
+	}
+	if old.mode == SweepReordered {
+		hp, err := h.Permute(old.toEngine)
+		if err != nil {
+			return nil, fmt.Errorf("core: relabeling sibling hierarchy: %w", err)
+		}
+		s.h = hp
+	} else {
+		s.h = h
+	}
+	s.up = s.h.Up
+	s.downIn = s.h.DownIn
+	if !s.downIn.SameStructure(old.downIn) {
+		return nil, fmt.Errorf("core: sibling hierarchy's downward graph does not match the engine's topology")
+	}
+	if old.packed != nil {
+		p, err := old.packed.WithWeights(s.downIn)
+		if err != nil {
+			return nil, fmt.Errorf("core: patching packed sweep stream: %w", err)
+		}
+		s.packed = p
+	}
+	old.pool.Retain()
+	s.pool = old.pool
+	runtime.SetFinalizer(s, func(s *shared) { s.pool.Release() })
 	return newEngineFromShared(s), nil
 }
 
@@ -329,7 +385,7 @@ func (e *Engine) SweepBytes(k int) int64 {
 	// Pooled sweeps add chunk-grain scheduling traffic (dependency-bound
 	// reads and completion flags); the sequential and fork-join paths
 	// touch none of it.
-	if e.s.workers.Load() > 1 && !e.s.forkJoin && e.s.numChunks > 1 {
+	if e.s.pool.Workers() > 1 && !e.s.forkJoin && e.s.numChunks > 1 {
 		t.SchedChunks = int(e.s.numChunks)
 	}
 	return t.Bytes()

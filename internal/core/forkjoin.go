@@ -18,7 +18,7 @@ import "sync"
 // goroutine launches in hot kernels).
 func (e *Engine) forkJoinSweep(kind sweepKind, k int) {
 	s := e.s
-	workers := int32(s.workers.Load())
+	workers := int32(s.pool.Workers())
 	threshold := int(s.grain)
 	kScale := 1
 	if kind.multiKind() {

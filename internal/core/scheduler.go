@@ -1,44 +1,23 @@
 package core
 
 import (
-	"errors"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"phast/internal/sched"
 )
 
-// This file is the persistent sweep scheduler that replaced the
-// per-level fork-join of the original Section V implementation. The old
-// design spawned fresh goroutines for every level above a size
-// threshold and joined them on a barrier before the next level could
-// start; road hierarchies have thousands of small levels, so spawn and
-// barrier costs dominated once the packed kernels made per-vertex work
-// cheap. Here the parallelism is inverted:
+// The persistent sweep scheduler that replaced the per-level fork-join
+// of the original Section V implementation lives in internal/sched
+// since the metric-customization PR — ch.Topology.Customize runs its
+// triangle-relaxation pass over the contraction order on the very same
+// parked worker pool, and core imports ch, so the pool could not stay
+// here. This file is the thin engine-side shim: kernel-family dispatch
+// and the Engine methods that proxy the shared pool.
 //
-//   - A pool of long-lived workers is spawned once per shared engine
-//     state and parked on a channel between queries (sweepPool). Engine
-//     clones share the pool, so a server's whole engine fleet wakes the
-//     same parked workers.
-//   - A sweep is divided into fixed-size chunks of sweep positions
-//     (Options.ParallelGrain). Workers claim chunks in order through an
-//     atomic cursor — no per-level partitioning, no barrier.
-//   - The level barrier is relaxed to a per-chunk dependency bound
-//     precomputed at engine build time (graph.ChunkDepBounds): chunk c
-//     may start once the monotone completed-chunk frontier has passed
-//     the last chunk any of its external arc tails lives in. Intra-chunk
-//     dependencies are satisfied by the chunk's in-order scan, exactly
-//     as in the sequential sweep.
-//
-// Deadlock freedom: the cursor hands out chunks in increasing order, so
-// the lowest claimed-but-incomplete chunk is always the frontier chunk
-// itself, whose dependency bound (necessarily below it) is satisfied —
-// its owner never stalls, so the frontier always advances.
-//
-// Memory ordering: a completing worker publishes its chunk's labels by
-// the atomic done-flag store + frontier CAS; a starting worker observes
-// frontier > depChunk before reading any external label. Both are
-// sync/atomic operations, so every label write of a completed chunk
-// happens-before the reads of any chunk that observed its completion.
+// The scheduling design is documented in internal/sched: chunks of
+// sweep positions claimed in order through an atomic cursor, started
+// once the monotone completion frontier passes their precomputed
+// dependency bound (graph.ChunkDepBounds), with the done-flag store +
+// frontier CAS providing the happens-before edge between a chunk's
+// label writes and its dependents' reads.
 
 // sweepKind names one parallel kernel family: which chunk-scan routine
 // the scheduler's workers run. Packed vs CSR is decided once at the
@@ -63,11 +42,12 @@ func (k sweepKind) multiKind() bool {
 }
 
 // SchedStats is a snapshot of the persistent scheduler's counters,
-// accumulated across every engine clone sharing the pool (the counters
-// live on the shared state, like the pool itself).
+// accumulated across every engine clone (and every customized sibling
+// engine) sharing the pool.
 type SchedStats struct {
 	// Sweeps is the number of sweeps executed on the pooled scheduler
-	// (fork-join and sequential sweeps are not counted).
+	// (fork-join and sequential sweeps are not counted; customization
+	// passes running on the same pool are).
 	Sweeps uint64
 	// Chunks is the number of chunks claimed and scanned, across all
 	// workers including the submitting goroutine.
@@ -82,207 +62,28 @@ type SchedStats struct {
 	Idle uint64
 }
 
-// sweepPool is the persistent worker pool. Workers reference only the
-// pool — never the shared engine state — so dropping every engine makes
-// the shared state collectable and its finalizer can retire the
-// workers (a goroutine parked on a channel receive is a GC root and
-// would otherwise live forever).
-type sweepPool struct {
-	jobs    chan *sweepJob
-	assists atomic.Int32 // parked assist goroutines (workers - 1)
-	once    sync.Once    // guards shutdown
-
-	sweeps atomic.Uint64
-	chunks atomic.Uint64
-	stalls atomic.Uint64
-	idle   atomic.Uint64
-}
-
-// poolInviteCap bounds the invitation channel. Parked workers drain it
-// immediately, so the capacity only needs to cover a transient burst of
-// invitations from concurrently submitting clones.
-const poolInviteCap = 256
-
-func newSweepPool(assists int) *sweepPool {
-	p := &sweepPool{jobs: make(chan *sweepJob, poolInviteCap)}
-	p.grow(assists)
-	return p
-}
-
-// grow spawns additional parked assist workers.
-func (p *sweepPool) grow(n int) {
-	for i := 0; i < n; i++ {
-		p.assists.Add(1)
-		go p.worker()
+// runPooled executes one sweep of the given kind on the persistent
+// scheduler.
+func (e *Engine) runPooled(kind sweepKind, k int) {
+	s := e.s
+	j := e.job
+	if j == nil {
+		j = &sched.Job{}
+		e.job = j
 	}
-}
-
-// shrink retires n parked workers by feeding them nil sentinels. Only
-// called with no sweep in flight (SetWorkers holds the resize lock), so
-// every live worker is parked on the channel and consumes promptly.
-func (p *sweepPool) shrink(n int) {
-	for i := 0; i < n; i++ {
-		p.assists.Add(-1)
-		p.jobs <- nil
-	}
-}
-
-// shutdown retires every worker; called by the shared state's finalizer
-// once no engine references the pool anymore.
-func (p *sweepPool) shutdown() {
-	p.once.Do(func() { close(p.jobs) })
-}
-
-// worker is one parked pool goroutine: it sleeps on the invitation
-// channel and assists whatever job wakes it. A nil invitation or a
-// closed channel retires it.
-func (p *sweepPool) worker() {
-	for job := range p.jobs {
-		if job == nil {
-			return
-		}
-		job.assist(p)
-	}
-}
-
-// invite enqueues up to n invitations for j without ever blocking: if
-// the channel is momentarily full the submitter simply keeps more of
-// the sweep for itself.
-func (p *sweepPool) invite(j *sweepJob, n int) {
-	for i := 0; i < n; i++ {
-		select {
-		case p.jobs <- j:
-		default:
-			return
-		}
-	}
-}
-
-// sweepJob is one engine's reusable scheduler state: the cursor, the
-// completion frontier, and the per-chunk done flags of the sweep in
-// flight. It is reset and reopened for every pooled sweep; assist
-// workers holding a stale invitation observe open == false (or join the
-// engine's next sweep, which is equally correct) and back out.
-type sweepJob struct {
-	e    *Engine
-	kind sweepKind
-	k    int
-
-	open     atomic.Bool
-	active   atomic.Int32 // assist workers currently inside run
-	cursor   atomic.Int32 // next chunk to claim
-	frontier atomic.Int32 // chunks [0,frontier) are complete
-	done     []uint32     // per-chunk completion flags (atomic access)
-}
-
-// testHookChunkClaimed, when non-nil, runs after every chunk claim.
-// Tests use it to hold a sweep in flight deterministically (for the
-// SetWorkers rejection path); it must only be set while no sweep runs.
-var testHookChunkClaimed func()
-
-// assist is the pool-worker side of a sweep: join if the job is still
-// open, and make the membership visible through active so the submitter
-// can wait for stragglers before reusing the job.
-func (j *sweepJob) assist(p *sweepPool) {
-	if !j.open.Load() {
-		p.idle.Add(1)
-		return
-	}
-	j.active.Add(1)
-	// Re-check after announcing ourselves: the submitter may have closed
-	// the job between the first load and the Add. If it reopened for a
-	// new sweep instead, joining that sweep is legitimate — the job's
-	// fields were reset before open was stored.
-	if j.open.Load() {
-		j.run(p)
-	} else {
-		p.idle.Add(1)
-	}
-	j.active.Add(-1)
-}
-
-// run claims and scans chunks until the cursor is exhausted. Both the
-// submitting goroutine and assist workers execute this same loop.
-//
-//phast:hotpath
-func (j *sweepJob) run(p *sweepPool) {
-	s := j.e.s
 	grain := s.grain
 	n := int32(s.n)
-	nc := int32(len(j.done))
-	dep := s.chunkDep
-	for {
-		c := j.cursor.Add(1) - 1
-		if c >= nc {
-			return
-		}
-		if testHookChunkClaimed != nil {
-			testHookChunkClaimed()
-		}
-		p.chunks.Add(1)
-		if d := dep[c]; d >= 0 && j.frontier.Load() <= d {
-			p.stalls.Add(1)
-			for j.frontier.Load() <= d {
-				runtime.Gosched()
-			}
-		}
+	j.NumChunks = s.numChunks
+	j.Dep = s.chunkDep
+	j.Scan = func(c int32) {
 		lo := c * grain
 		hi := lo + grain
 		if hi > n {
 			hi = n
 		}
-		j.e.scanChunkKind(j.kind, j.k, lo, hi)
-		atomic.StoreUint32(&j.done[c], 1)
-		// Advance the frontier over every consecutively completed chunk.
-		// Any worker may push it past chunks completed out of order; a
-		// failed CAS means someone else already did.
-		for {
-			f := j.frontier.Load()
-			if f >= nc || atomic.LoadUint32(&j.done[f]) == 0 {
-				break
-			}
-			j.frontier.CompareAndSwap(f, f+1)
-		}
+		e.scanChunkKind(kind, k, lo, hi)
 	}
-}
-
-// runPooled executes one sweep of the given kind on the persistent
-// scheduler. It resets and opens the engine's job, invites parked
-// workers, works the cursor itself, and returns only after the frontier
-// covers every chunk and all assist workers have left the job (so the
-// job can be reused by the next sweep).
-func (e *Engine) runPooled(kind sweepKind, k int) {
-	s := e.s
-	s.resizeMu.RLock()
-	defer s.resizeMu.RUnlock()
-	nc := int(s.numChunks)
-	j := e.job
-	if j == nil {
-		j = &sweepJob{e: e, done: make([]uint32, nc)}
-		e.job = j
-	}
-	j.kind, j.k = kind, k
-	clear(j.done)
-	j.cursor.Store(0)
-	j.frontier.Store(0)
-	j.open.Store(true)
-	p := s.pool
-	p.sweeps.Add(1)
-	if a := int(p.assists.Load()); a > 0 {
-		want := nc - 1
-		if a < want {
-			want = a
-		}
-		p.invite(j, want)
-	}
-	j.run(p)
-	for j.frontier.Load() < int32(nc) {
-		runtime.Gosched()
-	}
-	j.open.Store(false)
-	for j.active.Load() != 0 {
-		runtime.Gosched()
-	}
+	s.pool.Run(j)
 }
 
 // parallelSweep runs one sweep of the given kind on the configured
@@ -291,7 +92,7 @@ func (e *Engine) runPooled(kind sweepKind, k int) {
 // one chunk, or the fork-join oracle in a mode without level ranges).
 func (e *Engine) parallelSweep(kind sweepKind, k int) bool {
 	s := e.s
-	if s.workers.Load() <= 1 || s.numChunks <= 1 {
+	if s.pool.Workers() <= 1 || s.numChunks <= 1 {
 		return false
 	}
 	if s.forkJoin {
@@ -301,9 +102,7 @@ func (e *Engine) parallelSweep(kind sweepKind, k int) bool {
 			// barrier between. The pooled scheduler has no such limit.
 			return false
 		}
-		s.resizeMu.RLock()
-		e.forkJoinSweep(kind, k)
-		s.resizeMu.RUnlock()
+		s.pool.Guard(func() { e.forkJoinSweep(kind, k) })
 		return true
 	}
 	e.runPooled(kind, k)
@@ -311,44 +110,35 @@ func (e *Engine) parallelSweep(kind sweepKind, k int) bool {
 }
 
 // SetWorkers changes the sweep worker count at runtime for this engine
-// and every clone sharing its preprocessed data (the pool is shared
-// state). w <= 0 selects GOMAXPROCS. The resize only happens between
-// queries: if any sharing engine has a parallel sweep in flight,
-// SetWorkers changes nothing and returns an error.
+// and every clone or customized sibling sharing its pool. w <= 0
+// selects GOMAXPROCS. The resize only happens between queries: if any
+// sharing engine has a parallel sweep (or customization pass) in
+// flight, SetWorkers changes nothing and returns an error.
 func (e *Engine) SetWorkers(w int) error {
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	s := e.s
-	if !s.resizeMu.TryLock() {
-		return errors.New("core: SetWorkers rejected: a parallel sweep is in flight")
-	}
-	defer s.resizeMu.Unlock()
-	cur := int(s.workers.Load())
-	switch {
-	case w > cur:
-		s.pool.grow(w - cur)
-	case w < cur:
-		s.pool.shrink(cur - w)
-	}
-	s.workers.Store(int32(w))
-	return nil
+	return e.s.pool.Resize(w)
 }
 
 // Workers returns the current sweep worker count (shared by clones).
-func (e *Engine) Workers() int { return int(e.s.workers.Load()) }
+func (e *Engine) Workers() int { return e.s.pool.Workers() }
 
 // SchedStats returns a snapshot of the persistent scheduler's counters,
 // accumulated across all engines sharing this pool.
 func (e *Engine) SchedStats() SchedStats {
-	p := e.s.pool
+	st := e.s.pool.Stats()
 	return SchedStats{
-		Sweeps: p.sweeps.Load(),
-		Chunks: p.chunks.Load(),
-		Stalls: p.stalls.Load(),
-		Idle:   p.idle.Load(),
+		Sweeps: st.Sweeps,
+		Chunks: st.Chunks,
+		Stalls: st.Stalls,
+		Idle:   st.Idle,
 	}
 }
+
+// SchedPool exposes the engine's persistent worker pool so other bulk
+// passes over the same preprocessed data — ch.Topology.Customize in
+// particular — can run on the parked workers instead of spawning their
+// own. The pool stays owned by the engine's shared state; callers must
+// not Release it.
+func (e *Engine) SchedPool() *sched.Pool { return e.s.pool }
 
 // scanChunkKind dispatches one chunk of sweep positions [lo,hi) to the
 // kernel family the sweep was opened with. Shared by the pooled

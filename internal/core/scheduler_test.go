@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"phast/internal/graph"
+	"phast/internal/sched"
 )
 
 // Differential suite for the persistent sweep scheduler: every parallel
@@ -228,11 +229,11 @@ func TestSetWorkersRejectedDuringSweep(t *testing.T) {
 	var once sync.Once
 	// Installed before NewEngine spawns the pool, so every worker's read
 	// of the hook happens-after this write.
-	testHookChunkClaimed = func() {
+	sched.TestHookChunkClaimed = func() {
 		once.Do(func() { close(entered) })
 		<-release
 	}
-	defer func() { testHookChunkClaimed = nil }()
+	defer func() { sched.TestHookChunkClaimed = nil }()
 	e, err := NewEngine(h, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)

@@ -147,6 +147,7 @@ func Suite() []Runner {
 		{"scaling", "speedup growth with instance size", Scaling},
 		{"chbuild", "parallel batched CH preprocessing scaling (Sec. VIII-A)", ChBuild},
 		{"sched", "persistent chunk scheduler vs fork-join vs sequential sweep", Sched},
+		{"customize", "metric customization: triangle relaxation vs full rebuild", Customize},
 	}
 }
 

@@ -125,6 +125,46 @@ func (g *Graph) Permute(perm []int32) (*Graph, error) {
 	return &Graph{first: first, arcs: arcs}, nil
 }
 
+// WithWeights returns a graph with g's exact adjacency structure but
+// the i-th arc (in ArcList order) carrying weights[i]. The first array
+// is shared with g — it is immutable — and only the arc array is
+// copied. Unlike Builder.AddArc, no MaxWeight bound is enforced: metric
+// customization legitimately produces Inf (closed arcs, shortcuts whose
+// every unpacking is closed) and saturated path sums above MaxWeight.
+// Callers validating user-supplied metrics do so before customizing.
+func (g *Graph) WithWeights(weights []uint32) (*Graph, error) {
+	if len(weights) != len(g.arcs) {
+		return nil, fmt.Errorf("graph: %d weights for %d arcs", len(weights), len(g.arcs))
+	}
+	arcs := make([]Arc, len(g.arcs))
+	for i, a := range g.arcs {
+		arcs[i] = Arc{Head: a.Head, Weight: weights[i]}
+	}
+	return &Graph{first: g.first, arcs: arcs}, nil
+}
+
+// SameStructure reports whether g and h have identical vertex counts
+// and adjacency structure — the same heads in the same order — while
+// ignoring weights. Two metrics customized over one topology satisfy
+// it; the engine layer uses it to validate that schedule state derived
+// from one can be reused for the other.
+func (g *Graph) SameStructure(h *Graph) bool {
+	if g.NumVertices() != h.NumVertices() || g.NumArcs() != h.NumArcs() {
+		return false
+	}
+	for i := range g.first {
+		if g.first[i] != h.first[i] {
+			return false
+		}
+	}
+	for i := range g.arcs {
+		if g.arcs[i].Head != h.arcs[i].Head {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
 	first := make([]int32, len(g.first))

@@ -76,6 +76,43 @@ func NewPacked(g *Graph, order []int32) (*Packed, error) {
 	return &Packed{stream: stream, blockStart: blockStart, n: n, m: m, explicitV: explicit}, nil
 }
 
+// WithWeights returns a packed stream with p's exact structure — block
+// index, degrees, vertex words and head IDs — but the arc weights taken
+// from g, which must have the same adjacency structure as the graph p
+// was built from. This is the cheap half of a metric swap: the stream
+// interleaves structure and weights, so a new metric needs the weight
+// words patched but nothing re-derived. The block index is shared with
+// p (it is immutable); only the word stream is copied.
+func (p *Packed) WithWeights(g *Graph) (*Packed, error) {
+	if g.NumVertices() != p.n || g.NumArcs() != p.m {
+		return nil, fmt.Errorf("graph: packed patch dims %d/%d, graph %d/%d", p.n, p.m, g.NumVertices(), g.NumArcs())
+	}
+	stream := make([]uint32, len(p.stream))
+	copy(stream, p.stream)
+	for pos := 0; pos < p.n; pos++ {
+		i := p.blockStart[pos]
+		d := int(stream[i])
+		i++
+		v := int32(pos)
+		if p.explicitV {
+			v = int32(stream[i])
+			i++
+		}
+		arcs := g.Arcs(v)
+		if len(arcs) != d {
+			return nil, fmt.Errorf("graph: packed patch degree mismatch at vertex %d: stream %d, graph %d", v, d, len(arcs))
+		}
+		for _, a := range arcs {
+			if stream[i] != uint32(a.Head) {
+				return nil, fmt.Errorf("graph: packed patch head mismatch at vertex %d: stream %d, graph %d", v, stream[i], a.Head)
+			}
+			stream[i+1] = a.Weight
+			i += 2
+		}
+	}
+	return &Packed{stream: stream, blockStart: p.blockStart, n: p.n, m: p.m, explicitV: p.explicitV}, nil
+}
+
 // Stream exposes the fused word stream. Callers must not modify it.
 func (p *Packed) Stream() []uint32 { return p.stream }
 

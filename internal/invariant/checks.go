@@ -129,6 +129,100 @@ func Hierarchy(h *ch.Hierarchy) error {
 	return h.CheckInvariants()
 }
 
+// CustomizedMetric validates the triangle-relaxation fixed point a
+// customizable hierarchy's weights must satisfy, using only the
+// hierarchy's own arrays (no oracle search): every Up/Down arc (u,w)
+// is at most the minimum original arc weight between u and w, at most
+// every lower triangle through a vertex z below both endpoints
+// (weight(u,z↓) + weight(z,w↑), saturating), and exactly achieved by
+// its recorded mid — the leg sum for mid z ≥ 0, the original arc for
+// mid -1. It also re-checks that DownIn mirrors Down's weights, since
+// the sweep reads one and path unpacking the other. Only hierarchies
+// built with Options.Customizable (all-pairs shortcuts) satisfy the
+// closure this walks; witness-pruned hierarchies will fail it.
+func CustomizedMetric(h *ch.Hierarchy) error {
+	n := h.G.NumVertices()
+	// achieved checks one directed hierarchy arc (u,w) of weight w
+	// against its recorded mid and the original graph.
+	achieved := func(u, w int32, wt uint32, mid int32) error {
+		if orig, ok := h.G.FindArc(u, w); ok && wt > orig {
+			return fmt.Errorf("invariant: hierarchy arc (%d,%d) weighs %d, original arc %d", u, w, wt, orig)
+		}
+		if mid < 0 {
+			orig, ok := h.G.FindArc(u, w)
+			if !ok {
+				// A pure shortcut keeps mid -1 when no triangle (and no
+				// original arc) offers a finite value: it is closed under
+				// this metric, and must say so.
+				if wt != graph.Inf {
+					return fmt.Errorf("invariant: arc (%d,%d) weighs %d with no original arc and no mid", u, w, wt)
+				}
+				return nil
+			}
+			if wt != orig {
+				return fmt.Errorf("invariant: arc (%d,%d) weighs %d, its original arc %d", u, w, wt, orig)
+			}
+			return nil
+		}
+		if h.Rank[mid] >= h.Rank[u] || h.Rank[mid] >= h.Rank[w] {
+			return fmt.Errorf("invariant: arc (%d,%d) has mid %d not below both endpoints", u, w, mid)
+		}
+		down, ok1 := h.Down.FindArc(u, mid)
+		up, ok2 := h.Up.FindArc(mid, w)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("invariant: arc (%d,%d) mid %d has missing legs", u, w, mid)
+		}
+		if sum := graph.AddSat(down, up); wt != sum {
+			return fmt.Errorf("invariant: arc (%d,%d) weighs %d, its mid-%d legs sum to %d", u, w, wt, mid, sum)
+		}
+		return nil
+	}
+	for u := int32(0); u < int32(n); u++ {
+		for i, a := range h.Up.Arcs(u) {
+			if err := achieved(u, a.Head, a.Weight, h.UpMid[int(h.Up.FirstOut()[u])+i]); err != nil {
+				return err
+			}
+		}
+		for i, a := range h.Down.Arcs(u) {
+			if err := achieved(u, a.Head, a.Weight, h.DownMid[int(h.Down.FirstOut()[u])+i]); err != nil {
+				return err
+			}
+		}
+	}
+	// Lower-triangle dominance and closure: for every z, every pair of a
+	// down-in arc (u,z) and an up arc (z,w) must have a hierarchy arc
+	// (u,w) no heavier than the two legs.
+	for z := int32(0); z < int32(n); z++ {
+		ups := h.Up.Arcs(z)
+		for _, din := range h.DownIn.Arcs(z) {
+			u := din.Head // DownIn stores the tail
+			if dw, ok := h.Down.FindArc(u, z); !ok || dw != din.Weight {
+				return fmt.Errorf("invariant: DownIn arc (%d,%d) weighs %d, Down says %d (found %v)", u, z, din.Weight, dw, ok)
+			}
+			for _, ua := range ups {
+				w := ua.Head
+				if w == u {
+					continue
+				}
+				var have uint32
+				var ok bool
+				if h.Rank[u] < h.Rank[w] {
+					have, ok = h.Up.FindArc(u, w)
+				} else {
+					have, ok = h.Down.FindArc(u, w)
+				}
+				if !ok {
+					return fmt.Errorf("invariant: triangle closure missing arc (%d,%d) for mid %d", u, w, z)
+				}
+				if sum := graph.AddSat(din.Weight, ua.Weight); have > sum {
+					return fmt.Errorf("invariant: arc (%d,%d) weighs %d, lower triangle via %d offers %d", u, w, have, z, sum)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // PackedStream validates the fused single-stream sweep layout against
 // the CSR graph and sweep order it was built from: dimensions match,
 // the block index partitions the stream, the vertex words (when

@@ -27,6 +27,9 @@ func LevelDescending(levelsInSweepOrder []int32, ranges [][2]int32) error { retu
 // Hierarchy is a release-build no-op; see the phastdebug flavor.
 func Hierarchy(h *ch.Hierarchy) error { return nil }
 
+// CustomizedMetric is a release-build no-op; see the phastdebug flavor.
+func CustomizedMetric(h *ch.Hierarchy) error { return nil }
+
 // PackedStream is a release-build no-op; see the phastdebug flavor.
 func PackedStream(p *graph.Packed, g *graph.Graph, order []int32) error { return nil }
 

@@ -15,6 +15,24 @@
 // and fans the per-lane results back out to the callers. Results are
 // copied into pooled buffers via CopyLaneDistances, so callers never
 // alias engine state and engines are immediately reusable.
+//
+// # Metric epochs
+//
+// The server holds a registry of named metrics (DefaultMetric is the
+// one New was given). Each metric's live state is an engineSet — a
+// monotonically increasing epoch, the metric name, and one engine
+// clone per executor — behind an atomic pointer. InstallMetric builds
+// the next epoch's set off to the side and publishes it with a single
+// pointer store, so a customized metric goes live mid-traffic without
+// draining: batches that already loaded the old set finish on it
+// (the old engines stay valid, nothing frees them), later batches see
+// the new one. Every TreeResult is tagged with the epoch and metric
+// name of the set that computed it. The memory-ordering contract is
+// the usual publish idiom: the release store in InstallMetric makes
+// every write that built the set (the cloned engines, the epoch word)
+// visible to any executor whose acquire load observes the pointer.
+// Engines are never shared across goroutines: executor i only ever
+// touches engines[i] of whichever sets it loads.
 package server
 
 import (
@@ -37,7 +55,30 @@ var (
 	// ErrOverloaded is returned under the RejectOnFull policy when the
 	// request queue is full.
 	ErrOverloaded = errors.New("server: request queue full")
+	// ErrUnknownMetric is returned by QueryMetric for a metric name that
+	// was never installed.
+	ErrUnknownMetric = errors.New("server: unknown metric")
 )
+
+// DefaultMetric is the name under which New registers the prototype
+// engine's metric; Query and QueryMany always use it.
+const DefaultMetric = ""
+
+// engineSet is one published metric epoch: the engines executors sweep
+// with (engines[i] belongs exclusively to executor i) plus the tags
+// stamped onto every result it produces. A set is immutable once
+// published.
+type engineSet struct {
+	epoch   uint64
+	name    string
+	engines []*core.Engine
+}
+
+// metricState is the registry slot of one named metric; active is
+// republished wholesale on every InstallMetric.
+type metricState struct {
+	active atomic.Pointer[engineSet]
+}
 
 // OverloadPolicy selects what Query does when the bounded request queue
 // is full.
@@ -102,10 +143,20 @@ type TreeResult struct {
 	source int32
 	dist   []uint32
 	srv    *TreeServer
+	epoch  uint64
+	metric string
 }
 
 // Source returns the tree's source vertex.
 func (r *TreeResult) Source() int32 { return r.source }
+
+// Epoch returns the metric epoch that was active when this tree was
+// swept. Under a concurrent InstallMetric, a caller observes either
+// the old or the new epoch, never a mix within one result.
+func (r *TreeResult) Epoch() uint64 { return r.epoch }
+
+// Metric returns the name of the metric the tree was computed under.
+func (r *TreeResult) Metric() string { return r.metric }
 
 // Dist returns the distance label of vertex v (graph.Inf if unreached).
 func (r *TreeResult) Dist(v int32) uint32 { return r.dist[v] }
@@ -132,6 +183,7 @@ func (r *TreeResult) Release() {
 type request struct {
 	ctx    context.Context
 	source int32
+	metric string
 	done   chan result
 }
 
@@ -170,6 +222,9 @@ type Stats struct {
 	// SweepBytes/SweepSeconds — comparable against the Section VIII-B
 	// Sequential/Traversal lower bounds (see cmd/experiments -run bound).
 	SweepGBps float64
+	// MetricSwaps counts InstallMetric publications (the initial install
+	// of the default metric included).
+	MetricSwaps uint64
 	// SchedSweeps/SchedChunks/SchedStalls/SchedIdle mirror the persistent
 	// sweep scheduler's counters (core.SchedStats). The server's engine
 	// clones all share one parked worker pool, so these aggregate every
@@ -199,6 +254,13 @@ type TreeServer struct {
 	wg       sync.WaitGroup // dispatcher + executors
 
 	resultPool sync.Pool
+
+	// metrics maps a metric name to its *metricState; epochCounter hands
+	// out globally unique, monotonically increasing epochs across all
+	// metrics, so a larger epoch always means "installed later".
+	metrics      sync.Map
+	epochCounter atomic.Uint64
+	metricSwaps  atomic.Uint64
 
 	// schedStats snapshots the scheduler counters of the shared worker
 	// pool; bound to the prototype engine at New (clones share the pool,
@@ -234,14 +296,64 @@ func New(proto *core.Engine, opt Options) (*TreeServer, error) {
 	s.resultPool.New = func() any {
 		return &TreeResult{dist: make([]uint32, s.n)}
 	}
+	if _, err := s.InstallMetric(DefaultMetric, proto); err != nil {
+		return nil, err
+	}
 	s.wg.Add(1)
 	go s.dispatch()
 	for i := 0; i < o.Engines; i++ {
-		eng := proto.Clone()
 		s.wg.Add(1)
-		go s.executor(eng)
+		go s.executor(i)
 	}
 	return s, nil
+}
+
+// InstallMetric clones proto into a fresh engine set and publishes it
+// as the live epoch of the named metric — atomically, without pausing
+// traffic. It returns the new epoch. Installing over an existing name
+// swaps that metric; installing a new name makes it queryable via
+// QueryMetric. proto must cover the same vertex set as the server
+// (typically it is the engine of a Topology.Customize over the same
+// topology); proto itself is never swept.
+func (s *TreeServer) InstallMetric(name string, proto *core.Engine) (uint64, error) {
+	if proto.NumVertices() != s.n {
+		return 0, fmt.Errorf("server: metric %q engine has %d vertices, server %d", name, proto.NumVertices(), s.n)
+	}
+	set := &engineSet{name: name, engines: make([]*core.Engine, s.opt.Engines)}
+	for i := range set.engines {
+		set.engines[i] = proto.Clone()
+	}
+	st, _ := s.metrics.LoadOrStore(name, &metricState{})
+	ms := st.(*metricState)
+	set.epoch = s.epochCounter.Add(1)
+	// Publish only forward: if a concurrent install of the same name drew
+	// a later epoch and already stored it, this older set must not clobber
+	// it — a metric's observable epoch never decreases.
+	for {
+		old := ms.active.Load()
+		if old != nil && old.epoch > set.epoch {
+			break
+		}
+		if ms.active.CompareAndSwap(old, set) {
+			break
+		}
+	}
+	s.metricSwaps.Add(1)
+	return set.epoch, nil
+}
+
+// ActiveEpoch returns the currently published epoch of a metric, or
+// false if the name was never installed.
+func (s *TreeServer) ActiveEpoch(name string) (uint64, bool) {
+	st, ok := s.metrics.Load(name)
+	if !ok {
+		return 0, false
+	}
+	set := st.(*metricState).active.Load()
+	if set == nil {
+		return 0, false
+	}
+	return set.epoch, true
 }
 
 // NumVertices returns n.
@@ -252,13 +364,21 @@ func (s *TreeServer) NumVertices() int { return s.n }
 // ctx is done, or the server is closed. The returned result is a private
 // copy; Release it when done.
 func (s *TreeServer) Query(ctx context.Context, source int32) (*TreeResult, error) {
+	return s.QueryMetric(ctx, DefaultMetric, source)
+}
+
+// QueryMetric is Query under a named metric: the tree is swept with
+// whatever epoch of that metric is live when its batch executes, and
+// the result's Epoch/Metric report which one that was. Unknown names
+// fail with ErrUnknownMetric.
+func (s *TreeServer) QueryMetric(ctx context.Context, metric string, source int32) (*TreeResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if source < 0 || int(source) >= s.n {
 		return nil, fmt.Errorf("server: source %d out of range [0,%d)", source, s.n)
 	}
-	r := request{ctx: ctx, source: source, done: make(chan result, 1)}
+	r := request{ctx: ctx, source: source, metric: metric, done: make(chan result, 1)}
 	if err := s.enqueue(ctx, r); err != nil {
 		return nil, err
 	}
@@ -289,7 +409,7 @@ func (s *TreeServer) QueryMany(ctx context.Context, sources []int32) ([]*TreeRes
 	}
 	reqs := make([]request, len(sources))
 	for i, src := range sources {
-		reqs[i] = request{ctx: ctx, source: src, done: make(chan result, 1)}
+		reqs[i] = request{ctx: ctx, source: src, metric: DefaultMetric, done: make(chan result, 1)}
 	}
 	enqueued := 0
 	var firstErr error
@@ -380,6 +500,7 @@ func (s *TreeServer) Stats() Stats {
 	if st.Batches > 0 {
 		st.MeanBatchOccupancy = float64(s.occupancy.Load()) / float64(st.Batches)
 	}
+	st.MetricSwaps = s.metricSwaps.Load()
 	st.SweepSeconds = float64(s.sweepNanos.Load()) / 1e9
 	st.SweepBytes = s.sweepBytes.Load()
 	if st.SweepSeconds > 0 {
@@ -459,12 +580,18 @@ var testHookBatchStart = func() {}
 // "already popped").
 var testHookRequestPopped = func() {}
 
-// executor owns one pooled engine clone and serves batches until the
-// dispatcher closes the batch channel.
-func (s *TreeServer) executor(eng *core.Engine) {
+// executor serves batches until the dispatcher closes the batch
+// channel. idx selects which engine of every published engineSet this
+// goroutine owns: engines[idx] is touched by no other goroutine, so a
+// metric swap never hands one engine to two executors. A mixed-metric
+// batch (the dispatcher batches blindly) is served as one sub-sweep
+// per metric; the engineSet is loaded once per sub-sweep, so all its
+// results carry the epoch that actually swept them.
+func (s *TreeServer) executor(idx int) {
 	defer s.wg.Done()
 	sources := make([]int32, 0, s.opt.MaxBatch)
 	live := make([]request, 0, s.opt.MaxBatch)
+	group := make([]request, 0, s.opt.MaxBatch)
 	for batch := range s.batches {
 		testHookBatchStart()
 		live = live[:0]
@@ -476,31 +603,57 @@ func (s *TreeServer) executor(eng *core.Engine) {
 			}
 			live = append(live, r)
 		}
-		if len(live) == 0 {
-			continue
-		}
-		sources = sources[:0]
-		for _, r := range live {
-			sources = append(sources, r.source)
-		}
-		sweepStart := time.Now()
-		eng.MultiTreeParallel(sources, false)
-		s.sweepNanos.Add(uint64(time.Since(sweepStart).Nanoseconds()))
-		s.sweepBytes.Add(uint64(eng.SweepBytes(len(sources))))
-		s.batchCount.Add(1)
-		s.occupancy.Add(uint64(len(live)))
-		for i, r := range live {
-			if err := r.ctx.Err(); err != nil {
-				s.canceled.Add(1)
-				r.done <- result{err: err}
+		for len(live) > 0 {
+			metric := live[0].metric
+			group = group[:0]
+			rest := 0
+			for _, r := range live {
+				if r.metric == metric {
+					group = append(group, r)
+				} else {
+					live[rest] = r
+					rest++
+				}
+			}
+			live = live[:rest]
+
+			st, ok := s.metrics.Load(metric)
+			var set *engineSet
+			if ok {
+				set = st.(*metricState).active.Load()
+			}
+			if set == nil {
+				for _, r := range group {
+					r.done <- result{err: fmt.Errorf("%w: %q", ErrUnknownMetric, metric)}
+				}
 				continue
 			}
-			res := s.resultPool.Get().(*TreeResult)
-			res.srv = s
-			res.source = r.source
-			eng.CopyLaneDistances(i, res.dist)
-			r.done <- result{res: res}
-			s.queries.Add(1)
+			eng := set.engines[idx]
+			sources = sources[:0]
+			for _, r := range group {
+				sources = append(sources, r.source)
+			}
+			sweepStart := time.Now()
+			eng.MultiTreeParallel(sources, false)
+			s.sweepNanos.Add(uint64(time.Since(sweepStart).Nanoseconds()))
+			s.sweepBytes.Add(uint64(eng.SweepBytes(len(sources))))
+			s.batchCount.Add(1)
+			s.occupancy.Add(uint64(len(group)))
+			for i, r := range group {
+				if err := r.ctx.Err(); err != nil {
+					s.canceled.Add(1)
+					r.done <- result{err: err}
+					continue
+				}
+				res := s.resultPool.Get().(*TreeResult)
+				res.srv = s
+				res.source = r.source
+				res.epoch = set.epoch
+				res.metric = set.name
+				eng.CopyLaneDistances(i, res.dist)
+				r.done <- result{res: res}
+				s.queries.Add(1)
+			}
 		}
 	}
 }
