@@ -1,9 +1,13 @@
 // Command phastlint runs the project-specific static analyzers of
 // internal/lint over the module: rawalias (stored or reused-after-sweep
 // raw buffer views), hotalloc (allocations inside //phast:hotpath
-// kernels), indexwidth (lossy integer conversions in CSR indexing), and
-// engineshare (engines escaping to goroutines). It is built from
-// stdlib go/ast + go/types only and needs no network or external tools.
+// kernels and in helpers reachable from them over the static call
+// graph), indexwidth (lossy integer conversions in CSR indexing),
+// engineshare (engines escaping to goroutines), atomicmix (fields
+// accessed both through sync/atomic and plainly), epochpub (raw stores
+// on published atomic.Pointer state), and lockhold (mutexes held across
+// blocking operations). It is built from stdlib go/ast + go/types only
+// and needs no network or external tools.
 //
 // Usage:
 //
@@ -13,23 +17,57 @@
 //	phastlint ./internal/core
 //	phastlint -analyzers rawalias,hotalloc ./...
 //	phastlint -tests ./...           # include in-package _test.go files
+//	phastlint -json ./...            # machine-readable diagnostics
 //
-// Diagnostics print as file:line:col: [analyzer] message. A finding can
+// Diagnostics print as file:line:col: [analyzer] message. With -json
+// they print instead as one JSON object {"findings": [...], "count": N}
+// whose findings carry file, line, column, analyzer, and message —
+// stable keys for CI artifacts and editor integrations. A finding can
 // be suppressed — with a reason — by a comment on the same line or the
 // line above:
 //
 //	//phastlint:ignore rawalias this test deliberately reads a stale raw view
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Exit status: 0 clean, 1 findings, 2 usage or load error (in -json
+// mode load errors are also reported inside the JSON object's "error"
+// key so CI artifacts capture them).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"phast/internal/lint"
 )
+
+// jsonFinding is one diagnostic in -json output. The keys are part of
+// the tool's interface: CI archives the output and the keys must stay
+// stable across analyzer additions.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the single object -json mode prints.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+	Error    string        `json:"error,omitempty"`
+}
+
+func emitJSON(stdout *os.File, rep jsonReport) {
+	if rep.Findings == nil {
+		rep.Findings = []jsonFinding{} // [] not null: consumers iterate it
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -44,8 +82,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		tags      = fs.String("tags", "", "comma-separated extra build tags (e.g. phastdebug)")
 		list      = fs.Bool("list", false, "list analyzers and exit")
 		dir       = fs.String("C", ".", "directory inside the module to lint from")
+		asJSON    = fs.Bool("json", false, "print diagnostics as one JSON object")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		if *asJSON {
+			emitJSON(stdout, jsonReport{Error: err.Error()})
+		}
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if *list {
@@ -56,13 +102,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	as, err := lint.ByName(*analyzers)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+		return fail(err)
 	}
 	loader, err := lint.NewLoader(*dir)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+		return fail(err)
 	}
 	loader.IncludeTests = *tests
 	if *tags != "" {
@@ -70,21 +114,33 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	dirs, err := loader.Expand(fs.Args())
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+		return fail(err)
 	}
 	var pkgs []*lint.Package
 	for _, d := range dirs {
 		p, err := loader.Load(d)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
+			return fail(err)
 		}
 		pkgs = append(pkgs, p)
 	}
 	diags := lint.Run(pkgs, as)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *asJSON {
+		rep := jsonReport{Count: len(diags)}
+		for _, d := range diags {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		emitJSON(stdout, rep)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "phastlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// capture runs phastlint from the module root with stdout redirected to
+// a temp file and returns the exit code plus everything written.
+// Package patterns resolve against the working directory, so the test
+// chdirs to the module root for the duration of the run.
+func capture(t *testing.T, args ...string) (int, []byte) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "phastlint-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, out, os.Stderr)
+	if err := os.Chdir(cwd); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, data
+}
+
+// TestJSONFindings pins the machine-readable contract CI archives: one
+// object with findings (stable keys), a count, and exit status 1 when
+// anything was found.
+func TestJSONFindings(t *testing.T) {
+	code, data := capture(t, "-json", "./internal/lint/testdata/lockhold")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (the fixture has findings)", code)
+	}
+	var rep struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Count int    `json:"count"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Count == 0 || len(rep.Findings) != rep.Count {
+		t.Fatalf("count = %d with %d findings", rep.Count, len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line == 0 || f.Column == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+	}
+	if rep.Error != "" {
+		t.Errorf("unexpected error key: %q", rep.Error)
+	}
+}
+
+// TestJSONClean asserts a clean package yields findings: [] (not null —
+// consumers iterate it) and exit 0.
+func TestJSONClean(t *testing.T) {
+	code, data := capture(t, "-json", "./internal/graph")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0:\n%s", code, data)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if string(raw["findings"]) == "null" {
+		t.Error("findings is null; must be an empty array")
+	}
+}
+
+// TestJSONError asserts load/usage failures still produce a JSON object
+// (CI uploads the artifact unconditionally) alongside exit status 2.
+func TestJSONError(t *testing.T) {
+	code, data := capture(t, "-json", "-analyzers", "nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	var rep struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Error == "" {
+		t.Error("error key is empty on a failed run")
+	}
+}

@@ -85,8 +85,12 @@ func (e *Engine) chSearch(source int32, parents []int32) {
 // UpwardSearchSpaceWithParents is UpwardSearchSpace but also returns the
 // G+ parent (engine ID, -1 for the source) of each labeled vertex, which
 // GPHAST's tree-reconstruction mode seeds its device parent array with.
-func (e *Engine) UpwardSearchSpaceWithParents(source int32) (verts []int32, dists []uint32, parents []int32) {
+// Like UpwardSearchSpace it appends to the given slices (which may be
+// nil), so a caller that reuses its scratch keeps the per-tree CPU phase
+// allocation-free.
+func (e *Engine) UpwardSearchSpaceWithParents(source int32, verts []int32, dists []uint32, parents []int32) ([]int32, []uint32, []int32) {
 	if e.parent == nil {
+		//phastlint:ignore hotalloc one-time warm-up of the parent array, amortized over every later tree
 		e.parent = make([]int32, e.s.n)
 	}
 	e.hasParents = false // only a partial (upward) tree: PathTo stays off

@@ -46,8 +46,9 @@ type Engine struct {
 
 	// Host scratch, reused across batches so the per-batch CPU phase
 	// stays allocation-free (the //phast:hotpath discipline).
-	hVerts []int32
-	hDists []uint32
+	hVerts   []int32
+	hDists   []uint32
+	hParents []int32 // TreeWithParents' upward-search parents
 	seen   []uint32 // round-stamped dedupe for seed vertices
 	hSeedV []uint32 // seed staging: vertices, labels, lanes/parents, dedup
 	hSeedD []uint32
@@ -168,7 +169,11 @@ func (e *Engine) Tree(source int32) {
 
 // checkBatchSize panics when a batch exceeds the engine's capacity. It
 // lives outside the hot path so the formatting machinery (which boxes
-// its operands) stays out of the annotated kernel driver.
+// its operands) stays out of the annotated kernel driver; the
+// //phast:offpath marker records that claim for the interprocedural
+// checker — the Sprintf only runs on the panicking branch.
+//
+//phast:offpath
 func (e *Engine) checkBatchSize(k int) {
 	if k > e.maxK {
 		panic(fmt.Sprintf("gphast: k=%d exceeds maxK=%d", k, e.maxK))

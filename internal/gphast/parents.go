@@ -41,7 +41,8 @@ func (e *Engine) TreeWithParents(source int32) {
 	round := e.round
 	start := e.dev.Stats().ModeledTime
 
-	verts, dists, parents := e.ce.UpwardSearchSpaceWithParents(source)
+	verts, dists, parents := e.ce.UpwardSearchSpaceWithParents(source, e.hVerts[:0], e.hDists[:0], e.hParents[:0])
+	e.hVerts, e.hDists, e.hParents = verts, dists, parents
 	if len(verts) > e.seedV.Len() {
 		panic("gphast: search space exceeds seed buffer capacity")
 	}

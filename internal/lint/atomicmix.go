@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags the mixed-access hazard class the lock-free scheduler
+// and server live on: a struct field that one site accesses through
+// sync/atomic (atomic.LoadUint32(&s.f), atomic.StoreUint32(&s.done[c], 1))
+// and another site reads or writes plainly. Mixed access has no
+// memory-ordering story — the plain access races every atomic one, and
+// the race detector only catches the interleavings a test happens to
+// hit. This is exactly the done[]/frontier convention of
+// internal/sched: every access to a word that is ever touched
+// atomically must itself be atomic (or the field moves to a typed
+// atomic.* wrapper, which makes the discipline structural).
+//
+// The analyzer is module-scoped: it builds one access table over every
+// loaded package, so an exported field accessed atomically in its home
+// package and plainly by an importer is still caught.
+//
+// Two granularities are tracked per field:
+//
+//   - word: the field itself is the atomic datum (&s.f passed to a
+//     sync/atomic function). Every other read, write, or address-take
+//     of the field is flagged.
+//   - element: the field is a slice whose elements are the atomic data
+//     (&s.f[i] passed to a sync/atomic function). Plain element
+//     accesses — indexing, range, clear/copy/append, handing the slice
+//     to another function — are flagged; header operations (len, cap,
+//     re-slicing, assigning a fresh make) touch only the slice header
+//     and pass.
+//
+// Fields of the typed sync/atomic wrappers (atomic.Uint32,
+// atomic.Pointer[T], ...) are exempt: their only access path is the
+// method set, so mixing is impossible by construction — which is why
+// they are the recommended fix.
+var AtomicMix = &Analyzer{
+	Name:   "atomicmix",
+	Doc:    "flags struct fields accessed both through sync/atomic and by plain loads/stores",
+	Module: true,
+	Run:    runAtomicMix,
+}
+
+// atomicFieldUse is one atomic access site of a field.
+type atomicFieldUse struct {
+	pos  token.Position
+	elem bool // &f[i] (element) rather than &f (word)
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: find every field whose word or elements are accessed
+	// through a sync/atomic function, and remember the selector nodes
+	// consumed by those calls so pass 2 does not count them as plain.
+	atomicUses := make(map[*types.Var][]atomicFieldUse)
+	consumed := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isSyncAtomicCall(info, call) {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				switch target := ast.Unparen(addr.X).(type) {
+				case *ast.SelectorExpr: // atomic.StoreUint64(&s.f, v)
+					if fv := fieldVar(info, target); fv != nil {
+						atomicUses[fv] = append(atomicUses[fv], atomicFieldUse{pos: pass.Fset.Position(call.Pos())})
+						consumed[target] = true
+					}
+				case *ast.IndexExpr: // atomic.StoreUint32(&s.f[i], v)
+					if sel, ok := ast.Unparen(target.X).(*ast.SelectorExpr); ok {
+						if fv := fieldVar(info, sel); fv != nil {
+							atomicUses[fv] = append(atomicUses[fv], atomicFieldUse{pos: pass.Fset.Position(call.Pos()), elem: true})
+							consumed[sel] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicUses) == 0 {
+		return
+	}
+
+	// Pass 2: every other use of those fields. Context decides whether a
+	// selector is a plain data access (flag) or a header/neutral use.
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			checkPlainFieldUses(pass, info, f, atomicUses, consumed)
+		}
+	}
+}
+
+// isSyncAtomicCall reports whether the call invokes a package-level
+// function of sync/atomic (LoadUint32, StoreUint64, AddInt32, ...).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar resolves a selector to the struct field it reads, skipping
+// fields whose type is a typed sync/atomic wrapper (their method set is
+// the only access path, so mixing is impossible).
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	t := v.Type()
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		t = sl.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
+			return nil
+		}
+	}
+	return v
+}
+
+// checkPlainFieldUses walks one file and reports plain accesses of
+// fields in the atomic table.
+func checkPlainFieldUses(pass *Pass, info *types.Info, file *ast.File, atomicUses map[*types.Var][]atomicFieldUse, consumed map[*ast.SelectorExpr]bool) {
+	// tracked resolves a selector to a table entry.
+	tracked := func(e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || consumed[sel] {
+			return nil, nil
+		}
+		v, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return nil, nil
+		}
+		if _, hit := atomicUses[v]; !hit {
+			return nil, nil
+		}
+		return sel, v
+	}
+	elemMode := func(v *types.Var) bool {
+		for _, u := range atomicUses[v] {
+			if u.elem {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, v *types.Var, how string) {
+		u := atomicUses[v][0]
+		pass.Reportf(pos, "field %s of %s is accessed through sync/atomic at %s:%d but %s here; every access to an atomic word must be atomic — use a typed atomic.* field or atomic calls everywhere",
+			v.Name(), ownerName(v), u.pos.Filename, u.pos.Line, how)
+	}
+
+	// handled marks selectors already judged by a parent construct so
+	// the final sweep does not double-report them.
+	handled := make(map[*ast.SelectorExpr]bool)
+	var sels []*ast.SelectorExpr
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if _, v := tracked(n); v != nil {
+				sels = append(sels, n)
+			}
+
+		case *ast.IndexExpr:
+			if sel, v := tracked(n.X); v != nil && elemMode(v) {
+				report(n.Pos(), v, "an element is read or written plainly")
+				handled[sel] = true
+			}
+
+		case *ast.SliceExpr:
+			// Re-slicing reads only the header.
+			if sel, v := tracked(n.X); v != nil && elemMode(v) {
+				handled[sel] = true
+			}
+
+		case *ast.RangeStmt:
+			if sel, v := tracked(n.X); v != nil && elemMode(v) {
+				report(n.X.Pos(), v, "its elements are read plainly by range")
+				handled[sel] = true
+			}
+
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && isBuiltin(info, id) {
+				switch id.Name {
+				case "len", "cap":
+					if sel, v := tracked(n.Args[0]); v != nil && elemMode(v) {
+						handled[sel] = true // header-only
+					}
+				case "clear", "copy", "append":
+					for _, a := range n.Args {
+						if sel, v := tracked(a); v != nil && elemMode(v) {
+							report(a.Pos(), v, fmt.Sprintf("its elements are written plainly by %s", id.Name))
+							handled[sel] = true
+						}
+					}
+				}
+			}
+
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, v := tracked(lhs); v != nil {
+					if elemMode(v) {
+						handled[sel] = true // replacing the header, not the elements
+					} else {
+						report(lhs.Pos(), v, "it is assigned plainly")
+						handled[sel] = true
+					}
+				}
+			}
+
+		case *ast.IncDecStmt:
+			if sel, v := tracked(n.X); v != nil && !elemMode(v) {
+				report(n.X.Pos(), v, "it is incremented plainly")
+				handled[sel] = true
+			}
+		}
+		return true
+	})
+
+	for _, sel := range sels {
+		if handled[sel] || consumed[sel] {
+			continue
+		}
+		_, v := tracked(sel)
+		if v == nil {
+			continue
+		}
+		if elemMode(v) {
+			report(sel.Pos(), v, "the slice escapes or is read outside the atomic discipline")
+		} else {
+			report(sel.Pos(), v, "it is read plainly")
+		}
+	}
+}
+
+// ownerName names the struct type a field belongs to, for diagnostics.
+func ownerName(v *types.Var) string {
+	// The field's parent scope does not name the struct; walk the
+	// package's named types instead. Falling back to the package name
+	// keeps the message useful when the owner is an anonymous struct.
+	if pkg := v.Pkg(); pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return pkg.Name() + "." + name
+				}
+			}
+		}
+		return pkg.Name()
+	}
+	return "?"
+}

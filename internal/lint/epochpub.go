@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochPub enforces the forward-only publication rule the server's
+// metric epochs established: shared state behind an atomic.Pointer is
+// replaced only through a CAS loop that refuses to install an older
+// epoch over a newer one (internal/server.InstallMetric is the
+// reference implementation). A raw Store (or Swap) is a lost-update
+// hazard — two concurrent installers can interleave so the later epoch
+// is clobbered by the earlier one, and every executor that loads the
+// pointer afterwards silently computes against stale state.
+//
+// Flagged: a .Store or .Swap method call on an atomic.Pointer[T]-typed
+// struct field or package variable, unless
+//
+//   - the call happens inside a for loop whose body CompareAndSwaps the
+//     same pointer (a CAS loop that also stores is odd but ordered), or
+//   - the enclosing function's doc comment carries //phast:publish,
+//     declaring that it provably runs before the pointer is visible to
+//     any other goroutine (constructors, single-threaded setup).
+//
+// Local atomic.Pointer variables are exempt: until they are stored into
+// shared state they are private to the goroutine building them.
+// CompareAndSwap itself always passes — it is the publication
+// primitive the rule asks for.
+var EpochPub = &Analyzer{
+	Name: "epochpub",
+	Doc:  "flags raw Store/Swap on published atomic.Pointer state outside CAS loops and //phast:publish functions",
+	Run:  runEpochPub,
+}
+
+func runEpochPub(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			if hasMarker(decl.Doc, PublishMarker) {
+				return
+			}
+			checkEpochPub(pass, body)
+		})
+	}
+}
+
+func checkEpochPub(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// casLoops collects for statements whose body CASes a pointer
+	// expression, keyed by the receiver's printed form.
+	type loopSpan struct {
+		lo, hi int // token.Pos range of the for statement
+		recv   string
+	}
+	var casLoops []loopSpan
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "CompareAndSwap" && isAtomicPointerRecv(info, sel) {
+				casLoops = append(casLoops, loopSpan{lo: int(loop.Pos()), hi: int(loop.End()), recv: exprString(sel.X)})
+			}
+			return true
+		})
+		return true
+	})
+	inCASLoop := func(pos int, recv string) bool {
+		for _, l := range casLoops {
+			if pos >= l.lo && pos <= l.hi && l.recv == recv {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "Swap") {
+			return true
+		}
+		if !isAtomicPointerRecv(info, sel) || !isSharedState(pass, sel.X) {
+			return true
+		}
+		recv := exprString(sel.X)
+		if inCASLoop(int(call.Pos()), recv) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "raw %s on published atomic.Pointer %s can clobber a newer epoch; publish forward-only with a CompareAndSwap loop that keeps the newest install (see server.InstallMetric), or annotate the function //phast:publish if it provably runs before publication", sel.Sel.Name, recv)
+		return true
+	})
+}
+
+// isAtomicPointerRecv reports whether the method's receiver is
+// sync/atomic.Pointer[T].
+func isAtomicPointerRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isSharedState reports whether the pointer expression reaches shared
+// state: a struct field access anywhere in its chain, or a
+// package-level variable. A bare local is private until published.
+func isSharedState(pass *Pass, e ast.Expr) bool {
+	info := pass.Pkg.Info
+	pkgScope := pass.Pkg.Types.Scope()
+	shared := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[n.Sel].(*types.Var); ok && v.IsField() {
+				shared = true
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && v.Parent() == pkgScope {
+				shared = true
+			}
+		}
+		return !shared
+	})
+	return shared
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadTestdata(t *testing.T, dir string) *Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestHotAllocIntraproceduralMisses pins the case that motivated the
+// call-graph facts engine: run per-function (Facts == nil), hotalloc
+// cannot see the allocation an extracted helper carries, even though
+// the helper runs on every kernel invocation. The golden test proves
+// the interprocedural run reports it; this test proves the old scope
+// provably missed it — together they document why the facts engine
+// exists.
+func TestHotAllocIntraproceduralMisses(t *testing.T) {
+	pkg := loadTestdata(t, "hotalloc")
+
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: HotAlloc, Fset: pkg.Fset, Pkg: pkg, Pkgs: []*Package{pkg}, diags: &diags}
+	runHotAlloc(pass)
+	if len(diags) == 0 {
+		t.Fatal("factless run reported nothing; annotated kernels should still be checked")
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "call path") {
+			t.Errorf("factless run produced an interprocedural finding: %s", d)
+		}
+	}
+
+	withFacts := Run([]*Package{pkg}, []*Analyzer{HotAlloc})
+	var hits []string
+	for _, d := range withFacts {
+		if strings.Contains(d.Message, "call path") {
+			hits = append(hits, d.Message)
+		}
+	}
+	for _, witness := range []string{
+		"driver → seeded",
+		"driver → hop1 → hop2",
+		"litDriver → litHelper",
+		"localDriver → boundHelper",
+	} {
+		found := false
+		for _, m := range hits {
+			if strings.Contains(m, witness) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("interprocedural run missing witness path %q (got %d call-path findings)", witness, len(hits))
+		}
+	}
+}
+
+// TestOffPathStopsPropagation asserts the //phast:offpath barrier: no
+// finding may point into guard (the Sprintf boxing on its panic branch
+// is off-path by declaration), and nothing reaches coldHelper (bound to
+// a conflicted local, never called).
+func TestOffPathStopsPropagation(t *testing.T) {
+	pkg := loadTestdata(t, "hotalloc")
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{HotAlloc}) {
+		if strings.Contains(d.Message, "guard") || strings.Contains(d.Message, "coldHelper") {
+			t.Errorf("finding crossed an off-path boundary: %s", d)
+		}
+	}
+}
+
+// TestSuppressionMalformed covers the directives that cannot carry an
+// inline want comment: a bare ignore and one with an analyzer but no
+// reason.
+func TestSuppressionMalformed(t *testing.T) {
+	pkg := loadTestdata(t, "suppressbad")
+	diags := Run([]*Package{pkg}, All())
+	want := []string{
+		"suppression names no analyzer; write //phastlint:ignore <analyzer> <reason>",
+		"suppression of hotalloc has no reason; a reason is required so the exception stays auditable",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if diags[i].Analyzer != SuppressionAnalyzer || !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %s, want message containing %q", i, diags[i], w)
+		}
+	}
+}

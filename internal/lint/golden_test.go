@@ -19,6 +19,13 @@ func TestRawAliasGolden(t *testing.T)    { golden(t, RawAlias, "rawalias") }
 func TestHotAllocGolden(t *testing.T)    { golden(t, HotAlloc, "hotalloc") }
 func TestIndexWidthGolden(t *testing.T)  { golden(t, IndexWidth, "indexwidth") }
 func TestEngineShareGolden(t *testing.T) { golden(t, EngineShare, "engineshare") }
+func TestAtomicMixGolden(t *testing.T)   { golden(t, AtomicMix, "atomicmix") }
+func TestEpochPubGolden(t *testing.T)    { golden(t, EpochPub, "epochpub") }
+func TestLockHoldGolden(t *testing.T)    { golden(t, LockHold, "lockhold") }
+
+// TestSuppressGolden runs the whole suite so suppression resolution has
+// real diagnostics to consume (and to miss, for the stale case).
+func TestSuppressGolden(t *testing.T) { goldenSuite(t, "suite", All(), "suppress") }
 
 // wantTokenRe matches one quoted pattern after "want": backquoted for
 // regexes with backslashes, double-quoted otherwise.
@@ -33,6 +40,11 @@ type expectation struct {
 }
 
 func golden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	goldenSuite(t, a.Name, []*Analyzer{a}, dir)
+}
+
+func goldenSuite(t *testing.T, name string, analyzers []*Analyzer, dir string) {
 	t.Helper()
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -74,7 +86,7 @@ func golden(t *testing.T, a *Analyzer, dir string) {
 		t.Fatalf("no want comments under testdata/%s", dir)
 	}
 
-	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+	for _, d := range Run([]*Package{pkg}, analyzers) {
 		claimed := false
 		for _, w := range wants {
 			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
@@ -89,7 +101,7 @@ func golden(t *testing.T, a *Analyzer, dir string) {
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.pat)
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, name, w.pat)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -9,7 +10,17 @@ import (
 // a function whose doc comment contains a //phast:hotpath line must not
 // allocate on any path, because the sweeps are memory-bandwidth-bound
 // (§IV, §VIII-B) and a single allocation per vertex or per arc destroys
-// the sequential-read argument. Flagged inside annotated functions:
+// the sequential-read argument.
+//
+// The discipline is interprocedural: an unannotated helper reachable
+// from an annotated kernel over the static call graph (Pass.Facts) is
+// checked under the same rules, with the witness call path in the
+// diagnostic — so extracting one line of a kernel into a helper can no
+// longer move its allocation out of the analyzer's sight. Dynamic
+// dispatch (interface methods, function-typed fields and parameters) is
+// not traversed; see the callgraph.go limitations.
+//
+// Flagged inside annotated or hot-reachable functions:
 //
 //   - make and new calls,
 //   - composite literals (slice/map/struct literals allocate or copy),
@@ -37,7 +48,18 @@ func runHotAlloc(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
 			if hasMarker(decl.Doc, HotPathMarker) {
-				checkHotBody(pass, decl.Name.Name, body)
+				checkHotBody(pass, decl.Name.Name+" is //phast:hotpath", body)
+				return
+			}
+			if pass.Facts == nil {
+				return // intraprocedural fallback (facts-free test runs)
+			}
+			obj, ok := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			if chain := pass.Facts.HotChain(obj); chain != nil {
+				checkHotBody(pass, fmt.Sprintf("%s is on a //phast:hotpath call path (%s)", decl.Name.Name, chainString(chain)), body)
 			}
 		})
 	}
@@ -50,7 +72,7 @@ type hotAllowances struct {
 	selfAppend map[*ast.CallExpr]bool
 }
 
-func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
+func checkHotBody(pass *Pass, label string, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
 	pkgScope := pass.Pkg.Types.Scope()
 	allow := hotAllowances{
@@ -131,9 +153,9 @@ func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
 		switch n := n.(type) {
 		case *ast.GoStmt:
 			if goInLoop[n] {
-				pass.Reportf(n.Pos(), "%s is //phast:hotpath but launches a goroutine per loop iteration (the per-level fork-join idiom); park persistent workers outside the kernel and hand them chunks instead", fname)
+				pass.Reportf(n.Pos(), "%s but launches a goroutine per loop iteration (the per-level fork-join idiom); park persistent workers outside the kernel and hand them chunks instead", label)
 			} else {
-				pass.Reportf(n.Pos(), "%s is //phast:hotpath but launches a goroutine; the closure and goroutine allocate — hoist the launch out of the kernel", fname)
+				pass.Reportf(n.Pos(), "%s but launches a goroutine; the closure and goroutine allocate — hoist the launch out of the kernel", label)
 			}
 			// Do not additionally report the go closure itself.
 			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
@@ -142,31 +164,31 @@ func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
 
 		case *ast.FuncLit:
 			if !allow.lits[n] {
-				pass.Reportf(n.Pos(), "%s is //phast:hotpath but builds an escaping closure; its captures are heap-allocated", fname)
+				pass.Reportf(n.Pos(), "%s but builds an escaping closure; its captures are heap-allocated", label)
 			}
 
 		case *ast.CompositeLit:
-			pass.Reportf(n.Pos(), "%s is //phast:hotpath but builds a composite literal; preallocate it outside the kernel", fname)
+			pass.Reportf(n.Pos(), "%s but builds a composite literal; preallocate it outside the kernel", label)
 			return false // don't re-report nested literals of one value
 
 		case *ast.CallExpr:
-			checkHotCall(pass, info, fname, n, allow)
+			checkHotCall(pass, info, label, n, allow)
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr, allow hotAllowances) {
+func checkHotCall(pass *Pass, info *types.Info, label string, call *ast.CallExpr, allow hotAllowances) {
 	// Builtins.
 	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(info, id) {
 		switch id.Name {
 		case "make":
-			pass.Reportf(call.Pos(), "%s is //phast:hotpath but calls make; preallocate the buffer outside the kernel", fname)
+			pass.Reportf(call.Pos(), "%s but calls make; preallocate the buffer outside the kernel", label)
 		case "new":
-			pass.Reportf(call.Pos(), "%s is //phast:hotpath but calls new; preallocate outside the kernel", fname)
+			pass.Reportf(call.Pos(), "%s but calls new; preallocate outside the kernel", label)
 		case "append":
 			if !allow.selfAppend[call] {
-				pass.Reportf(call.Pos(), "%s is //phast:hotpath but appends into a fresh slice; only the amortized self-append idiom x = append(x, ...) is allocation-free after warm-up", fname)
+				pass.Reportf(call.Pos(), "%s but appends into a fresh slice; only the amortized self-append idiom x = append(x, ...) is allocation-free after warm-up", label)
 			}
 		}
 		return
@@ -177,10 +199,10 @@ func checkHotCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr
 		src, dst := info.Types[call.Args[0]].Type, tv.Type
 		if src != nil {
 			if isStringByteConv(src, dst) {
-				pass.Reportf(call.Pos(), "%s is //phast:hotpath but converts between string and byte/rune slice, which copies", fname)
+				pass.Reportf(call.Pos(), "%s but converts between string and byte/rune slice, which copies", label)
 			}
 			if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) {
-				pass.Reportf(call.Pos(), "%s is //phast:hotpath but boxes a value into an interface", fname)
+				pass.Reportf(call.Pos(), "%s but boxes a value into an interface", label)
 			}
 		}
 		return
@@ -217,7 +239,7 @@ func checkHotCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr
 		if at.Type == nil || types.IsInterface(at.Type.Underlying()) || at.IsNil() {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "%s is //phast:hotpath but boxes a %s into an interface parameter of %s", fname, at.Type.String(), exprString(call.Fun))
+		pass.Reportf(arg.Pos(), "%s but boxes a %s into an interface parameter of %s", label, at.Type.String(), exprString(call.Fun))
 	}
 }
 

@@ -9,17 +9,32 @@
 //   - hotalloc: functions annotated //phast:hotpath (the sweep kernels)
 //     must stay allocation-free to hit the memory-bound sweep rates of
 //     §IV; make/new/composite literals/fresh appends/escaping closures
-//     and interface boxing are flagged.
+//     and interface boxing are flagged. The discipline is
+//     interprocedural: helpers reachable from an annotated kernel over
+//     the static call graph (Facts) are held to the same rule.
 //   - indexwidth: lossy or sign-mixing integer conversions inside CSR
 //     indexing expressions silently corrupt sweeps on large graphs.
 //   - engineshare: *Engine values are single-goroutine cursors;
 //     concurrent use must go through internal/server.
+//   - atomicmix: a struct field accessed through sync/atomic at one
+//     site and by plain loads/stores at another has no consistent
+//     memory-ordering story; pick one discipline.
+//   - epochpub: published atomic.Pointer state must be replaced through
+//     a forward-only CAS loop (or inside a //phast:publish function),
+//     never a raw Store that could clobber a newer epoch.
+//   - lockhold: a mutex held across a blocking channel operation or
+//     WaitGroup.Wait couples the lock's critical section to another
+//     goroutine's progress; TryLock results must be checked.
 //
 // Everything is built on stdlib go/ast + go/parser + go/types; there are
 // no external dependencies. Diagnostics can be suppressed per line with
 // a comment on the flagged line or the line above:
 //
 //	//phastlint:ignore <analyzer> <reason>
+//
+// The analyzer name and a reason are both required, and a suppression
+// that suppresses nothing is itself a diagnostic — stale ignores rot
+// into false documentation, so they are flagged and deleted.
 package lint
 
 import (
@@ -35,8 +50,29 @@ import (
 // function's doc comment.
 const HotPathMarker = "//phast:hotpath"
 
+// PublishMarker exempts a function from the epochpub raw-Store rule:
+// it declares that the function provably runs before the state it
+// stores to is published (constructors, single-threaded setup).
+const PublishMarker = "//phast:publish"
+
+// OffPathMarker stops //phast:hotpath propagation at a function: the
+// annotated function and everything reachable only through it are not
+// held to the hotalloc discipline. It declares that the function's cost
+// is off the measured CPU path — a guard that only allocates on its
+// failure (panic) branch, or the SIMT simulator boundary, whose
+// allocations account device work that a real GPU build would not run
+// on the host. The marker is a claim the author makes, like
+// //phast:hotpath itself; it is deliberately visible in the doc comment
+// so reviewers can audit it.
+const OffPathMarker = "//phast:offpath"
+
 // ignorePrefix starts a per-line suppression comment.
 const ignorePrefix = "//phastlint:ignore"
+
+// SuppressionAnalyzer is the analyzer name carried by diagnostics about
+// the suppression comments themselves (missing reason, unknown
+// analyzer, unused suppression).
+const SuppressionAnalyzer = "suppression"
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -49,32 +85,47 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass carries one (analyzer, package) run.
+// Pass carries one analyzer run: over one package (Pkg set) or, for
+// module-scoped analyzers, over every package of the Run at once.
 type Pass struct {
 	Analyzer *Analyzer
-	Pkg      *Package
-	diags    *[]Diagnostic
+	Fset     *token.FileSet
+	// Pkg is the package under analysis; nil for module-scoped
+	// analyzers, which see Pkgs instead.
+	Pkg *Package
+	// Pkgs is every package of this Run (module analyzers iterate it).
+	Pkgs []*Package
+	// Facts is the shared interprocedural fact base (call graph,
+	// hot-path reachability) built once per Run. Nil only when an
+	// analyzer is run in isolation without facts (tests exercising the
+	// intraprocedural fallback).
+	Facts *Facts
+	diags *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over type-checked packages.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// Module makes Run execute once over all packages (Pass.Pkgs)
+	// instead of once per package (Pass.Pkg) — for analyzers whose
+	// facts cross package boundaries, like atomicmix's access table.
+	Module bool
+	Run    func(*Pass)
 }
 
 // All returns the full phastlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{RawAlias, HotAlloc, IndexWidth, EngineShare}
+	return []*Analyzer{RawAlias, HotAlloc, IndexWidth, EngineShare, AtomicMix, EpochPub, LockHold}
 }
 
 // ByName resolves a comma-separated analyzer list ("" selects all).
@@ -97,16 +148,26 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies the analyzers to each package, filters suppressed
-// diagnostics, and returns the remainder sorted by position.
+// Run builds the interprocedural facts over the packages, applies the
+// analyzers, resolves suppressions (flagging malformed and unused
+// ones), and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
-		}
-		diags = suppress(pkg, diags)
+	if len(pkgs) == 0 {
+		return diags
 	}
+	facts := BuildFacts(pkgs)
+	fset := pkgs[0].Fset
+	for _, a := range analyzers {
+		if a.Module {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkgs: pkgs, Facts: facts, diags: &diags})
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Pkgs: pkgs, Facts: facts, diags: &diags})
+		}
+	}
+	diags = resolveSuppressions(pkgs, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -123,56 +184,121 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// suppress drops diagnostics of pkg covered by //phastlint:ignore
-// comments. A suppression names the analyzer (or "all") and covers its
-// own line and the line directly below it.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file string
-		line int
+// ignoreDirective is one parsed //phastlint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string // named analyzer or "all"
+	reason   string
+	used     bool
+}
+
+// resolveSuppressions drops diagnostics covered by well-formed
+// //phastlint:ignore comments and appends diagnostics for malformed
+// directives (missing analyzer or reason, unknown analyzer) and for
+// directives that suppressed nothing. A suppression covers its own
+// line and the line directly below it, and must name the analyzer (or
+// "all") plus a reason.
+func resolveSuppressions(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
 	}
-	ignored := make(map[key]map[string]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					k := key{pos.Filename, line}
-					if ignored[k] == nil {
-						ignored[k] = make(map[string]bool)
+	enabled := make(map[string]bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+
+	var directives []*ignoreDirective
+	var extra []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
 					}
-					ignored[k][fields[0]] = true
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						extra = append(extra, Diagnostic{Pos: pos, Analyzer: SuppressionAnalyzer,
+							Message: "suppression names no analyzer; write //phastlint:ignore <analyzer> <reason>"})
+						continue
+					case fields[0] != "all" && !known[fields[0]]:
+						extra = append(extra, Diagnostic{Pos: pos, Analyzer: SuppressionAnalyzer,
+							Message: fmt.Sprintf("suppression names unknown analyzer %q; known: %s", fields[0], knownNames())})
+						continue
+					case len(fields) < 2:
+						extra = append(extra, Diagnostic{Pos: pos, Analyzer: SuppressionAnalyzer,
+							Message: fmt.Sprintf("suppression of %s has no reason; a reason is required so the exception stays auditable", fields[0])})
+						continue
+					}
+					directives = append(directives, &ignoreDirective{
+						pos:      pos,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
 				}
 			}
 		}
 	}
-	if len(ignored) == 0 {
-		return diags
+
+	// Index directives by the (file, line) keys they cover.
+	type key struct {
+		file string
+		line int
 	}
+	covering := make(map[key][]*ignoreDirective)
+	for _, d := range directives {
+		for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+			k := key{d.pos.Filename, line}
+			covering[k] = append(covering[k], d)
+		}
+	}
+
 	out := diags[:0]
 	for _, d := range diags {
-		names := ignored[key{d.Pos.Filename, d.Pos.Line}]
-		if names != nil && (names[d.Analyzer] || names["all"]) {
+		suppressed := false
+		for _, dir := range covering[key{d.Pos.Filename, d.Pos.Line}] {
+			if dir.analyzer == d.Analyzer || dir.analyzer == "all" {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	// A directive that suppressed nothing is stale — but only judge the
+	// ones whose analyzer actually ran, so a subset invocation does not
+	// call every other analyzer's legitimate ignores unused.
+	for _, dir := range directives {
+		if dir.used {
 			continue
 		}
-		out = append(out, d)
+		if dir.analyzer != "all" && !enabled[dir.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: dir.pos, Analyzer: SuppressionAnalyzer,
+			Message: fmt.Sprintf("suppression of %s matches no diagnostic on this or the next line; delete the stale ignore", dir.analyzer)})
 	}
-	return out
+	return append(out, extra...)
+}
+
+func knownNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 // --- shared AST helpers ---
 
-// funcBodies yields every function in the file that has a body: both
-// declarations and, when walkLits is set, function literals. doc is the
-// declaration's doc comment (nil for literals).
+// funcBodies yields every function declaration in the file that has a
+// body.
 func funcBodies(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
 	for _, d := range f.Decls {
 		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold guards the locking conventions of the serving layer: a
+// sync.Mutex/RWMutex held across a blocking channel operation or a
+// WaitGroup.Wait couples the critical section to another goroutine's
+// progress — the classic shape of the drain deadlock (Close holds the
+// write lock while a blocked sender holds the read side). Flagged while
+// a lock is held on the linear path:
+//
+//   - channel sends and receives (including range over a channel),
+//   - select statements with no default clause (every arm blocks),
+//   - sync.WaitGroup.Wait calls (sync.Cond.Wait is exempt — holding
+//     the lock is its contract).
+//
+// A select with a default clause is a non-blocking attempt and passes.
+// Independently, a TryLock/TryRLock whose result is discarded is
+// flagged: ignoring the bool means the code proceeds without knowing
+// whether it holds the lock.
+//
+// The analysis is linear and intraprocedural, like rawalias: a lock is
+// "held" from its Lock/RLock call until an Unlock/RUnlock on the same
+// receiver expression later in the source; a deferred unlock never
+// releases (the lock is held to the end of the function). Goroutine
+// bodies and deferred closures are skipped — they do not run under the
+// spawning statement's lock.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "flags mutexes held across channel operations or WaitGroup.Wait, and ignored TryLock results",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkLockHold(pass, body)
+		})
+	}
+}
+
+// lockEvent is one ordered fact on the function's linear path.
+type lockEvent struct {
+	pos  token.Pos
+	kind int    // evAcquire, evRelease, evHazard
+	recv string // lock receiver (acquire/release)
+	what string // hazard description
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evHazard
+)
+
+func checkLockHold(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var events []lockEvent
+
+	// selectComms marks the comm statements of select clauses so the
+	// generic send/receive cases do not double-report what the
+	// select-level judgment already covered.
+	selectComms := make(map[ast.Node]bool)
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return // runs on another goroutine, not under this lock
+
+		case *ast.DeferStmt:
+			// A deferred unlock means the lock is held to the end of the
+			// function: record no release. Other deferred work runs at
+			// exit; do not treat its channel operations as on-path.
+			return
+
+		case *ast.SelectStmt:
+			hasDefault := false
+			blockingComms := 0
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					selectComms[cc.Comm] = true
+					blockingComms++
+				}
+			}
+			if !hasDefault && blockingComms > 0 {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "a select with no default clause (every arm blocks)"})
+			}
+			// Clause bodies still run under the lock; walk them.
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				for _, s := range cc.Body {
+					walk(s, inDefer)
+				}
+				// Receives nested inside the comm's own expressions are
+				// covered by the select judgment; skip them.
+			}
+			return
+
+		case *ast.SendStmt:
+			if !selectComms[ast.Node(n)] {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "a channel send"})
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "a channel receive"})
+			}
+
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					events = append(events, lockEvent{pos: n.X.Pos(), kind: evHazard, what: "a range over a channel"})
+				}
+			}
+
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if recv, name, ok := mutexMethod(info, call); ok && (name == "TryLock" || name == "TryRLock") {
+					pass.Reportf(call.Pos(), "%s.%s result is discarded; the lock may not be held — branch on the returned bool", recv, name)
+				}
+			}
+
+		case *ast.AssignStmt:
+			blankOnly := true
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					blankOnly = false
+				}
+			}
+			if blankOnly && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if recv, name, ok := mutexMethod(info, call); ok && (name == "TryLock" || name == "TryRLock") {
+						pass.Reportf(call.Pos(), "%s.%s result is discarded; the lock may not be held — branch on the returned bool", recv, name)
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			if recv, name, ok := mutexMethod(info, n); ok {
+				switch name {
+				case "Lock", "RLock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: evAcquire, recv: recv})
+				case "Unlock", "RUnlock":
+					if !inDefer {
+						events = append(events, lockEvent{pos: n.Pos(), kind: evRelease, recv: recv})
+					}
+				}
+			}
+			if recv, ok := waitGroupWait(info, n); ok {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "WaitGroup " + recv + ".Wait()"})
+			}
+		}
+		// Default recursion.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, inDefer)
+			return false
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt, false)
+	}
+
+	// Linear resolution: scan events in source order, tracking held
+	// locks; a hazard while any lock is held is a finding.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	held := make(map[string]token.Pos)
+	var order []string // deterministic "which lock" for the message
+	for _, e := range events {
+		switch e.kind {
+		case evAcquire:
+			if _, ok := held[e.recv]; !ok {
+				order = append(order, e.recv)
+			}
+			held[e.recv] = e.pos
+		case evRelease:
+			delete(held, e.recv)
+			for i, r := range order {
+				if r == e.recv {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+		case evHazard:
+			if len(order) > 0 {
+				lock := order[len(order)-1]
+				at := pass.Fset.Position(held[lock])
+				pass.Reportf(e.pos, "%s is held (since line %d) across %s; a blocked operation here stalls every other user of the lock — release first, or make the operation non-blocking", lock, at.Line, e.what)
+			}
+		}
+	}
+}
+
+// mutexMethod reports a method call on a sync.Mutex or sync.RWMutex
+// receiver: the receiver's printed form and the method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return exprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// waitGroupWait reports a sync.WaitGroup.Wait() call (sync.Cond.Wait is
+// deliberately not matched: holding its locker is Cond's contract).
+func waitGroupWait(info *types.Info, callExpr *ast.CallExpr) (string, bool) {
+	sel, ok := callExpr.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return "", false
+	}
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "WaitGroup" {
+		return "", false
+	}
+	return exprString(sel.X), true
+}

@@ -1,0 +1,63 @@
+// Package atomicmix is the golden fixture for the mixed atomic/plain
+// field-access analyzer. The shapes mirror internal/sched: a word field
+// used as a flag, and a slice field whose elements are completion flags.
+package atomicmix
+
+import "sync/atomic"
+
+// S mixes disciplines on purpose.
+type S struct {
+	flag uint32   // word-granularity atomic datum
+	done []uint32 // element-granularity atomic data
+	seq  uint32   // never touched atomically: plain access is fine
+	ok   atomic.Uint32
+	oks  []atomic.Uint32
+}
+
+func (s *S) atomicSites(i int) {
+	atomic.StoreUint32(&s.flag, 1)
+	atomic.AddUint32(&s.flag, 1)
+	atomic.StoreUint32(&s.done[i], 1)
+	_ = atomic.LoadUint32(&s.done[0])
+}
+
+func (s *S) plainWord() {
+	x := s.flag // want `flag of atomicmix\.S is accessed through sync/atomic .* is read plainly`
+	_ = x
+	s.flag = 2 // want `is assigned plainly`
+	s.flag++   // want `is incremented plainly`
+}
+
+func (s *S) plainElems(i int) {
+	_ = s.done[i]  // want `an element is read or written plainly`
+	s.done[i] = 1  // want `an element is read or written plainly`
+	clear(s.done)  // want `elements are written plainly by clear`
+	for range s.done { // want `elements are read plainly by range`
+	}
+	sink(s.done) // want `slice escapes or is read outside the atomic discipline`
+}
+
+func (s *S) headerOpsOK() {
+	// Header operations touch the slice header, never the elements.
+	s.done = make([]uint32, 8)
+	s.done = s.done[:4]
+	_ = len(s.done)
+	_ = cap(s.done)
+}
+
+func (s *S) untrackedOK() {
+	// seq is never accessed atomically; plain use is not the hazard.
+	s.seq++
+	_ = s.seq
+}
+
+func (s *S) typedOK(i int) {
+	// Typed atomic wrappers make mixing structurally impossible: the
+	// method set is the only access path, so they are never tracked.
+	s.ok.Store(1)
+	_ = s.ok.Load()
+	s.oks[i].Store(1)
+	_ = s.oks[i].Load()
+}
+
+func sink([]uint32) {}

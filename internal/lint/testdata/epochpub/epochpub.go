@@ -1,0 +1,71 @@
+// Package epochpub is the golden fixture for the forward-only
+// publication analyzer. It reconstructs the server's metric-epoch shape:
+// an atomic.Pointer to an immutable engine set, replaced only through a
+// CAS loop that refuses to install an older epoch (the true negative),
+// against raw Store/Swap variants (the true positives).
+package epochpub
+
+import "sync/atomic"
+
+type engineSet struct{ epoch uint64 }
+
+type state struct {
+	active atomic.Pointer[engineSet]
+}
+
+var global atomic.Pointer[engineSet]
+
+// install is the reference forward-only CAS loop (server.InstallMetric):
+// loaded epoch compared, newer kept, CAS retried. Must stay clean.
+func (s *state) install(n *engineSet) bool {
+	for {
+		cur := s.active.Load()
+		if cur != nil && cur.epoch >= n.epoch {
+			return false
+		}
+		if s.active.CompareAndSwap(cur, n) {
+			return true
+		}
+	}
+}
+
+// storeInLoopOK stores inside a for loop that CASes the same pointer;
+// the loop's CAS orders the installs, so the store passes.
+func (s *state) storeInLoopOK(n *engineSet) {
+	for {
+		cur := s.active.Load()
+		if s.active.CompareAndSwap(cur, n) {
+			s.active.Store(n)
+			return
+		}
+	}
+}
+
+func (s *state) rawStore(n *engineSet) {
+	s.active.Store(n) // want `raw Store on published atomic\.Pointer s\.active can clobber a newer epoch`
+}
+
+func (s *state) rawSwap(n *engineSet) {
+	_ = s.active.Swap(n) // want `raw Swap on published atomic\.Pointer s\.active`
+}
+
+func rawStoreGlobal(n *engineSet) {
+	global.Store(n) // want `raw Store on published atomic\.Pointer global`
+}
+
+// newState runs before the state escapes the constructor; the marker
+// declares that, so the raw Store passes.
+//
+//phast:publish
+func newState(n *engineSet) *state {
+	s := &state{}
+	s.active.Store(n)
+	return s
+}
+
+// localOK builds a pointer that is still private to this goroutine.
+func localOK(n *engineSet) *engineSet {
+	var p atomic.Pointer[engineSet]
+	p.Store(n)
+	return p.Load()
+}

@@ -1,0 +1,86 @@
+package hotalloc
+
+import "fmt"
+
+// This file exercises the interprocedural half of hotalloc: an
+// unannotated helper reachable from a //phast:hotpath root over the
+// static call graph is checked under the same rules, with the witness
+// path in the diagnostic. TestHotAllocIntraproceduralMisses runs the
+// same package without facts and asserts these findings vanish — the
+// case a per-function analyzer provably cannot see.
+
+// driver is the annotated kernel the helpers were extracted from.
+//
+//phast:hotpath
+func driver(buf []int32) {
+	seeded(buf)
+	hop1(buf)
+	guard(len(buf))
+}
+
+// seeded is the one-line extraction that used to hide its allocation
+// from the intraprocedural analyzer.
+func seeded(buf []int32) {
+	tmp := make([]int32, len(buf)) // want `seeded is on a //phast:hotpath call path \(driver → seeded\) but calls make`
+	copy(tmp, buf)
+}
+
+func hop1(buf []int32) { hop2(buf) }
+
+func hop2(buf []int32) {
+	p := new(int32) // want `hop2 is on a //phast:hotpath call path \(driver → hop1 → hop2\) but calls new`
+	_ = p
+	_ = buf
+}
+
+// guard only allocates on its failing branch; the //phast:offpath
+// marker stops propagation, so the Sprintf boxing below stays silent.
+//
+//phast:offpath
+func guard(n int) {
+	if n > 1<<20 {
+		panic(fmt.Sprintf("hotalloc: batch of %d exceeds capacity", n))
+	}
+}
+
+// litDriver attributes the literal's body to the enclosing declaration,
+// so the helper called from inside the closure is still reached.
+//
+//phast:hotpath
+func litDriver() {
+	f := func() { litHelper() }
+	f()
+}
+
+func litHelper() {
+	_ = make([]int, 8) // want `litHelper is on a //phast:hotpath call path \(litDriver → litHelper\) but calls make`
+}
+
+// localDriver reaches boundHelper through a local bound to exactly one
+// named function.
+//
+//phast:hotpath
+func localDriver() {
+	g := boundHelper
+	g()
+}
+
+func boundHelper() {
+	_ = new(int) // want `boundHelper is on a //phast:hotpath call path \(localDriver → boundHelper\) but calls new`
+}
+
+// rebound is assigned two different functions; the local resolves to
+// nothing, so coldHelper stays unchecked (and may allocate).
+//
+//phast:hotpath
+func reboundDriver(which bool) {
+	h := boundHelper
+	if which {
+		h = coldHelper
+	}
+	_ = h
+}
+
+func coldHelper() {
+	_ = make([]int, 16)
+}

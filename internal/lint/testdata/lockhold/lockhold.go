@@ -1,0 +1,98 @@
+// Package lockhold is the golden fixture for the lock-across-blocking
+// analyzer: mutexes held over channel operations or WaitGroup.Wait, and
+// discarded TryLock results. The hazard shapes mirror internal/server's
+// drain paths.
+package lockhold
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (t *T) sendHeld() {
+	t.mu.Lock()
+	t.ch <- 1 // want `t\.mu is held \(since line \d+\) across a channel send`
+	t.mu.Unlock()
+}
+
+func (t *T) recvDeferred() {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	<-t.ch // want `t\.rw is held .* across a channel receive`
+}
+
+func (t *T) selectNoDefault(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want `across a select with no default clause \(every arm blocks\)`
+	case t.ch <- v:
+	case x := <-t.ch:
+		_ = x
+	}
+}
+
+func (t *T) selectDefaultOK(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case t.ch <- v:
+	default:
+	}
+}
+
+func (t *T) waitHeld() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wg.Wait() // want `across WaitGroup t\.wg\.Wait\(\)`
+}
+
+func (t *T) rangeHeld() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for v := range t.ch { // want `across a range over a channel`
+		_ = v
+	}
+}
+
+func (t *T) releaseFirstOK() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.ch <- 1
+	t.wg.Wait()
+}
+
+func (t *T) goroutineOK() {
+	// The spawned goroutine does not run under the spawning lock.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() { t.ch <- 1 }()
+}
+
+func (t *T) deferredSendOK() {
+	// Deferred work runs at exit; it is not on the locked linear path.
+	t.mu.Lock()
+	defer func() { <-t.ch }()
+	t.mu.Unlock()
+}
+
+func (t *T) tryDiscarded() {
+	t.mu.TryLock()      // want `t\.mu\.TryLock result is discarded`
+	_ = t.rw.TryRLock() // want `t\.rw\.TryRLock result is discarded`
+}
+
+func (t *T) tryCheckedOK() {
+	if t.mu.TryLock() {
+		defer t.mu.Unlock()
+	}
+}
+
+func (t *T) condWaitOK(c *sync.Cond) {
+	// Cond.Wait's contract is to be called with the lock held.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.Wait()
+}

@@ -1,0 +1,46 @@
+// Package suppress is the golden fixture for the suppression machinery,
+// run under the full analyzer suite: well-formed ignores silence their
+// analyzer on their own line and the line below; an ignore that
+// suppresses nothing is itself flagged, as is one naming an unknown
+// analyzer. (Malformed directives that cannot carry a want comment —
+// missing analyzer, missing reason — live in testdata/suppressbad.)
+package suppress
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func lineBelow(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//phastlint:ignore lockhold fixture: the send is bounded by the test harness
+	t.ch <- 1
+}
+
+func sameLine(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ch <- 1 //phastlint:ignore lockhold fixture: same-line coverage
+}
+
+func allAnalyzers(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//phastlint:ignore all fixture: every analyzer is silenced on the next line
+	t.ch <- 1
+}
+
+func stale(t *T) {
+	// The send below is not under any lock, so the ignore suppresses
+	// nothing and is reported itself.
+	//phastlint:ignore lockhold stale fixture reason -- want `suppression of lockhold matches no diagnostic`
+	t.ch <- 1
+}
+
+func unknown(t *T) {
+	//phastlint:ignore nosuch typo fixture -- want `suppression names unknown analyzer "nosuch"`
+	t.ch <- 1
+}

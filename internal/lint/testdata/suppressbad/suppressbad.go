@@ -1,0 +1,15 @@
+// Package suppressbad holds the malformed suppression directives that
+// cannot carry an inline want comment (any trailing text would parse as
+// the analyzer name or the reason). TestSuppressionMalformed asserts
+// their diagnostics directly.
+package suppressbad
+
+func bare() {
+	//phastlint:ignore
+	_ = 0
+}
+
+func noReason() {
+	//phastlint:ignore hotalloc
+	_ = 0
+}

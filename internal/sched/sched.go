@@ -225,7 +225,7 @@ type Job struct {
 	active   atomic.Int32 // assist workers currently inside run
 	cursor   atomic.Int32 // next chunk to claim
 	frontier atomic.Int32 // chunks [0,frontier) are complete
-	done     []uint32     // per-chunk completion flags (atomic access)
+	done     []atomic.Uint32 // per-chunk completion flags (typed: every access is atomic)
 }
 
 // TestHookChunkClaimed, when non-nil, runs after every chunk claim.
@@ -277,13 +277,13 @@ func (j *Job) run(p *Pool) {
 			}
 		}
 		j.Scan(c)
-		atomic.StoreUint32(&j.done[c], 1)
+		j.done[c].Store(1)
 		// Advance the frontier over every consecutively completed chunk.
 		// Any worker may push it past chunks completed out of order; a
 		// failed CAS means someone else already did.
 		for {
 			f := j.frontier.Load()
-			if f >= nc || atomic.LoadUint32(&j.done[f]) == 0 {
+			if f >= nc || j.done[f].Load() == 0 {
 				break
 			}
 			j.frontier.CompareAndSwap(f, f+1)
@@ -300,10 +300,12 @@ func (p *Pool) Run(j *Job) {
 	defer p.resizeMu.RUnlock()
 	nc := int(j.NumChunks)
 	if cap(j.done) < nc {
-		j.done = make([]uint32, nc)
+		j.done = make([]atomic.Uint32, nc)
 	} else {
 		j.done = j.done[:nc]
-		clear(j.done)
+		for i := range j.done {
+			j.done[i].Store(0)
+		}
 	}
 	j.cursor.Store(0)
 	j.frontier.Store(0)

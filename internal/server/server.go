@@ -456,6 +456,10 @@ func (s *TreeServer) enqueue(ctx context.Context, r request) error {
 			return ErrOverloaded
 		}
 	} else {
+		// Blocking under the read lock is the documented backpressure
+		// design: Close takes the write lock only after draining, and the
+		// ctx arm bounds the wait, so the read side cannot wedge it.
+		//phastlint:ignore lockhold RLock held across the backpressure send by design; Close drains before taking the write lock and ctx bounds the wait
 		select {
 		case s.requests <- r:
 		case <-ctx.Done():

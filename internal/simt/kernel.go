@@ -23,14 +23,21 @@ type access struct {
 	store bool
 }
 
-// Load reads word i of b, tracing the access.
+// Load reads word i of b, tracing the access. The access trace is
+// host-side instrumentation: its growth is charged to the simulator,
+// not to the kernels, which on a real device would not run it at all.
+//
+//phast:offpath
 func (t *Thread) Load(b *Buffer, i int32) uint32 {
 	t.acc = append(t.acc, access{addr: b.base + int64(i)*4})
 	t.instr++
 	return b.data[i]
 }
 
-// Store writes word i of b, tracing the access.
+// Store writes word i of b, tracing the access. Off the hot path for
+// the same reason as Load: the trace is simulator instrumentation.
+//
+//phast:offpath
 func (t *Thread) Store(b *Buffer, i int32, v uint32) {
 	t.acc = append(t.acc, access{addr: b.base + int64(i)*4, store: true})
 	t.instr++
@@ -65,6 +72,14 @@ type KernelStats struct {
 // gathers coalescing statistics and charges the cost model. Warps are
 // simulated concurrently on host goroutines; statistics are
 // deterministic because they are aggregated per warp.
+//
+// Launch is //phast:offpath: it is the host/device boundary. Its
+// allocations (worker scratch, coalescing maps, goroutines) emulate
+// device execution and are charged to the modeled card's time, so the
+// hotalloc discipline of the CPU sweeps stops here rather than leaking
+// into the simulator.
+//
+//phast:offpath
 func (d *Device) Launch(name string, threads int, kernel KernelFunc) KernelStats {
 	ws := d.spec.WarpSize
 	warps := (threads + ws - 1) / ws
