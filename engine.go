@@ -32,10 +32,21 @@ type Options struct {
 	// dependency-bounded chunk scheduler. Retained as a differential
 	// oracle and A/B baseline.
 	ForkJoinSweep bool
-	// ParallelGrain is the chunk size (in sweep positions) the
-	// persistent scheduler self-schedules; 0 selects the default 1024
-	// (core.DefaultParallelGrain).
+	// CompressedSweep replaces the packed single-stream layout with its
+	// byte-compressed twin (delta+varint arc heads, width-tagged narrow
+	// weights): the sweep scans fewer bytes for the same relaxations,
+	// which matters exactly as much as the sweep is bandwidth-bound.
+	// Incompatible with LegacySweep.
+	CompressedSweep bool
+	// ParallelGrain pins the scheduler chunk size in sweep positions.
+	// 0 (the default) sizes chunks by a byte budget instead: the stream
+	// bytes each chunk spans stay within ChunkBytes, so a chunk's
+	// working set fits in cache regardless of arc density.
 	ParallelGrain int
+	// ChunkBytes is the per-chunk stream-byte budget used when
+	// ParallelGrain is 0; 0 detects the machine's L2 cache and budgets
+	// half of it (see internal/machine; PHAST_CHUNK_BYTES overrides).
+	ChunkBytes int
 }
 
 func (o *Options) packed() core.PackedSetting {
@@ -45,14 +56,19 @@ func (o *Options) packed() core.PackedSetting {
 	return core.PackedDefault
 }
 
-func (o *Options) coreOptions() core.Options {
-	return core.Options{
-		Mode:          o.SweepMode,
-		Workers:       o.SweepWorkers,
-		PackedSweep:   o.packed(),
-		ForkJoinSweep: o.ForkJoinSweep,
-		ParallelGrain: o.ParallelGrain,
+func (o *Options) coreOptions() (core.Options, error) {
+	if o.LegacySweep && o.CompressedSweep {
+		return core.Options{}, fmt.Errorf("phast: LegacySweep and CompressedSweep are mutually exclusive (the compressed stream is a packed layout)")
 	}
+	return core.Options{
+		Mode:            o.SweepMode,
+		Workers:         o.SweepWorkers,
+		PackedSweep:     o.packed(),
+		CompressedSweep: o.CompressedSweep,
+		ForkJoinSweep:   o.ForkJoinSweep,
+		ParallelGrain:   o.ParallelGrain,
+		ChunkBytes:      o.ChunkBytes,
+	}, nil
 }
 
 // SweepMode selects the linear-sweep vertex order.
@@ -99,9 +115,13 @@ func Preprocess(g *Graph, opt *Options) (*Engine, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	copt, err := opt.coreOptions()
+	if err != nil {
+		return nil, err
+	}
 	var bs BuildStats
 	h := ch.Build(g, ch.Options{Workers: opt.CHWorkers, Stats: &bs})
-	c, err := core.NewEngine(h, opt.coreOptions())
+	c, err := core.NewEngine(h, copt)
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
@@ -121,13 +141,17 @@ func PreprocessCustomizable(g *Graph, opt *Options) (*Engine, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	copt, err := opt.coreOptions()
+	if err != nil {
+		return nil, err
+	}
 	var bs BuildStats
 	topo, err := ch.BuildCustomizable(g, ch.Options{Workers: opt.CHWorkers, Stats: &bs})
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
 	h := topo.Hierarchy()
-	c, err := core.NewEngine(h, opt.coreOptions())
+	c, err := core.NewEngine(h, copt)
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
@@ -194,11 +218,15 @@ func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	copt, err := opt.coreOptions()
+	if err != nil {
+		return nil, err
+	}
 	h, err := ch.ReadHierarchy(r)
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.NewEngine(h, opt.coreOptions())
+	c, err := core.NewEngine(h, copt)
 	if err != nil {
 		return nil, fmt.Errorf("phast: %w", err)
 	}
@@ -297,6 +325,18 @@ type SchedStats = core.SchedStats
 // SchedStats returns cumulative persistent-scheduler counters for all
 // engines sharing this preprocessed data.
 func (e *Engine) SchedStats() SchedStats { return e.core.SchedStats() }
+
+// StreamBytes returns the bytes of the graph layout one sweep scans —
+// the compressed stream's byte length under Options.CompressedSweep,
+// the packed stream's words×4 by default, and the CSR footprint under
+// LegacySweep. The numerator of the layout's compression ratio and the
+// graph term of the bandwidth model.
+func (e *Engine) StreamBytes() int64 { return e.core.StreamBytes() }
+
+// CompressionRatio returns StreamBytes relative to the uncompressed
+// packed stream (1.0 for uncompressed layouts; < 1 means the sweep
+// scans fewer bytes than the packed baseline).
+func (e *Engine) CompressionRatio() float64 { return e.core.CompressionRatio() }
 
 // Dist returns the distance of v from the last tree's source, or Inf.
 func (e *Engine) Dist(v int32) uint32 { return e.core.Dist(v) }

@@ -124,6 +124,11 @@ type SweepTraffic struct {
 	N, M int
 	// K is the number of trees grown per sweep (0 is treated as 1).
 	K int
+	// StreamBytes, when positive, selects a byte-granular stream layout
+	// (graph.PackedZ.ByteLen): the whole graph walk is exactly
+	// StreamBytes bytes — compressed streams are byte-, not word-,
+	// granular. Takes precedence over PackedWords.
+	StreamBytes int64
 	// PackedWords, when positive, selects the fused single-stream layout
 	// (graph.Packed.Words): the whole graph walk is PackedWords uint32s.
 	PackedWords int
@@ -148,9 +153,12 @@ func (t SweepTraffic) Bytes() int64 {
 		k = 1
 	}
 	var b int64
-	if t.PackedWords > 0 {
+	switch {
+	case t.StreamBytes > 0:
+		b = t.StreamBytes
+	case t.PackedWords > 0:
 		b = int64(t.PackedWords) * 4
-	} else {
+	default:
 		// first (4(n+1)) + AoS arcs (8m) + mark bytes (n).
 		b = int64(t.N+1)*4 + int64(t.M)*8 + int64(t.N)
 		if t.Ordered {

@@ -36,6 +36,13 @@ func TestCustomizedEngineDifferential(t *testing.T) {
 		{"levelorder/csr", Options{Mode: SweepLevelOrder, Workers: 2, ParallelGrain: 16, PackedSweep: PackedOff}},
 		{"rankorder/packed", Options{Mode: SweepRankOrder, Workers: 2, ParallelGrain: 16}},
 		{"rankorder/csr", Options{Mode: SweepRankOrder, Workers: 2, ParallelGrain: 16, PackedSweep: PackedOff}},
+		// Compressed-stream twins: Customize rebinds weights via
+		// PackedZ.WithWeights (a full re-encode, since narrow width tags
+		// depend on the weights), and the random metrics above include
+		// graph.Inf arcs, so the narrow-block Inf escapes are exercised.
+		{"reordered/compressed", Options{Mode: SweepReordered, Workers: 2, ParallelGrain: 16, CompressedSweep: true}},
+		{"levelorder/compressed", Options{Mode: SweepLevelOrder, Workers: 2, ParallelGrain: 16, CompressedSweep: true}},
+		{"rankorder/compressed", Options{Mode: SweepRankOrder, Workers: 2, ParallelGrain: 16, CompressedSweep: true}},
 	}
 
 	for metric := 0; metric < 3; metric++ {

@@ -22,11 +22,13 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
 	"phast/internal/bandwidth"
 	"phast/internal/ch"
 	"phast/internal/graph"
 	"phast/internal/layout"
+	"phast/internal/machine"
 	"phast/internal/sched"
 )
 
@@ -77,12 +79,12 @@ const (
 	PackedOff
 )
 
-// DefaultParallelGrain is the sweep chunk size (in sweep positions)
-// used when Options.ParallelGrain is zero. It doubles as the level-size
-// threshold below which the fork-join oracle stays sequential — the
-// historical minParallelLevel constant, now a documented, tunable
-// default: upper CH levels hold a handful of vertices each, and
-// scheduling (or a barrier) would cost more than the work.
+// DefaultParallelGrain is the historical fixed sweep chunk size (in
+// sweep positions). Chunks are now sized by a cache-derived byte budget
+// by default (Options.ChunkBytes); this constant survives as the
+// fallback level-size threshold below which the fork-join oracle stays
+// sequential, and as the fixed grain tests and oracles pin through
+// Options.ParallelGrain.
 const DefaultParallelGrain = 1024
 
 // Options configures engine construction.
@@ -97,16 +99,30 @@ type Options struct {
 	// PackedSweep selects the fused single-stream sweep layout (default
 	// on) or the legacy CSR kernels (PackedOff), kept as an A/B oracle.
 	PackedSweep PackedSetting
+	// CompressedSweep selects the delta+varint compressed stream
+	// (graph.PackedZ) instead of the uncompressed packed words: the
+	// sweep reads roughly half the bytes at the cost of inline varint
+	// decode. The uncompressed packed kernels remain the differential
+	// oracle, exactly as the legacy CSR kernels did for packing.
+	// Requires the packed layout (an error with PackedOff).
+	CompressedSweep bool
 	// ForkJoinSweep routes parallel sweeps through the original
 	// per-level fork-join barriers instead of the persistent
 	// dependency-bounded scheduler. Kept as a differential oracle and
 	// A/B baseline; production sweeps should leave it off.
 	ForkJoinSweep bool
-	// ParallelGrain is the chunk size, in sweep positions, that the
-	// persistent scheduler self-schedules (and the level-size threshold
-	// of the fork-join oracle). 0 selects DefaultParallelGrain (1024);
-	// a negative grain is an error.
+	// ParallelGrain, when positive, pins the chunk size in sweep
+	// positions — the historical fixed grain, kept for tests and
+	// oracles that need deterministic chunk boundaries. 0 (the default)
+	// sizes chunks by the ChunkBytes budget instead; a negative grain
+	// is an error.
 	ParallelGrain int
+	// ChunkBytes is the cache-budget chunking knob: the byte span of
+	// stream one scheduler chunk covers. 0 derives the budget from the
+	// detected cache hierarchy (half the private L2, clamped to
+	// [machine.MinChunkBytes, machine.MaxChunkBytes]); explicit values
+	// are used as given. Ignored when ParallelGrain pins a fixed grain.
+	ChunkBytes int
 }
 
 // shared is the immutable, source-independent state every Engine clone
@@ -122,8 +138,13 @@ type shared struct {
 	toEngine    []int32    // original ID -> engine ID
 	toOrig      []int32    // engine ID -> original ID
 	// packed is the fused single-stream sweep layout of downIn in sweep
-	// order; nil when Options.PackedSweep is PackedOff.
+	// order; nil when Options.PackedSweep is PackedOff or the compressed
+	// stream stands in for it.
 	packed *graph.Packed
+	// packedz is the delta+varint compressed sweep stream; non-nil
+	// exactly when Options.CompressedSweep selected it (packed is then
+	// nil — an engine carries one stream, not both).
+	packedz *graph.PackedZ
 	// pos maps an engine vertex ID to its sweep position (the inverse of
 	// order); nil when the order is the identity.
 	pos []int32
@@ -131,10 +152,18 @@ type shared struct {
 	// Persistent sweep scheduler state (internal/sched), shared by
 	// clones and — since metric customization — by sibling engines over
 	// other metrics of the same topology: the parked worker pool, the
-	// chunk grain, and the precomputed per-chunk dependency bounds that
-	// relax the Section V level barrier. The pool is reference counted;
-	// each shared state Retains it and Releases via finalizer.
-	grain     int32 // chunk size in sweep positions
+	// chunk boundaries, and the precomputed per-chunk dependency bounds
+	// that relax the Section V level barrier. The pool is reference
+	// counted; each shared state Retains it and Releases via finalizer.
+	//
+	// chunkStart[c] is the first sweep position of chunk c (len
+	// numChunks+1, ending at n). Boundaries come either from a fixed
+	// position grain (Options.ParallelGrain) or from the cache byte
+	// budget (Options.ChunkBytes), so chunk sizes may vary.
+	chunkStart []int32
+	// grain is the average chunk size in sweep positions, kept as the
+	// level-size threshold of the fork-join oracle.
+	grain     int32
 	numChunks int32
 	// chunkDep[c] is the chunk index the completion frontier must pass
 	// before chunk c may start (-1: no external dependency). Derived
@@ -180,10 +209,13 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	if opt.ParallelGrain < 0 {
 		return nil, fmt.Errorf("core: ParallelGrain %d is negative", opt.ParallelGrain)
 	}
-	if opt.ParallelGrain == 0 {
-		opt.ParallelGrain = DefaultParallelGrain
+	if opt.ChunkBytes < 0 {
+		return nil, fmt.Errorf("core: ChunkBytes %d is negative", opt.ChunkBytes)
 	}
-	s := &shared{mode: opt.Mode, n: n, grain: int32(opt.ParallelGrain), forkJoin: opt.ForkJoinSweep}
+	if opt.CompressedSweep && opt.PackedSweep == PackedOff {
+		return nil, fmt.Errorf("core: CompressedSweep requires the packed layout (PackedSweep is off)")
+	}
+	s := &shared{mode: opt.Mode, n: n, forkJoin: opt.ForkJoinSweep}
 	switch opt.Mode {
 	case SweepReordered:
 		perm := layout.ByLevelDescending(h.Level)
@@ -232,34 +264,65 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 		}
 	}
 	if opt.PackedSweep != PackedOff {
-		p, err := graph.NewPacked(s.downIn, s.order)
-		if err != nil {
-			return nil, fmt.Errorf("core: packing sweep stream: %w", err)
+		if opt.CompressedSweep {
+			z, err := graph.NewPackedZ(s.downIn, s.order)
+			if err != nil {
+				return nil, fmt.Errorf("core: compressing sweep stream: %w", err)
+			}
+			s.packedz = z
+		} else {
+			p, err := graph.NewPacked(s.downIn, s.order)
+			if err != nil {
+				return nil, fmt.Errorf("core: packing sweep stream: %w", err)
+			}
+			s.packed = p
 		}
-		s.packed = p
+	}
+	// Chunk boundaries: a positive ParallelGrain pins the historical
+	// fixed position grain; otherwise chunks are cut so each one's
+	// stream span fits the cache byte budget (Options.ChunkBytes, or
+	// half the detected private L2).
+	if opt.ParallelGrain > 0 {
+		s.chunkStart = graph.UniformChunkStarts(n, opt.ParallelGrain)
+	} else {
+		budget := opt.ChunkBytes
+		if budget == 0 {
+			budget = machine.SweepChunkBytes()
+		}
+		switch {
+		case s.packedz != nil:
+			s.chunkStart = s.packedz.ChunkStartsByBytes(budget)
+		case s.packed != nil:
+			s.chunkStart = s.packed.ChunkStartsByBytes(budget)
+		default:
+			s.chunkStart = graph.ChunkStartsByBytes(s.downIn, s.order, budget)
+		}
+	}
+	s.numChunks = int32(len(s.chunkStart) - 1)
+	s.grain = int32((n + int(s.numChunks) - 1) / int(s.numChunks))
+	if s.grain < 1 {
+		s.grain = 1
 	}
 	// Precompute the per-chunk dependency bounds the persistent
-	// scheduler starts chunks by (scheduler.go). The packed flavor walks
-	// the fused stream — the same words the workers will read; engines
-	// built with PackedOff derive identical bounds from the CSR arrays.
+	// scheduler starts chunks by (scheduler.go). The stream flavors walk
+	// the same bytes/words the workers will read; engines built with
+	// PackedOff derive identical bounds from the CSR arrays.
 	var dep []int32
 	var err error
-	if s.packed != nil {
-		dep, err = s.packed.ChunkDepBounds(s.pos, opt.ParallelGrain)
-	} else {
-		dep, err = graph.ChunkDepBounds(s.downIn, s.order, opt.ParallelGrain)
+	switch {
+	case s.packedz != nil:
+		dep, err = s.packedz.ChunkDepBoundsAt(s.chunkStart)
+	case s.packed != nil:
+		dep, err = s.packed.ChunkDepBoundsAt(s.pos, s.chunkStart)
+	default:
+		dep, err = graph.ChunkDepBoundsAt(s.downIn, s.order, s.chunkStart)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: chunk dependency bounds: %w", err)
 	}
-	s.numChunks = int32(len(dep))
 	s.chunkDep = make([]int32, len(dep))
 	for c, bound := range dep {
-		if bound < 0 {
-			s.chunkDep[c] = -1
-		} else {
-			s.chunkDep[c] = bound / s.grain
-		}
+		s.chunkDep[c] = posToChunk(s.chunkStart, bound)
 	}
 	// The pool's workers are spawned once here and parked between
 	// queries; they reference only the pool, so when every engine over
@@ -270,6 +333,17 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	s.pool = sched.NewPool(opt.Workers)
 	runtime.SetFinalizer(s, func(s *shared) { s.pool.Release() })
 	return newEngineFromShared(s), nil
+}
+
+// posToChunk maps a sweep position to the index of the chunk containing
+// it under the given boundary list (-1 stays -1: no dependency). Used
+// once per chunk at construction, not in the sweep.
+func posToChunk(starts []int32, p int32) int32 {
+	if p < 0 {
+		return -1
+	}
+	// The chunk containing p is the last c with starts[c] <= p.
+	return int32(sort.Search(len(starts)-1, func(c int) bool { return starts[c+1] > p }))
 }
 
 // NewEngineSharingPool builds an engine over h that inherits e's sweep
@@ -298,6 +372,7 @@ func NewEngineSharingPool(e *Engine, h *ch.Hierarchy) (*Engine, error) {
 		toEngine:    old.toEngine,
 		toOrig:      old.toOrig,
 		pos:         old.pos,
+		chunkStart:  old.chunkStart,
 		grain:       old.grain,
 		numChunks:   old.numChunks,
 		chunkDep:    old.chunkDep,
@@ -323,6 +398,18 @@ func NewEngineSharingPool(e *Engine, h *ch.Hierarchy) (*Engine, error) {
 			return nil, fmt.Errorf("core: patching packed sweep stream: %w", err)
 		}
 		s.packed = p
+	}
+	if old.packedz != nil {
+		// Re-encode the weights into the compressed stream; structure
+		// (deltas, degrees, order) is carried over, not re-derived. The
+		// shared chunk boundaries and dependency bounds are position-
+		// space, so they stay exact even though the new metric may shift
+		// per-block widths and with them the stream's byte spans.
+		z, err := old.packedz.WithWeights(s.downIn)
+		if err != nil {
+			return nil, fmt.Errorf("core: re-encoding compressed sweep stream: %w", err)
+		}
+		s.packedz = z
 	}
 	old.pool.Retain()
 	s.pool = old.pool
@@ -366,10 +453,41 @@ func (e *Engine) OrigID(v int32) int32 { return e.s.toOrig[v] }
 func (e *Engine) LevelRanges() [][2]int32 { return e.s.levelRanges }
 
 // Packed returns the fused single-stream sweep layout the engine scans,
-// or nil when the engine was built with PackedOff. Consumers that mirror
-// the sweep's data layout (GPHAST's device upload) decode it instead of
-// re-deriving the CSR arrays.
+// or nil when the engine was built with PackedOff or sweeps the
+// compressed stream. Consumers that mirror the sweep's data layout
+// (GPHAST's device upload) decode it instead of re-deriving the CSR
+// arrays.
 func (e *Engine) Packed() *graph.Packed { return e.s.packed }
+
+// PackedZ returns the compressed sweep stream the engine scans, or nil
+// when the engine was not built with CompressedSweep.
+func (e *Engine) PackedZ() *graph.PackedZ { return e.s.packedz }
+
+// StreamBytes returns the bytes of sweep stream one tree scans front to
+// back: the compressed stream's byte length, the packed stream's words
+// in bytes, or the CSR first+arclist footprint for legacy engines. This
+// is the numerator of the achieved-GB/s accounting and the quantity the
+// compression ratio compares.
+func (e *Engine) StreamBytes() int64 {
+	switch {
+	case e.s.packedz != nil:
+		return int64(e.s.packedz.ByteLen())
+	case e.s.packed != nil:
+		return int64(e.s.packed.Words()) * 4
+	default:
+		return int64(e.s.n+1)*4 + int64(e.s.downIn.NumArcs())*8
+	}
+}
+
+// CompressionRatio returns the fraction of the equivalent uncompressed
+// packed stream the engine's sweep actually reads: < 1 for compressed
+// engines, exactly 1 otherwise.
+func (e *Engine) CompressionRatio() float64 {
+	if e.s.packedz != nil {
+		return e.s.packedz.CompressionRatio()
+	}
+	return 1
+}
 
 // SweepBytes returns the modeled bytes one k-tree sweep on this engine
 // touches (bandwidth.SweepTraffic over the engine's actual layout).
@@ -377,9 +495,12 @@ func (e *Engine) Packed() *graph.Packed { return e.s.packed }
 // Section VIII-B lower bounds; k <= 0 is treated as a single tree.
 func (e *Engine) SweepBytes(k int) int64 {
 	t := bandwidth.SweepTraffic{N: e.s.n, M: e.s.downIn.NumArcs(), K: k}
-	if e.s.packed != nil {
+	switch {
+	case e.s.packedz != nil:
+		t.StreamBytes = int64(e.s.packedz.ByteLen())
+	case e.s.packed != nil:
 		t.PackedWords = e.s.packed.Words()
-	} else {
+	default:
 		t.Ordered = e.s.order != nil
 	}
 	// Pooled sweeps add chunk-grain scheduling traffic (dependency-bound

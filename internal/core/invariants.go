@@ -39,8 +39,13 @@ func (e *Engine) CheckInvariants() error {
 			return err
 		}
 	}
+	if s.packedz != nil {
+		if err := invariant.PackedZStream(s.packedz, s.downIn, s.order); err != nil {
+			return err
+		}
+	}
 	if s.chunkDep != nil {
-		if err := invariant.ChunkDeps(s.downIn, s.order, int(s.grain), s.chunkDep); err != nil {
+		if err := invariant.ChunkDepsAt(s.downIn, s.order, s.chunkStart, s.chunkDep); err != nil {
 			return err
 		}
 	}

@@ -17,14 +17,25 @@ func TestEngineCheckInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	g := gridGraph(rng, 9, 8, 25)
 	for _, mode := range []SweepMode{SweepReordered, SweepLevelOrder, SweepRankOrder} {
-		e := newEngine(t, g, Options{Mode: mode})
-		if err := e.CheckInvariants(); err != nil {
-			t.Fatalf("mode %v: fresh engine: %v", mode, err)
+		for _, compressed := range []bool{false, true} {
+			e := newEngine(t, g, Options{Mode: mode, CompressedSweep: compressed})
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("mode %v compressed=%v: fresh engine: %v", mode, compressed, err)
+			}
+			e.Tree(3)
+			e.MultiTree([]int32{0, 5, 9, 14}, true)
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("mode %v compressed=%v: after sweeps: %v", mode, compressed, err)
+			}
 		}
-		e.Tree(3)
-		e.MultiTree([]int32{0, 5, 9, 14}, true)
+	}
+	// Variable cache-budget chunk boundaries (a tiny explicit budget
+	// forces many uneven chunks) must validate through ChunkDepsAt too.
+	for _, compressed := range []bool{false, true} {
+		e := newEngine(t, g, Options{Workers: 2, ChunkBytes: 64, CompressedSweep: compressed})
+		e.TreeParallel(3)
 		if err := e.CheckInvariants(); err != nil {
-			t.Fatalf("mode %v: after sweeps: %v", mode, err)
+			t.Fatalf("byte-budget chunking compressed=%v: %v", compressed, err)
 		}
 	}
 }

@@ -32,6 +32,15 @@ func (e *Engine) MultiTree(sources []int32, useLanes bool) {
 	for i, src := range sources {
 		e.chSearchLane(src, i, k)
 	}
+	if e.s.packedz != nil {
+		e.buildSeeds()
+		if useLanes {
+			e.sweepPackedZMultiLanes(k)
+		} else {
+			e.sweepPackedZMulti(k)
+		}
+		return
+	}
 	if e.s.packed != nil {
 		e.buildSeeds()
 		if useLanes {

@@ -295,7 +295,7 @@ func TestSweepBytesPackedBelowLegacy(t *testing.T) {
 // (the packed twins are covered by the existing race tests).
 func TestLegacyParallelBarrierRace(t *testing.T) {
 	h, n := raceHierarchy(t)
-	e, err := NewEngine(h, Options{Workers: 4, PackedSweep: PackedOff})
+	e, err := NewEngine(h, Options{Workers: 4, PackedSweep: PackedOff, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestLegacyParallelBarrierRace(t *testing.T) {
 // multi-tree sweeps on clones of one hierarchy, for the race detector.
 func TestPackedParallelStress(t *testing.T) {
 	h, n := raceHierarchy(t)
-	proto, err := NewEngine(h, Options{Workers: 4, PackedSweep: PackedOn})
+	proto, err := NewEngine(h, Options{Workers: 4, PackedSweep: PackedOn, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,13 @@ func (e *Engine) TreeParallel(source int32) {
 	e.hasParents = false
 	e.lastMulti = false
 	e.chSearch(source, nil)
+	if e.s.packedz != nil {
+		e.buildSeeds()
+		if !e.parallelSweep(packedZSingle, 1) {
+			e.sweepPackedZ()
+		}
+		return
+	}
 	if e.s.packed != nil {
 		e.buildSeeds()
 		if !e.parallelSweep(packedSingle, 1) {
@@ -48,6 +55,13 @@ func (e *Engine) TreeWithParentsParallel(source int32) {
 	e.hasParents = true
 	e.lastMulti = false
 	e.chSearch(source, e.parent)
+	if e.s.packedz != nil {
+		e.buildSeeds()
+		if !e.parallelSweep(packedZParents, 1) {
+			e.sweepPackedZParents()
+		}
+		return
+	}
 	if e.s.packed != nil {
 		e.buildSeeds()
 		if !e.parallelSweep(packedParents, 1) {
@@ -90,6 +104,21 @@ func (e *Engine) MultiTreeParallel(sources []int32, useLanes bool) {
 	e.touched = e.touched[:0]
 	for i, src := range sources {
 		e.chSearchLane(src, i, k)
+	}
+	if e.s.packedz != nil {
+		e.buildSeeds()
+		kind := packedZMulti
+		if useLanes {
+			kind = packedZLanes
+		}
+		if !e.parallelSweep(kind, k) {
+			if useLanes {
+				e.sweepPackedZMultiLanes(k)
+			} else {
+				e.sweepPackedZMulti(k)
+			}
+		}
+		return
 	}
 	if e.s.packed != nil {
 		e.buildSeeds()

@@ -57,7 +57,7 @@ func levelsBigEnough(t *testing.T, e *Engine) {
 // the first exercise of the per-level barrier handoff.
 func TestTreeParallelBarrierRace(t *testing.T) {
 	h, n := raceHierarchy(t)
-	e, err := NewEngine(h, Options{Workers: 4})
+	e, err := NewEngine(h, Options{Workers: 4, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestTreeParallelBarrierRace(t *testing.T) {
 // sweep, whose level threshold scales with k.
 func TestMultiTreeParallelBarrierRace(t *testing.T) {
 	h, n := raceHierarchy(t)
-	e, err := NewEngine(h, Options{Workers: 4})
+	e, err := NewEngine(h, Options{Workers: 4, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestMultiTreeParallelBarrierRace(t *testing.T) {
 // immutable graphs.
 func TestParallelSweepsAcrossClones(t *testing.T) {
 	h, n := raceHierarchy(t)
-	proto, err := NewEngine(h, Options{Workers: 4})
+	proto, err := NewEngine(h, Options{Workers: 4, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}

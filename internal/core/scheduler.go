@@ -33,12 +33,17 @@ const (
 	packedParents
 	packedMulti
 	packedLanes
+	packedZSingle
+	packedZParents
+	packedZMulti
+	packedZLanes
 )
 
 // multiKind reports whether the kind sweeps k trees (its level-size
 // threshold under the fork-join oracle scales with k).
 func (k sweepKind) multiKind() bool {
-	return k == csrMulti || k == csrLanes || k == packedMulti || k == packedLanes
+	return k == csrMulti || k == csrLanes || k == packedMulti || k == packedLanes ||
+		k == packedZMulti || k == packedZLanes
 }
 
 // SchedStats is a snapshot of the persistent scheduler's counters,
@@ -71,17 +76,11 @@ func (e *Engine) runPooled(kind sweepKind, k int) {
 		j = &sched.Job{}
 		e.job = j
 	}
-	grain := s.grain
-	n := int32(s.n)
+	starts := s.chunkStart
 	j.NumChunks = s.numChunks
 	j.Dep = s.chunkDep
 	j.Scan = func(c int32) {
-		lo := c * grain
-		hi := lo + grain
-		if hi > n {
-			hi = n
-		}
-		e.scanChunkKind(kind, k, lo, hi)
+		e.scanChunkKind(kind, k, starts[c], starts[c+1])
 	}
 	s.pool.Run(j)
 }
@@ -163,5 +162,13 @@ func (e *Engine) scanChunkKind(kind sweepKind, k int, lo, hi int32) {
 		e.scanPackedMultiChunk(lo, hi, k)
 	case packedLanes:
 		e.scanPackedLanesChunk(lo, hi, k)
+	case packedZSingle:
+		e.scanPackedZChunk(lo, hi)
+	case packedZParents:
+		e.scanPackedZParentsChunk(lo, hi)
+	case packedZMulti:
+		e.scanPackedZMultiChunk(lo, hi, k)
+	case packedZLanes:
+		e.scanPackedZLanesChunk(lo, hi, k)
 	}
 }

@@ -126,11 +126,11 @@ func TestPooledSweepDifferential(t *testing.T) {
 // kernel — the dependency-bounded scheduler parallelizes it anyway.
 func TestPooledRankOrderRunsParallel(t *testing.T) {
 	h, n := raceHierarchy(t)
-	pooled, err := NewEngine(h, Options{Mode: SweepRankOrder, Workers: 4})
+	pooled, err := NewEngine(h, Options{Mode: SweepRankOrder, Workers: 4, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fj, err := NewEngine(h, Options{Mode: SweepRankOrder, Workers: 4, ForkJoinSweep: true})
+	fj, err := NewEngine(h, Options{Mode: SweepRankOrder, Workers: 4, ForkJoinSweep: true, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestParallelGrainOption(t *testing.T) {
 // both directions, including shrinking to the sequential fallback.
 func TestSetWorkersResize(t *testing.T) {
 	h, n := raceHierarchy(t)
-	e, err := NewEngine(h, Options{Workers: 2})
+	e, err := NewEngine(h, Options{Workers: 2, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,9 @@ func TestSetWorkersRejectedDuringSweep(t *testing.T) {
 		<-release
 	}
 	defer func() { sched.TestHookChunkClaimed = nil }()
-	e, err := NewEngine(h, Options{Workers: 2})
+	// Pin the grain: the fixture must span several chunks so the hook
+	// actually fires (the cache-budget default may fuse it into one).
+	e, err := NewEngine(h, Options{Workers: 2, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +266,7 @@ func TestSetWorkersRejectedDuringSweep(t *testing.T) {
 // rejected resizes never corrupt a sweep.
 func TestSchedulerStressWithResizes(t *testing.T) {
 	h, n := raceHierarchy(t)
-	proto, err := NewEngine(h, Options{Workers: 3})
+	proto, err := NewEngine(h, Options{Workers: 3, ParallelGrain: DefaultParallelGrain})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,11 @@ func (e *Engine) Tree(source int32) {
 	e.hasParents = false
 	e.lastMulti = false
 	e.chSearch(source, nil)
+	if e.s.packedz != nil {
+		e.buildSeeds()
+		e.sweepPackedZ()
+		return
+	}
 	if e.s.packed != nil {
 		e.buildSeeds()
 		e.sweepPacked()
@@ -31,6 +36,11 @@ func (e *Engine) TreeWithParents(source int32) {
 	e.hasParents = true
 	e.lastMulti = false
 	e.chSearch(source, e.parent)
+	if e.s.packedz != nil {
+		e.buildSeeds()
+		e.sweepPackedZParents()
+		return
+	}
 	if e.s.packed != nil {
 		e.buildSeeds()
 		e.sweepPackedParents()

@@ -54,3 +54,22 @@ func benchSweepKernel(b *testing.B, packed PackedSetting) {
 
 func BenchmarkSweepKernelPacked(b *testing.B) { benchSweepKernel(b, PackedOn) }
 func BenchmarkSweepKernelLegacy(b *testing.B) { benchSweepKernel(b, PackedOff) }
+
+// BenchmarkSweepKernelCompressed times the delta+varint decode kernel
+// on the same fixture, isolating decode cost from the upward search.
+func BenchmarkSweepKernelCompressed(b *testing.B) {
+	h, n := sweepHierarchy(b)
+	e, err := NewEngine(h, Options{Mode: SweepReordered, Workers: 1, CompressedSweep: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := int32(n / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e.chSearch(src, nil)
+		e.buildSeeds()
+		b.StartTimer()
+		e.sweepPackedZ()
+	}
+}

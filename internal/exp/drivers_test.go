@@ -114,3 +114,30 @@ func TestRPHASTSelectionGrowsWithTargets(t *testing.T) {
 		prev = sel
 	}
 }
+
+func TestStreamCompressedRowReadsFewerBytes(t *testing.T) {
+	e := tinyEnv(t)
+	tables, err := Stream(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 2 || rows[0][0] != "packed" || rows[1][0] != "compressed" {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+	packed, err1 := strconv.Atoi(rows[0][3])
+	compressed, err2 := strconv.Atoi(rows[1][3])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("non-numeric stream bytes %q %q", rows[0][3], rows[1][3])
+	}
+	if compressed >= packed {
+		t.Fatalf("compressed stream %d bytes is not smaller than packed %d", compressed, packed)
+	}
+	ratio, err := strconv.ParseFloat(rows[1][5], 64)
+	if err != nil || ratio <= 0 || ratio >= 1 {
+		t.Fatalf("compressed ratio %q not in (0,1)", rows[1][5])
+	}
+	if rows[0][5] != "1.000" {
+		t.Fatalf("packed ratio %q, want 1.000", rows[0][5])
+	}
+}

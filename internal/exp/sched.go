@@ -78,7 +78,7 @@ func Sched(e *Env) ([]*Table, error) {
 		e.logf("sched %s: %v/tree, %v/tree at k=%d", r.name, tree, multi, k)
 	}
 	t.AddNote("all drivers run identical chunk kernels; the rows differ only in how chunks are scheduled")
-	t.AddNote(fmt.Sprintf("pooled chunks/sweep = ceil(n/%d); stalls wait on the dependency frontier, not a level barrier", core.DefaultParallelGrain))
+	t.AddNote("pooled chunks are cut to the cache byte budget (Options.ChunkBytes, default half the detected L2); stalls wait on the dependency frontier, not a level barrier")
 	t.AddNote("CI gates the pooled-vs-fork-join ratio via cmd/benchsmoke -mode sched (BENCH_5.json)")
 	return []*Table{t}, nil
 }

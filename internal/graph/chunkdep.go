@@ -71,6 +71,145 @@ func ChunkDepBounds(g *Graph, order []int32, grain int) ([]int32, error) {
 	return dep, nil
 }
 
+// UniformChunkStarts returns the chunk boundary list (len numChunks+1,
+// first 0, last n) for fixed-size chunks of grain positions — the
+// variable-boundary representation of the classic fixed grain, so the
+// scheduler speaks one boundary format regardless of how chunks were
+// sized.
+func UniformChunkStarts(n, grain int) []int32 {
+	if grain < 1 {
+		grain = 1
+	}
+	numChunks := (n + grain - 1) / grain
+	if numChunks == 0 {
+		numChunks = 1
+	}
+	starts := make([]int32, numChunks+1)
+	for c := 1; c < numChunks; c++ {
+		starts[c] = int32(c * grain)
+	}
+	starts[numChunks] = int32(n)
+	return starts
+}
+
+// ChunkStartsByBytes partitions the sweep positions of a CSR downward
+// graph into chunks whose scanned footprint is at most budget bytes,
+// estimating each position's traffic as one first[] word plus its
+// 8-byte arcs — the same accounting internal/bandwidth charges the
+// legacy sweep. order is the sweep order (nil = identity); at least one
+// position lands in every chunk.
+func ChunkStartsByBytes(g *Graph, order []int32, budget int) []int32 {
+	n := g.NumVertices()
+	offsets := make([]int, n+1)
+	for p := 0; p < n; p++ {
+		v := int32(p)
+		if order != nil {
+			v = order[p]
+		}
+		offsets[p+1] = offsets[p] + 4 + 8*len(g.Arcs(v))
+	}
+	return chunkStartsByOffsets(offsets, budget)
+}
+
+// ChunkDepBoundsAt is the variable-boundary flavor of ChunkDepBounds:
+// starts lists the chunk boundaries as sweep positions (len
+// numChunks+1, starts[0]=0, strictly ascending, ending at n), and the
+// result holds, per chunk, the maximum sweep position among tails of
+// arcs entering the chunk from before its start (-1: none).
+func ChunkDepBoundsAt(g *Graph, order []int32, starts []int32) ([]int32, error) {
+	n := g.NumVertices()
+	if err := validChunkStarts(starts, n); err != nil {
+		return nil, err
+	}
+	if order != nil && len(order) != n {
+		return nil, fmt.Errorf("graph: chunk order has length %d, want %d", len(order), n)
+	}
+	var pos []int32
+	if order != nil {
+		pos = make([]int32, n)
+		for p, v := range order {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: chunk order has vertex %d at position %d, want [0,%d)", v, p, n)
+			}
+			pos[v] = int32(p)
+		}
+	}
+	dep := make([]int32, len(starts)-1)
+	for c := range dep {
+		dep[c] = -1
+	}
+	c := 0
+	for p := 0; p < n; p++ {
+		for int32(p) >= starts[c+1] {
+			c++
+		}
+		start := starts[c]
+		v := int32(p)
+		if order != nil {
+			v = order[p]
+		}
+		for _, a := range g.Arcs(v) {
+			tp := a.Head
+			if pos != nil {
+				tp = pos[a.Head]
+			}
+			if int(tp) >= p {
+				return nil, fmt.Errorf("graph: sweep order is not topological: position %d reads tail at position %d", p, tp)
+			}
+			if tp < start && tp > dep[c] {
+				dep[c] = tp
+			}
+		}
+	}
+	return dep, nil
+}
+
+// ChunkDepBoundsAt is the packed-stream, variable-boundary flavor: like
+// (*Packed).ChunkDepBounds but over an explicit chunk boundary list.
+func (p *Packed) ChunkDepBoundsAt(pos []int32, starts []int32) ([]int32, error) {
+	if err := validChunkStarts(starts, p.n); err != nil {
+		return nil, err
+	}
+	if p.explicitV != (pos != nil) {
+		return nil, fmt.Errorf("graph: packed chunk bounds need a position map iff the stream has vertex words (explicit=%v, pos=%v)",
+			p.explicitV, pos != nil)
+	}
+	if pos != nil && len(pos) != p.n {
+		return nil, fmt.Errorf("graph: chunk position map has length %d, want %d", len(pos), p.n)
+	}
+	dep := make([]int32, len(starts)-1)
+	for c := range dep {
+		dep[c] = -1
+	}
+	stream := p.stream
+	c := 0
+	i := 0
+	for sp := 0; sp < p.n; sp++ {
+		for int32(sp) >= starts[c+1] {
+			c++
+		}
+		start := starts[c]
+		deg := int(stream[i])
+		i++
+		if p.explicitV {
+			i++ // the vertex word; heads are what matters here
+		}
+		for end := i + 2*deg; i < end; i += 2 {
+			tp := int32(stream[i])
+			if pos != nil {
+				tp = pos[stream[i]]
+			}
+			if int(tp) >= sp {
+				return nil, fmt.Errorf("graph: packed stream is not topological: position %d reads tail at position %d", sp, tp)
+			}
+			if tp < start && tp > dep[c] {
+				dep[c] = tp
+			}
+		}
+	}
+	return dep, nil
+}
+
 // ChunkDepBounds is the packed-stream flavor of the package-level
 // function: it walks the fused stream instead of the CSR arrays, so the
 // precompute reads the same words the scheduler's workers will. pos

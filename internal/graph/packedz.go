@@ -1,0 +1,595 @@
+package graph
+
+import "fmt"
+
+// PackedZ is the compressed sweep layout: the fused single-stream
+// grammar of Packed re-encoded as a byte stream so the bandwidth-bound
+// sweep reads fewer bytes per tree. Two observations make it pay. Arc
+// heads are delta-encoded against the sweep position — after the
+// level-DFS reorder most tails sit a handful of positions back, so the
+// delta fits one varint byte where Packed spends four. And road-network
+// weights rarely need 32 bits: each block narrows its weights to the
+// smallest of 8/16/32 bits that holds them, tagged in the block header,
+// closed arcs (customized metrics, weight Inf) force their block to the
+// full 4-byte width so narrow weights never need an escape pattern.
+//
+// Stream grammar, one block per sweep position p = 0..n-1, all fields
+// byte-granular:
+//
+//	[header]  uvarint deg<<4 | dtag<<2 | wtag, each tag in {0,1,2}
+//	          selecting 1/2/4-byte fields (3 is reserved and rejected)
+//	[v]       uvarint zigzag(v-p) — present only when the sweep order
+//	          is not the identity (ExplicitVertex)
+//	deg × [delta] [weight]
+//	          delta = p - pos(head) in dtag-wide little-endian, always
+//	          >= 1 because the sweep order is topological (the tail of
+//	          every arc read at p was scanned earlier); weight is
+//	          wtag-wide little-endian, verbatim — a block holding any
+//	          Inf (closed-arc) weight is promoted to 4-byte weights,
+//	          where Inf is just the all-ones word, so narrow weights
+//	          need no escape pattern and the kernels relax without a
+//	          per-arc Inf test
+//
+// Deltas are block-uniform on purpose: an early varint encoding made
+// each arc's byte length data-dependent, and the resulting unpredictable
+// branch (plus the serial stream-offset chain behind it) cost more in
+// the scan loop than the occasional padding byte saves. With one delta
+// width per block the kernels decode an arc with a single wide load at
+// a block-constant stride — the same dependence structure as the
+// uncompressed packed stream — while the narrow common case (most heads
+// sit within 255 positions after the level-DFS reorder) still pays one
+// byte. Headers and vertex words stay varint: they are per-block, not
+// per-arc, so their decode branches are off the critical path.
+//
+// Block starts are kept byte-indexed (len n+1) so the chunk-scheduled
+// parallel sweep still enters the stream exactly at block boundaries.
+// Under the identity order a head's position is its vertex ID; under
+// explicit orders the decoder resolves positions through the sweep
+// order array it already holds (sequential decoders reconstruct it
+// from the vertex words — see Unpack).
+type PackedZ struct {
+	stream     []byte
+	blockStart []int // len n+1: byte offset of each position's block
+	n, m       int
+	explicitV  bool
+}
+
+// Width tags of the block header, shared by the delta field (dtag) and
+// the weight field (wtag). A tag selects the byte width of every field
+// of its kind in the block; all fields are stored verbatim. Inf is
+// representable only at the 4-byte width (it is the all-ones word), so
+// blockWTag promotes any block with a closed arc to WTag32 — the
+// decoders never need an Inf escape test.
+const (
+	WTag8  = 0 // 1-byte fields
+	WTag16 = 1 // 2-byte fields
+	WTag32 = 2 // 4-byte fields
+)
+
+// streamPad is the number of zero bytes appended past the last block.
+// The sweep kernels decode an arc's delta and weight from one 8-byte
+// load; the pad guarantees such a load issued at the final arc — whose
+// encoded form can be as short as two bytes — never runs off the
+// allocation. The pad is not part of the stream: ByteLen and the block
+// index end at the last real byte, and a zero byte terminates any
+// varint, so even a buggy over-run decode stops.
+const streamPad = 8
+
+// appendUvarint appends x in base-128 little-endian varint form.
+func appendUvarint(b []byte, x uint32) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// zigzag folds a signed delta into the unsigned varint space.
+func zigzag(x int32) uint32 { return uint32((x << 1) ^ (x >> 31)) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// readUvarint decodes one varint at s[i], returning the value and the
+// next offset. Malformed input (truncated, or more than 5 bytes) is
+// reported with ok=false; the hot sweep kernels use their own inlined
+// fast path and never call this.
+func readUvarint(s []byte, i int) (x uint32, next int, ok bool) {
+	var shift uint
+	for j := 0; j < 5; j++ {
+		if i >= len(s) {
+			return 0, i, false
+		}
+		b := s[i]
+		i++
+		x |= uint32(b&0x7f) << shift
+		if b < 0x80 {
+			return x, i, true
+		}
+		shift += 7
+	}
+	return 0, i, false
+}
+
+// blockWTag returns the narrowest width tag that holds every weight of
+// arcs verbatim. Inf (all-ones) only fits the 4-byte width, so a block
+// with a closed arc is promoted to WTag32 — narrow widths carry their
+// full value range with no escape pattern.
+func blockWTag(arcs []Arc) int {
+	tag := WTag8
+	for _, a := range arcs {
+		switch {
+		case a.Weight > 0xFFFF:
+			return WTag32
+		case a.Weight > 0xFF:
+			tag = WTag16
+		}
+	}
+	return tag
+}
+
+// deltaTag returns the narrowest width tag that holds every head delta
+// of a block, given the largest one.
+func deltaTag(maxDelta uint32) int {
+	switch {
+	case maxDelta <= 0xFF:
+		return WTag8
+	case maxDelta <= 0xFFFF:
+		return WTag16
+	default:
+		return WTag32
+	}
+}
+
+// appendFixed appends x in the tag's width, little-endian, no escapes.
+func appendFixed(b []byte, x uint32, tag int) []byte {
+	switch tag {
+	case WTag8:
+		return append(b, byte(x))
+	case WTag16:
+		return append(b, byte(x), byte(x>>8))
+	default:
+		return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+}
+
+// readFixed reads one tag-wide little-endian field at s[i], no escapes.
+func readFixed(s []byte, i, tag int) (uint32, bool) {
+	if i+tagWidth(tag) > len(s) {
+		return 0, false
+	}
+	switch tag {
+	case WTag8:
+		return uint32(s[i]), true
+	case WTag16:
+		return uint32(s[i]) | uint32(s[i+1])<<8, true
+	default:
+		return uint32(s[i]) | uint32(s[i+1])<<8 | uint32(s[i+2])<<16 | uint32(s[i+3])<<24, true
+	}
+}
+
+// appendWeight appends w verbatim in the block's width. blockWTag
+// guarantees the width holds it.
+func appendWeight(b []byte, w uint32, wtag int) []byte {
+	return appendFixed(b, w, wtag)
+}
+
+// NewPackedZ compresses g's adjacency arrays into a delta+varint byte
+// stream scanned in the given sweep order (order[p] = vertex visited at
+// position p; nil = identity). The order must be topological for g —
+// every arc's head must sit at an earlier sweep position — which is
+// exactly the property the sweep itself relies on; a violation is an
+// error, not a silent mis-encode.
+func NewPackedZ(g *Graph, order []int32) (*PackedZ, error) {
+	n := g.NumVertices()
+	m := g.NumArcs()
+	explicit := order != nil
+	var pos []int32
+	if explicit {
+		if len(order) != n {
+			return nil, fmt.Errorf("graph: packedz order has length %d, want %d", len(order), n)
+		}
+		pos = make([]int32, n)
+		seen := make([]bool, n)
+		for p, v := range order {
+			if v < 0 || int(v) >= n || seen[v] {
+				return nil, fmt.Errorf("graph: packedz order is not a permutation at position %d", p)
+			}
+			seen[v] = true
+			pos[v] = int32(p)
+		}
+	}
+	// Heads typically compress to 1–2 delta bytes and weights to 2, so
+	// 4 bytes/arc + 2 bytes/vertex overshoots slightly and avoids
+	// regrowth churn.
+	stream := make([]byte, 0, 2*n+4*m)
+	blockStart := make([]int, n+1)
+	for p := 0; p < n; p++ {
+		blockStart[p] = len(stream)
+		v := int32(p)
+		if explicit {
+			v = order[p]
+		}
+		arcs := g.Arcs(v)
+		wtag := blockWTag(arcs)
+		// Resolve head positions once up front: the block's delta width
+		// is the narrowest that holds its largest delta.
+		maxDelta := uint32(0)
+		for _, a := range arcs {
+			hp := a.Head
+			if pos != nil {
+				hp = pos[a.Head]
+			}
+			if int(hp) >= p {
+				return nil, fmt.Errorf("graph: packedz order is not topological: position %d reads tail at position %d", p, hp)
+			}
+			if d := uint32(int32(p) - hp); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		dtag := deltaTag(maxDelta)
+		stream = appendUvarint(stream, uint32(len(arcs))<<4|uint32(dtag)<<2|uint32(wtag))
+		if explicit {
+			stream = appendUvarint(stream, zigzag(v-int32(p)))
+		}
+		for _, a := range arcs {
+			hp := a.Head
+			if pos != nil {
+				hp = pos[a.Head]
+			}
+			stream = appendFixed(stream, uint32(int32(p)-hp), dtag)
+			stream = appendWeight(stream, a.Weight, wtag)
+		}
+	}
+	blockStart[n] = len(stream)
+	stream = append(stream, make([]byte, streamPad)...)
+	return &PackedZ{stream: stream, blockStart: blockStart, n: n, m: m, explicitV: explicit}, nil
+}
+
+// WithWeights returns a compressed stream with z's exact structure —
+// sweep order, degrees and head deltas — but the arc weights taken from
+// g, which must have the same adjacency structure as the graph z was
+// built from. This is the compressed half of a metric swap: nothing
+// about the order or delta encoding is re-derived, but unlike
+// Packed.WithWeights the bytes are re-emitted, because a new metric's
+// range can change each block's weight width (and with it every byte
+// offset). Block starts are therefore rebuilt, never shared.
+func (z *PackedZ) WithWeights(g *Graph) (*PackedZ, error) {
+	if g.NumVertices() != z.n || g.NumArcs() != z.m {
+		return nil, fmt.Errorf("graph: packedz patch dims %d/%d, graph %d/%d", z.n, z.m, g.NumVertices(), g.NumArcs())
+	}
+	stream := make([]byte, 0, len(z.stream))
+	blockStart := make([]int, z.n+1)
+	i := 0
+	for p := 0; p < z.n; p++ {
+		blockStart[p] = len(stream)
+		header, j, ok := readUvarint(z.stream, i)
+		if !ok {
+			return nil, fmt.Errorf("graph: packedz stream truncated at position %d", p)
+		}
+		deg := int(header >> 4)
+		dtag := int(header >> 2 & 3)
+		oldTag := int(header & 3)
+		if oldTag == 3 || dtag == 3 {
+			return nil, fmt.Errorf("graph: packedz block %d has reserved width tag", p)
+		}
+		i = j
+		v := int32(p)
+		if z.explicitV {
+			zz, j, ok := readUvarint(z.stream, i)
+			if !ok {
+				return nil, fmt.Errorf("graph: packedz stream truncated at position %d", p)
+			}
+			i = j
+			v = int32(p) + unzigzag(zz)
+		}
+		if v < 0 || int(v) >= z.n {
+			return nil, fmt.Errorf("graph: packedz vertex %d out of range at position %d", v, p)
+		}
+		arcs := g.Arcs(v)
+		if len(arcs) != deg {
+			return nil, fmt.Errorf("graph: packedz patch degree mismatch at vertex %d: stream %d, graph %d", v, deg, len(arcs))
+		}
+		// Deltas are structure, not metric: the new block keeps the old
+		// delta width verbatim and only re-tags the weights.
+		wtag := blockWTag(arcs)
+		stream = appendUvarint(stream, uint32(deg)<<4|uint32(dtag)<<2|uint32(wtag))
+		if z.explicitV {
+			stream = appendUvarint(stream, zigzag(v-int32(p)))
+		}
+		for _, a := range arcs {
+			delta, ok := readFixed(z.stream, i, dtag)
+			if !ok || delta == 0 || int(delta) > p {
+				return nil, fmt.Errorf("graph: packedz block %d has invalid head delta", p)
+			}
+			i += tagWidth(dtag) + tagWidth(oldTag) // past the old delta and weight bytes
+			stream = appendFixed(stream, delta, dtag)
+			stream = appendWeight(stream, a.Weight, wtag)
+		}
+	}
+	blockStart[z.n] = len(stream)
+	stream = append(stream, make([]byte, streamPad)...)
+	return &PackedZ{stream: stream, blockStart: blockStart, n: z.n, m: z.m, explicitV: z.explicitV}, nil
+}
+
+// tagWidth returns the byte width a tag selects.
+func tagWidth(tag int) int {
+	switch tag {
+	case WTag8:
+		return 1
+	case WTag16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Stream exposes the compressed byte stream. Callers must not modify it.
+func (z *PackedZ) Stream() []byte { return z.stream }
+
+// BlockStarts exposes the byte offset of every sweep position's block
+// (length n+1, ending at ByteLen). The chunk-scheduled parallel sweep
+// uses it to enter the stream at a chunk boundary. Callers must not
+// modify it.
+func (z *PackedZ) BlockStarts() []int { return z.blockStart }
+
+// ExplicitVertex reports whether each block carries a vertex word (true
+// for non-identity sweep orders).
+func (z *PackedZ) ExplicitVertex() bool { return z.explicitV }
+
+// NumVertices returns n.
+func (z *PackedZ) NumVertices() int { return z.n }
+
+// NumArcs returns m.
+func (z *PackedZ) NumArcs() int { return z.m }
+
+// ByteLen returns the compressed stream length in bytes — the bytes the
+// sweep actually scans, the byte-granular analogue of Packed.Words. The
+// wide-load pad past the last block is excluded: it is never scanned.
+func (z *PackedZ) ByteLen() int { return z.blockStart[z.n] }
+
+// UncompressedBytes returns the bytes the equivalent uncompressed
+// Packed stream would scan (n + 2m words, plus a vertex word per
+// position under explicit orders) — the numerator's baseline for
+// CompressionRatio.
+func (z *PackedZ) UncompressedBytes() int64 {
+	words := z.n + 2*z.m
+	if z.explicitV {
+		words += z.n
+	}
+	return int64(words) * 4
+}
+
+// CompressionRatio returns ByteLen over UncompressedBytes: the fraction
+// of the uncompressed packed stream the sweep now reads (< 1 is a win).
+func (z *PackedZ) CompressionRatio() float64 {
+	if u := z.UncompressedBytes(); u > 0 {
+		return float64(z.ByteLen()) / float64(u)
+	}
+	return 1
+}
+
+// MemoryBytes reports the footprint of the stream and the byte-indexed
+// block starts. The block index is metadata — the sweep reads one entry
+// per chunk, not per vertex — so per-sweep traffic accounting uses
+// ByteLen, not this.
+func (z *PackedZ) MemoryBytes() int64 {
+	return int64(len(z.stream)) + int64(len(z.blockStart))*8
+}
+
+// Unpack decodes the stream back into a CSR graph and the sweep order
+// it was built with (nil for the identity). It validates the grammar as
+// it goes — the round-trip half of the phastdebug PackedZStream
+// invariant and the core of FuzzPackedZRoundTrip. A sequential decoder
+// needs no external order array: head deltas always point backward, so
+// the vertex words already seen resolve every position.
+func (z *PackedZ) Unpack() (*Graph, []int32, error) {
+	n, m := z.n, z.m
+	var order []int32
+	if z.explicitV {
+		order = make([]int32, n)
+	}
+	deg := make([]int32, n)
+	heads := make([][2]uint32, 0, m) // (head, weight) in stream order per vertex
+	type block struct{ v, off, deg int32 }
+	blocks := make([]block, 0, n)
+	seen := make([]bool, n)
+	i := 0
+	for p := 0; p < n; p++ {
+		header, j, ok := readUvarint(z.stream, i)
+		if !ok {
+			return nil, nil, fmt.Errorf("graph: packedz stream truncated at position %d", p)
+		}
+		i = j
+		d := int(header >> 4)
+		dtag := int(header >> 2 & 3)
+		wtag := int(header & 3)
+		if wtag == 3 || dtag == 3 {
+			return nil, nil, fmt.Errorf("graph: packedz block %d has reserved width tag", p)
+		}
+		v := int32(p)
+		if z.explicitV {
+			zz, j, ok := readUvarint(z.stream, i)
+			if !ok {
+				return nil, nil, fmt.Errorf("graph: packedz stream truncated at position %d", p)
+			}
+			i = j
+			v = int32(p) + unzigzag(zz)
+			if v < 0 || int(v) >= n {
+				return nil, nil, fmt.Errorf("graph: packedz vertex %d out of range at position %d", v, p)
+			}
+			if seen[v] {
+				return nil, nil, fmt.Errorf("graph: packedz vertex %d appears twice", v)
+			}
+			seen[v] = true
+			order[p] = v
+		}
+		deg[v] = int32(d)
+		blocks = append(blocks, block{v: v, off: int32(len(heads)), deg: int32(d)})
+		for a := 0; a < d; a++ {
+			delta, ok := readFixed(z.stream, i, dtag)
+			if !ok {
+				return nil, nil, fmt.Errorf("graph: packedz block of vertex %d overruns the stream", v)
+			}
+			i += tagWidth(dtag)
+			if delta == 0 || int(delta) > p {
+				return nil, nil, fmt.Errorf("graph: packedz head delta %d at position %d escapes [1,%d]", delta, p, p)
+			}
+			hp := int32(p) - int32(delta)
+			h := hp
+			if z.explicitV {
+				h = order[hp]
+			}
+			w, ok := decodeWeight(z.stream, i, wtag)
+			if !ok {
+				return nil, nil, fmt.Errorf("graph: packedz block of vertex %d overruns the stream", v)
+			}
+			i += tagWidth(wtag)
+			heads = append(heads, [2]uint32{uint32(h), w})
+		}
+	}
+	if i != z.ByteLen() {
+		return nil, nil, fmt.Errorf("graph: packedz stream has %d trailing bytes", z.ByteLen()-i)
+	}
+	if len(heads) != m {
+		return nil, nil, fmt.Errorf("graph: packedz degrees sum to %d arcs, want %d", len(heads), m)
+	}
+	first := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		first[v+1] = first[v] + deg[v]
+	}
+	arcs := make([]Arc, m)
+	for _, b := range blocks {
+		dst := arcs[first[b.v] : first[b.v]+b.deg]
+		src := heads[b.off : b.off+b.deg]
+		for j, hw := range src {
+			dst[j] = Arc{Head: int32(hw[0]), Weight: hw[1]}
+		}
+	}
+	g, err := FromRaw(first, arcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, order, nil
+}
+
+// decodeWeight reads one weight of the given width at s[i], verbatim —
+// the encoder promotes Inf-bearing blocks to the 4-byte width, so no
+// escape mapping exists at any width.
+func decodeWeight(s []byte, i, wtag int) (uint32, bool) {
+	return readFixed(s, i, wtag)
+}
+
+// ChunkStartsByBytes partitions the sweep positions into chunks whose
+// compressed stream spans at most budget bytes each (always at least
+// one position per chunk, so a block larger than the budget gets a
+// chunk of its own). The boundaries are sweep positions — the unit the
+// scheduler's dependency bounds and in-order claims speak — sized by
+// bytes, which is what a cache-conscious grain wants: a chunk's stream
+// plus its label working set resident while it is scanned.
+func (z *PackedZ) ChunkStartsByBytes(budget int) []int32 {
+	return chunkStartsByOffsets(z.blockStart, budget)
+}
+
+// ChunkStartsByBytes is the uncompressed flavor: chunk the packed word
+// stream by a byte budget using its word-indexed block starts.
+func (p *Packed) ChunkStartsByBytes(budget int) []int32 {
+	// Convert the word offsets to bytes without materializing a copy:
+	// chunkStartsByOffsets only compares differences, so scale the
+	// budget down instead.
+	if budget < 4 {
+		budget = 4
+	}
+	return chunkStartsByOffsets(p.blockStart, budget/4)
+}
+
+// chunkStartsByOffsets greedily cuts [0,n) into chunks of at most
+// budget offset units (bytes or words), returning the n+1-style
+// boundary list of sweep positions (first entry 0, last entry n).
+func chunkStartsByOffsets(blockStart []int, budget int) []int32 {
+	n := len(blockStart) - 1
+	if budget < 1 {
+		budget = 1
+	}
+	starts := []int32{0}
+	base := 0
+	for p := 0; p < n; p++ {
+		if p > int(starts[len(starts)-1]) && blockStart[p+1]-base > budget {
+			starts = append(starts, int32(p))
+			base = blockStart[p]
+		}
+	}
+	return append(starts, int32(n))
+}
+
+// ChunkDepBoundsAt is the variable-boundary flavor of ChunkDepBounds
+// over the compressed stream: starts lists the chunk boundaries as
+// sweep positions (len numChunks+1, starts[0]=0, ascending, ending at
+// n), and the result holds, per chunk, the maximum sweep position among
+// tails of arcs entering the chunk from before its start (-1: none).
+// The topological property needs no separate check here — the delta
+// grammar cannot express a forward reference, and Unpack/the invariant
+// validate delta ranges.
+func (z *PackedZ) ChunkDepBoundsAt(starts []int32) ([]int32, error) {
+	if err := validChunkStarts(starts, z.n); err != nil {
+		return nil, err
+	}
+	dep := make([]int32, len(starts)-1)
+	for c := range dep {
+		dep[c] = -1
+	}
+	c := 0
+	i := 0
+	for p := 0; p < z.n; p++ {
+		for int32(p) >= starts[c+1] {
+			c++
+		}
+		start := starts[c]
+		header, j, ok := readUvarint(z.stream, i)
+		if !ok {
+			return nil, fmt.Errorf("graph: packedz stream truncated at position %d", p)
+		}
+		i = j
+		deg := int(header >> 4)
+		dtag := int(header >> 2 & 3)
+		wtag := int(header & 3)
+		if wtag == 3 || dtag == 3 {
+			return nil, fmt.Errorf("graph: packedz block %d has reserved width tag", p)
+		}
+		if z.explicitV {
+			if _, j, ok = readUvarint(z.stream, i); !ok {
+				return nil, fmt.Errorf("graph: packedz stream truncated at position %d", p)
+			}
+			i = j
+		}
+		for a := 0; a < deg; a++ {
+			delta, ok := readFixed(z.stream, i, dtag)
+			if !ok {
+				return nil, fmt.Errorf("graph: packedz block at position %d overruns the stream", p)
+			}
+			i += tagWidth(dtag) + tagWidth(wtag)
+			if delta == 0 || int(delta) > p {
+				return nil, fmt.Errorf("graph: packedz head delta %d at position %d escapes [1,%d]", delta, p, p)
+			}
+			tp := int32(p) - int32(delta)
+			if tp < start && tp > dep[c] {
+				dep[c] = tp
+			}
+		}
+	}
+	return dep, nil
+}
+
+// validChunkStarts checks the chunk boundary list shape shared by all
+// ChunkDepBoundsAt flavors.
+func validChunkStarts(starts []int32, n int) error {
+	if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != int32(n) {
+		return fmt.Errorf("graph: chunk starts must span [0,%d], got %d boundaries", n, len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return fmt.Errorf("graph: chunk starts not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,514 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTopoGraph builds a graph whose arcs all point backward in the
+// given sweep order (order[p] scanned at p; nil = identity): the shape
+// PackedZ requires, matching the reverse-topological downward graphs of
+// the sweep. Weights are drawn from mixed magnitudes so every width tag
+// and the Inf escape get exercised.
+func randomTopoGraph(rng *rand.Rand, n, m int, order []int32) *Graph {
+	pos := make([]int32, n)
+	for p := 0; p < n; p++ {
+		v := int32(p)
+		if order != nil {
+			v = order[p]
+		}
+		pos[v] = int32(p)
+	}
+	vertexAt := func(p int32) int32 {
+		if order != nil {
+			return order[p]
+		}
+		return p
+	}
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		tp := 1 + rng.Intn(n-1) // tail position; needs an earlier head
+		hp := rng.Intn(tp)
+		b.MustAddArc(vertexAt(int32(tp)), vertexAt(int32(hp)), uint32(rng.Intn(1000)))
+	}
+	g := b.Build()
+	// The builder caps weights at MaxWeight; Inf and the full 32-bit
+	// range only arise through metric customization. Re-metric in place
+	// so every width tag and the Inf block promotion get exercised.
+	for v := int32(0); int(v) < n; v++ {
+		arcs := g.Arcs(v)
+		for i := range arcs {
+			switch rng.Intn(5) {
+			case 0:
+				arcs[i].Weight = uint32(rng.Intn(0x100)) // 8-bit range incl. 0xFF
+			case 1:
+				arcs[i].Weight = uint32(rng.Intn(0x10000)) // 16-bit range incl. 0xFFFF
+			case 2:
+				arcs[i].Weight = rng.Uint32() // full range
+			case 3:
+				arcs[i].Weight = Inf
+			}
+		}
+	}
+	return g
+}
+
+func TestPackedZIdentityRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		g := randomTopoGraph(rng, n, rng.Intn(4*n), nil)
+		z, err := NewPackedZ(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z.ExplicitVertex() {
+			t.Fatal("identity order must elide vertex words")
+		}
+		if z.NumVertices() != n || z.NumArcs() != g.NumArcs() {
+			t.Fatalf("dims %d/%d, want %d/%d", z.NumVertices(), z.NumArcs(), n, g.NumArcs())
+		}
+		ug, order, err := z.Unpack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if order != nil {
+			t.Fatal("identity unpack returned an order")
+		}
+		if !ug.Equal(g) {
+			t.Fatal("identity round trip changed the graph")
+		}
+	}
+}
+
+func TestPackedZOrderedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		ord := randomPerm(rng, n)
+		g := randomTopoGraph(rng, n, rng.Intn(4*n), ord)
+		z, err := NewPackedZ(g, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !z.ExplicitVertex() {
+			t.Fatal("explicit order must carry vertex words")
+		}
+		ug, uord, err := z.Unpack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ug.Equal(g) {
+			t.Fatal("ordered round trip changed the graph")
+		}
+		for i := range ord {
+			if uord[i] != ord[i] {
+				t.Fatalf("order[%d]=%d, want %d", i, uord[i], ord[i])
+			}
+		}
+	}
+}
+
+func TestPackedZCompressesBelowPacked(t *testing.T) {
+	// A sweep-shaped graph (local backward arcs, small weights) must
+	// compress well below the uncompressed packed stream — this is the
+	// whole point of the layout.
+	rng := rand.New(rand.NewSource(13))
+	n := 2000
+	b := NewBuilder(n)
+	for p := 1; p < n; p++ {
+		deg := 1 + rng.Intn(4)
+		for a := 0; a < deg; a++ {
+			back := 1 + rng.Intn(64)
+			h := p - back
+			if h < 0 {
+				h = 0
+			}
+			b.MustAddArc(int32(p), int32(h), uint32(rng.Intn(30000)))
+		}
+	}
+	g := b.Build()
+	z, err := NewPackedZ(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPacked(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedBytes := int64(p.Words()) * 4
+	if z.UncompressedBytes() != packedBytes {
+		t.Fatalf("UncompressedBytes()=%d, packed stream is %d bytes", z.UncompressedBytes(), packedBytes)
+	}
+	ratio := z.CompressionRatio()
+	if ratio >= 0.75 {
+		t.Fatalf("compression ratio %.3f, want < 0.75 on a sweep-shaped graph", ratio)
+	}
+	if got := float64(z.ByteLen()) / float64(packedBytes); got != ratio {
+		t.Fatalf("CompressionRatio()=%.6f disagrees with ByteLen/packed=%.6f", ratio, got)
+	}
+}
+
+func TestPackedZWeightWidths(t *testing.T) {
+	// One block per width class, with the boundary values: narrow
+	// widths hold their full verbatim range (0xFF fits 8-bit, 0xFFFF
+	// fits 16-bit), and any Inf weight promotes its whole block to the
+	// 4-byte width, where Inf is the all-ones word.
+	cases := [][]uint32{
+		{0, 1, 0xFE},                  // pure 8-bit
+		{0xFF, 3},                     // 0xFF still fits 8-bit
+		{0x100, 9},                    // past one byte: 16-bit
+		{0xFFFF, 7},                   // 0xFFFF still fits 16-bit
+		{0, 0xFE, Inf},                // Inf promotes a tiny block to 32-bit
+		{MaxWeight, 0, Inf},           // full width
+		{Inf, Inf},                    // all-Inf is 32-bit too
+		{0x10000, 0xFFFF, 0xFF, 0, 1}, // mixed, 32-bit
+	}
+	n := 1 + len(cases)
+	b := NewBuilder(n)
+	for i, ws := range cases {
+		for range ws {
+			b.MustAddArc(int32(i+1), int32(i), 0)
+		}
+	}
+	g := b.Build()
+	// Builder caps weights at MaxWeight; install the boundary values
+	// the way customization does, through the arc views.
+	for i, ws := range cases {
+		arcs := g.Arcs(int32(i + 1))
+		for j, w := range ws {
+			arcs[j].Weight = w
+		}
+	}
+	z, err := NewPackedZ(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ug, _, err := z.Unpack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ug.Equal(g) {
+		t.Fatal("width-boundary weights corrupted in round trip")
+	}
+	// Spot-check the chosen tags through the headers.
+	wantTags := []int{WTag8, WTag8, WTag16, WTag16, WTag32, WTag32, WTag32, WTag32}
+	bs := z.BlockStarts()
+	for i, want := range wantTags {
+		header, _, ok := readUvarint(z.Stream(), bs[i+1])
+		if !ok {
+			t.Fatalf("block %d header unreadable", i+1)
+		}
+		if got := int(header & 3); got != want {
+			t.Fatalf("block %d (weights %v) has wtag %d, want %d", i+1, cases[i], got, want)
+		}
+	}
+}
+
+func TestPackedZWithWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, explicit := range []bool{false, true} {
+		n := 2 + rng.Intn(60)
+		var ord []int32
+		if explicit {
+			ord = randomPerm(rng, n)
+		}
+		g := randomTopoGraph(rng, n, 3*n, ord)
+		z, err := NewPackedZ(g, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// New metric over the same structure: shifts widths around
+		// (some blocks grow to 32-bit, some shrink, some close to Inf).
+		g2 := g.Clone()
+		for v := int32(0); int(v) < n; v++ {
+			arcs := g2.Arcs(v)
+			for i := range arcs {
+				switch rng.Intn(4) {
+				case 0:
+					arcs[i].Weight = Inf
+				case 1:
+					arcs[i].Weight = uint32(rng.Intn(0x100))
+				default:
+					arcs[i].Weight = rng.Uint32() % (MaxWeight + 1)
+				}
+			}
+		}
+		z2, err := z.WithWeights(g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ug, _, err := z2.Unpack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ug.Equal(g2) {
+			t.Fatalf("WithWeights (explicit=%v) did not carry the new metric", explicit)
+		}
+		// The patched stream must equal a from-scratch encode: same
+		// structure, same widths, same bytes.
+		zf, err := NewPackedZ(g2, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(z2.Stream()) != string(zf.Stream()) {
+			t.Fatalf("WithWeights stream differs from fresh encode (explicit=%v)", explicit)
+		}
+		// And the original stream is untouched.
+		ug0, _, err := z.Unpack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ug0.Equal(g) {
+			t.Fatal("WithWeights mutated the source stream")
+		}
+	}
+}
+
+func TestPackedZRejectsNonTopological(t *testing.T) {
+	// Forward arc under the identity order.
+	g, err := FromArcs(3, [][3]int64{{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPackedZ(g, nil); err == nil {
+		t.Fatal("forward arc accepted under identity order")
+	}
+	// Self-loop: head position equals tail position.
+	gl, err := FromArcs(2, [][3]int64{{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPackedZ(gl, nil); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	// Backward arc made forward by the order.
+	gb, err := FromArcs(2, [][3]int64{{1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPackedZ(gb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPackedZ(gb, []int32{1, 0}); err == nil {
+		t.Fatal("order-reversed arc accepted")
+	}
+	// Bad orders.
+	for _, bad := range [][]int32{{0}, {0, 0}, {0, 2}, {-1, 0}} {
+		if _, err := NewPackedZ(gb, bad); err == nil {
+			t.Fatalf("order %v accepted", bad)
+		}
+	}
+}
+
+func TestPackedZBlockStarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, explicit := range []bool{false, true} {
+		n := 50
+		var ord []int32
+		if explicit {
+			ord = randomPerm(rng, n)
+		}
+		g := randomTopoGraph(rng, n, 150, ord)
+		z, err := NewPackedZ(g, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := z.BlockStarts()
+		if len(bs) != n+1 {
+			t.Fatalf("len(BlockStarts)=%d, want %d", len(bs), n+1)
+		}
+		if bs[0] != 0 || bs[n] != z.ByteLen() {
+			t.Fatalf("BlockStarts endpoints %d..%d, want 0..%d", bs[0], bs[n], z.ByteLen())
+		}
+		for p := 0; p < n; p++ {
+			if bs[p+1] <= bs[p] {
+				t.Fatalf("BlockStarts not strictly increasing at %d", p)
+			}
+			// Each block must start with a parseable header whose
+			// degree matches the graph.
+			header, _, ok := readUvarint(z.Stream(), bs[p])
+			if !ok {
+				t.Fatalf("block %d header unreadable", p)
+			}
+			v := int32(p)
+			if explicit {
+				v = ord[p]
+			}
+			if got := int(header >> 4); got != len(g.Arcs(v)) {
+				t.Fatalf("block %d encodes degree %d, graph has %d", p, got, len(g.Arcs(v)))
+			}
+		}
+	}
+}
+
+func TestPackedZUnpackRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	g := randomTopoGraph(rng, 30, 90, nil)
+	fresh := func() *PackedZ {
+		z, err := NewPackedZ(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	// Reserved width tag.
+	z := fresh()
+	z.stream[z.blockStart[0]] |= 3
+	if _, _, err := z.Unpack(); err == nil {
+		t.Fatal("reserved width tag accepted")
+	}
+	// Truncated stream (cut into the last real byte, not just the
+	// wide-load pad).
+	z = fresh()
+	z.stream = z.stream[:z.ByteLen()-1]
+	if _, _, err := z.Unpack(); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Delta escaping the valid range: position 0 has no predecessors,
+	// so inflate an early block's degree to force a read there.
+	z = fresh()
+	z.stream[z.blockStart[0]] = 1<<4 | WTag8<<2 | WTag8 // position 0 claims an arc
+	if _, _, err := z.Unpack(); err == nil {
+		t.Fatal("delta at position 0 accepted")
+	}
+}
+
+func TestPackedZChunkStartsByBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomTopoGraph(rng, 500, 2000, nil)
+	z, err := NewPackedZ(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 64, 256, 4096, 1 << 20} {
+		starts := z.ChunkStartsByBytes(budget)
+		if err := validChunkStarts(starts, z.NumVertices()); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		bs := z.BlockStarts()
+		for c := 0; c+1 < len(starts); c++ {
+			span := bs[starts[c+1]] - bs[starts[c]]
+			if span > budget && starts[c+1]-starts[c] > 1 {
+				t.Fatalf("budget %d: chunk %d spans %d bytes over %d positions", budget, c, span, starts[c+1]-starts[c])
+			}
+		}
+	}
+	// A huge budget must yield one chunk.
+	if starts := z.ChunkStartsByBytes(1 << 30); len(starts) != 2 {
+		t.Fatalf("unbounded budget produced %d chunks", len(starts)-1)
+	}
+}
+
+func TestPackedZChunkDepBoundsAtMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, explicit := range []bool{false, true} {
+		n := 200
+		var ord []int32
+		if explicit {
+			ord = randomPerm(rng, n)
+		}
+		g := randomTopoGraph(rng, n, 800, ord)
+		z, err := NewPackedZ(g, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, starts := range [][]int32{
+			UniformChunkStarts(n, 32),
+			UniformChunkStarts(n, 7),
+			z.ChunkStartsByBytes(300),
+			{0, 1, int32(n)},
+		} {
+			want, err := ChunkDepBoundsAt(g, ord, starts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := z.ChunkDepBoundsAt(starts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("explicit=%v: %d chunks, want %d", explicit, len(got), len(want))
+			}
+			for c := range want {
+				if got[c] != want[c] {
+					t.Fatalf("explicit=%v chunk %d: dep %d, want %d", explicit, c, got[c], want[c])
+				}
+			}
+		}
+	}
+}
+
+func TestUniformChunkStartsMatchesFixedGrain(t *testing.T) {
+	// The variable-boundary representation of a fixed grain must
+	// reproduce ChunkDepBounds exactly.
+	rng := rand.New(rand.NewSource(19))
+	g := randomTopoGraph(rng, 300, 1200, nil)
+	for _, grain := range []int{1, 7, 64, 1024} {
+		want, err := ChunkDepBounds(g, nil, grain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts := UniformChunkStarts(300, grain)
+		if int(starts[len(starts)-1]) != 300 || len(starts)-1 != len(want) {
+			t.Fatalf("grain %d: %d chunks, want %d", grain, len(starts)-1, len(want))
+		}
+		got, err := ChunkDepBoundsAt(g, nil, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("grain %d chunk %d: dep %d, want %d", grain, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func FuzzPackedZRoundTrip(f *testing.F) {
+	f.Add(uint16(8), uint16(20), int64(1))
+	f.Add(uint16(1), uint16(0), int64(2))
+	f.Add(uint16(300), uint16(900), int64(3))
+	f.Add(uint16(2), uint16(1), int64(4))
+	f.Add(uint16(64), uint16(512), int64(5))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, seed int64) {
+		n := 1 + int(nRaw)%512
+		m := int(mRaw) % 2048
+		if n < 2 {
+			m = 0
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var ord []int32
+		if seed%2 == 0 {
+			ord = randomPerm(rng, n)
+		}
+		g := randomTopoGraph2(rng, n, m, ord)
+		z, err := NewPackedZ(g, ord)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		ug, uord, err := z.Unpack()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !ug.Equal(g) {
+			t.Fatal("round trip changed the graph")
+		}
+		if (uord == nil) != (ord == nil) {
+			t.Fatal("round trip changed order presence")
+		}
+		for i := range ord {
+			if uord[i] != ord[i] {
+				t.Fatalf("order[%d]=%d, want %d", i, uord[i], ord[i])
+			}
+		}
+	})
+}
+
+// randomTopoGraph2 is randomTopoGraph tolerating n == 1 (no arcs fit).
+func randomTopoGraph2(rng *rand.Rand, n, m int, order []int32) *Graph {
+	if n < 2 {
+		return NewBuilder(n).Build()
+	}
+	return randomTopoGraph(rng, n, m, order)
+}

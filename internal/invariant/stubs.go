@@ -33,8 +33,16 @@ func CustomizedMetric(h *ch.Hierarchy) error { return nil }
 // PackedStream is a release-build no-op; see the phastdebug flavor.
 func PackedStream(p *graph.Packed, g *graph.Graph, order []int32) error { return nil }
 
+// PackedZStream is a release-build no-op; see the phastdebug flavor.
+func PackedZStream(z *graph.PackedZ, g *graph.Graph, order []int32) error { return nil }
+
 // ChunkDeps is a release-build no-op; see the phastdebug flavor.
 func ChunkDeps(g *graph.Graph, order []int32, grain int, chunkDep []int32) error { return nil }
+
+// ChunkDepsAt is a release-build no-op; see the phastdebug flavor.
+func ChunkDepsAt(g *graph.Graph, order []int32, chunkStart []int32, chunkDep []int32) error {
+	return nil
+}
 
 // MinHeap is a release-build no-op; see the phastdebug flavor.
 func MinHeap(keys []uint32) error { return nil }

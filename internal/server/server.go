@@ -222,6 +222,14 @@ type Stats struct {
 	// SweepBytes/SweepSeconds — comparable against the Section VIII-B
 	// Sequential/Traversal lower bounds (see cmd/experiments -run bound).
 	SweepGBps float64
+	// StreamBytes is the byte footprint of the graph stream one sweep
+	// scans on this server's engines (compressed stream bytes under the
+	// compressed layout, packed words × 4 otherwise) — a property of the
+	// layout, not a counter.
+	StreamBytes uint64
+	// StreamCompressionRatio is StreamBytes relative to the uncompressed
+	// packed stream; 1 for uncompressed layouts.
+	StreamCompressionRatio float64
 	// MetricSwaps counts InstallMetric publications (the initial install
 	// of the default metric included).
 	MetricSwaps uint64
@@ -266,6 +274,10 @@ type TreeServer struct {
 	// pool; bound to the prototype engine at New (clones share the pool,
 	// so any engine's snapshot covers all of them).
 	schedStats func() core.SchedStats
+	// streamBytes/compression describe the prototype engine's sweep
+	// layout (see Stats.StreamBytes), captured once at New.
+	streamBytes int64
+	compression float64
 
 	queries    atomic.Uint64
 	rejected   atomic.Uint64
@@ -287,11 +299,13 @@ func New(proto *core.Engine, opt Options) (*TreeServer, error) {
 		return nil, err
 	}
 	s := &TreeServer{
-		opt:        o,
-		n:          proto.NumVertices(),
-		requests:   make(chan request, o.QueueSize),
-		batches:    make(chan []request, o.Engines),
-		schedStats: proto.SchedStats,
+		opt:         o,
+		n:           proto.NumVertices(),
+		requests:    make(chan request, o.QueueSize),
+		batches:     make(chan []request, o.Engines),
+		schedStats:  proto.SchedStats,
+		streamBytes: proto.StreamBytes(),
+		compression: proto.CompressionRatio(),
 	}
 	s.resultPool.New = func() any {
 		return &TreeResult{dist: make([]uint32, s.n)}
@@ -510,6 +524,8 @@ func (s *TreeServer) Stats() Stats {
 	if st.SweepSeconds > 0 {
 		st.SweepGBps = float64(st.SweepBytes) / st.SweepSeconds / 1e9
 	}
+	st.StreamBytes = uint64(s.streamBytes)
+	st.StreamCompressionRatio = s.compression
 	sched := s.schedStats()
 	st.SchedSweeps = sched.Sweeps
 	st.SchedChunks = sched.Chunks
