@@ -5,9 +5,11 @@
 // graph), indexwidth (lossy integer conversions in CSR indexing),
 // engineshare (engines escaping to goroutines), atomicmix (fields
 // accessed both through sync/atomic and plainly), epochpub (raw stores
-// on published atomic.Pointer state), and lockhold (mutexes held across
-// blocking operations). It is built from stdlib go/ast + go/types only
-// and needs no network or external tools.
+// on published atomic.Pointer state), lockhold (mutexes held across
+// blocking operations), and snapshotalias (writes through slices
+// returned by //phast:readonly accessors, which view shared — possibly
+// PROT_READ-mapped — snapshot memory). It is built from stdlib go/ast +
+// go/types only and needs no network or external tools.
 //
 // Usage:
 //

@@ -105,6 +105,13 @@ type Engine struct {
 	// pointer) among every engine derived from one topology so sibling
 	// metrics never reuse an epoch.
 	metricSeq *atomic.Int64
+
+	// permutedQuery marks engines restored from a snapshot: the snapshot
+	// stores only the engine-ID (level-permuted) hierarchy, so h and
+	// query speak engine IDs and Query/QueryPath translate at the
+	// boundary. Engines built in-process keep the original hierarchy and
+	// need no translation.
+	permutedQuery bool
 }
 
 // Preprocess runs contraction-hierarchy preprocessing on g and prepares
@@ -237,7 +244,7 @@ func LoadEngine(r io.Reader, opt *Options) (*Engine, error) {
 // private per-query buffers, for concurrent use from another goroutine.
 func (e *Engine) Clone() *Engine {
 	return &Engine{g: e.g, h: e.h, core: e.core.Clone(), query: ch.NewQuery(e.h), buildStats: e.buildStats,
-		topo: e.topo, metricSeq: e.metricSeq}
+		topo: e.topo, metricSeq: e.metricSeq, permutedQuery: e.permutedQuery}
 }
 
 // BuildStats returns the preprocessing counters recorded when this
@@ -366,7 +373,12 @@ func (e *Engine) MultiDist(i int, v int32) uint32 { return e.core.MultiDist(i, v
 
 // Query returns the s→t distance with a bidirectional CH search — the
 // point-to-point algorithm PHAST builds on (Section II-B).
-func (e *Engine) Query(s, t int32) uint32 { return e.query.Distance(s, t) }
+func (e *Engine) Query(s, t int32) uint32 {
+	if e.permutedQuery {
+		s, t = e.core.EngineID(s), e.core.EngineID(t)
+	}
+	return e.query.Distance(s, t)
+}
 
 // EnableQueryStalling turns on stall-on-demand for Query/QueryPath
 // (Geisberger et al.'s standard CH query optimization): vertices whose
@@ -376,7 +388,16 @@ func (e *Engine) EnableQueryStalling() { e.query.EnableStalling() }
 
 // QueryPath returns the s→t shortest path as original-graph vertices
 // (shortcuts unpacked), or nil if unreachable.
-func (e *Engine) QueryPath(s, t int32) []int32 { return e.query.Path(s, t) }
+func (e *Engine) QueryPath(s, t int32) []int32 {
+	if !e.permutedQuery {
+		return e.query.Path(s, t)
+	}
+	p := e.query.Path(e.core.EngineID(s), e.core.EngineID(t))
+	for i, v := range p {
+		p[i] = e.core.OrigID(v)
+	}
+	return p
+}
 
 // CopyDistances writes the labels of the last tree into buf indexed by
 // vertex ID. The copy stays valid across later sweeps on this engine —
@@ -441,4 +462,39 @@ func (e *Engine) Serve(opt *ServeOptions) (*TreeServer, error) {
 		opt = &ServeOptions{}
 	}
 	return server.New(e.core, *opt)
+}
+
+// ShardedServer is the partitioned serving layer: the graph is cut into
+// K cells, each served by an RPHAST restriction of the shared engine.
+// Single-target queries route to the target's cell (~n/K sweep work);
+// full trees scatter-gather all K cells and are byte-identical to a
+// monolithic sweep. Built for fleets of processes mapping one engine
+// snapshot (see LoadSnapshot), where each process owns a few cells.
+type ShardedServer = server.Sharded
+
+// ShardedResult is one full tree gathered by a ShardedServer.
+type ShardedResult = server.ShardedResult
+
+// ShardedServeOptions configures Engine.ServeSharded (shard count K,
+// partition seed, per-shard queue bound).
+type ShardedServeOptions = server.ShardedOptions
+
+// ServeSharded partitions the graph and starts one executor per cell
+// over RPHAST restrictions of this engine. The engine must use the
+// reordered sweep mode (the default, and what snapshots of default
+// engines restore). opt may be nil. Close the server to release its
+// goroutines.
+func (e *Engine) ServeSharded(opt *ShardedServeOptions) (*ShardedServer, error) {
+	if opt == nil {
+		opt = &ShardedServeOptions{}
+	}
+	return server.NewSharded(e.g, e.core, *opt)
+}
+
+// InstallShardedMetric publishes this engine as the live epoch of srv —
+// the sharded counterpart of InstallMetric: per-cell selections are
+// rebuilt over this engine off to the side and swapped in atomically,
+// so a new metric goes live mid-traffic without draining.
+func (e *Engine) InstallShardedMetric(srv *ShardedServer, name string) (uint64, error) {
+	return srv.InstallMetric(name, e.core)
 }

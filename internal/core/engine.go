@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"phast/internal/bandwidth"
 	"phast/internal/ch"
@@ -171,6 +172,13 @@ type shared struct {
 	chunkDep []int32
 	forkJoin bool
 	pool     *sched.Pool
+
+	// Snapshot provenance (parts.go): hold pins the backing mmap alive
+	// for the lifetime of this shared state, snapshotBytes/coldStart
+	// report the restore. All zero for engines built in-process.
+	hold          any
+	snapshotBytes int64
+	coldStart     time.Duration
 }
 
 // Engine computes shortest-path trees with PHAST. One Engine owns one

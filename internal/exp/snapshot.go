@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"phast/internal/core"
+	"phast/internal/snapshot"
+)
+
+// Snapshot measures the engine's cold-start alternatives: rebuilding
+// from the raw graph (CH contraction + engine derivation), versus
+// restoring a saved snapshot by mmap (large arrays alias the mapped
+// pages, zero copies) or by the heap fallback reader (one aligned
+// buffer copy, then the same aliasing). The one-time save cost and the
+// on-disk footprint complete the picture. The ratio between the
+// rebuild row and the mmap row is what cmd/benchsmoke -mode snapshot
+// gates in CI (BENCH_8.json, floor 50x at europe-m).
+func Snapshot(e *Env) ([]*Table, error) {
+	t := &Table{
+		ID:      "snapshot",
+		Title:   fmt.Sprintf("engine cold start: rebuild vs snapshot restore on %s", e.Cfg.Preset),
+		Headers: []string{"path", "time [ms]", "bytes", "speedup vs rebuild"},
+	}
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+	}
+
+	// Rebuild row: the CH contraction already timed by NewEnv plus a
+	// fresh engine derivation (relabeling, stream packing, chunking).
+	start := time.Now()
+	eng, err := core.NewEngine(e.H, core.Options{Mode: core.SweepReordered, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	engTime := time.Since(start)
+	rebuild := e.CHTime + engTime
+
+	dir, err := os.MkdirTemp("", "exp-snapshot-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/engine.snap"
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	size, err := snapshot.Write(f, eng.Parts(), e.G)
+	saveTime := time.Since(start)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+
+	// Restores are milliseconds; min over a few rounds rejects jitter.
+	// Each timed restore includes one tree so deferred page faults and
+	// pool spin-up are inside the measurement, mirroring the CI gate.
+	const restoreRounds = 3
+	mapped := false
+	restore := func(load func() (*snapshot.Snapshot, error)) (time.Duration, error) {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < restoreRounds; r++ {
+			start := time.Now()
+			snap, err := load()
+			if err != nil {
+				return 0, err
+			}
+			le, err := core.NewEngineFromParts(snap.Parts, 1, core.SnapshotInfo{Bytes: snap.Size, Hold: snap.Hold})
+			if err != nil {
+				return 0, err
+			}
+			le.Tree(e.Sources[0])
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			mapped = snap.Mapped
+		}
+		return best, nil
+	}
+	loadTime, err := restore(func() (*snapshot.Snapshot, error) { return snapshot.Load(path) })
+	if err != nil {
+		return nil, err
+	}
+	mmapRow := "mmap load"
+	if !mapped {
+		mmapRow = "load (no mmap on this host)"
+	}
+	readTime, err := restore(func() (*snapshot.Snapshot, error) { return snapshot.Read(bytes.NewReader(raw)) })
+	if err != nil {
+		return nil, err
+	}
+
+	t.AddRow("CH build + engine", ms(rebuild), "-", "1.0")
+	t.AddRow("save snapshot (once)", ms(saveTime), fmt.Sprintf("%d", size), "-")
+	t.AddRow(mmapRow, ms(loadTime), fmt.Sprintf("%d", size),
+		fmt.Sprintf("%.0fx", rebuild.Seconds()/loadTime.Seconds()))
+	t.AddRow("heap read", ms(readTime), fmt.Sprintf("%d", size),
+		fmt.Sprintf("%.0fx", rebuild.Seconds()/readTime.Seconds()))
+	e.logf("snapshot: %d bytes; rebuild %v, save %v, mmap %v, read %v",
+		size, rebuild, saveTime, loadTime, readTime)
+
+	t.AddNote("timed restores include validation, engine assembly, and one warm tree")
+	t.AddNote("mmap'd arrays alias PROT_READ pages shared by every process mapping the file")
+	t.AddNote("CI gates rebuild/mmap via cmd/benchsmoke -mode snapshot (BENCH_8.json)")
+	return []*Table{t}, nil
+}

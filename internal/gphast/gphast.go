@@ -48,13 +48,13 @@ type Engine struct {
 	// stays allocation-free (the //phast:hotpath discipline).
 	hVerts   []int32
 	hDists   []uint32
-	hParents []int32 // TreeWithParents' upward-search parents
-	seen   []uint32 // round-stamped dedupe for seed vertices
-	hSeedV []uint32 // seed staging: vertices, labels, lanes/parents, dedup
-	hSeedD []uint32
-	hSeedL []uint32
-	hUniq  []uint32
-	oneSrc [1]int32 // Tree's single-source batch, kept off the heap
+	hParents []int32  // TreeWithParents' upward-search parents
+	seen     []uint32 // round-stamped dedupe for seed vertices
+	hSeedV   []uint32 // seed staging: vertices, labels, lanes/parents, dedup
+	hSeedD   []uint32
+	hSeedL   []uint32
+	hUniq    []uint32
+	oneSrc   [1]int32 // Tree's single-source batch, kept off the heap
 
 	lastBatchTime time.Duration
 }

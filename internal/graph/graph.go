@@ -60,11 +60,17 @@ func (g *Graph) Arcs(v int32) []Arc {
 
 // FirstOut exposes the first array (length n+1). Callers must not modify
 // it; it is shared to let performance-critical sweeps and the memory
-// lower-bound test iterate without an indirect call per vertex.
+// lower-bound test iterate without an indirect call per vertex. In a
+// snapshot-restored graph it aliases the mapped file.
+//
+//phast:readonly
 func (g *Graph) FirstOut() []int32 { return g.first }
 
 // ArcList exposes the raw arc array (length m), sorted by tail. Callers
-// must not modify it.
+// must not modify it; in a snapshot-restored graph it aliases the
+// mapped file.
+//
+//phast:readonly
 func (g *Graph) ArcList() []Arc { return g.arcs }
 
 // Transpose returns the reverse graph: for every arc (u,v,w) of g the

@@ -113,12 +113,18 @@ func (p *Packed) WithWeights(g *Graph) (*Packed, error) {
 	return &Packed{stream: stream, blockStart: p.blockStart, n: p.n, m: p.m, explicitV: p.explicitV}, nil
 }
 
-// Stream exposes the fused word stream. Callers must not modify it.
+// Stream exposes the fused word stream. Callers must not modify it; in
+// a snapshot-restored engine it aliases the mapped file.
+//
+//phast:readonly
 func (p *Packed) Stream() []uint32 { return p.stream }
 
 // BlockStarts exposes the word offset of every sweep position's block
 // (length n+1, ending at Words). The parallel sweep uses it to enter the
-// stream at a level chunk boundary. Callers must not modify it.
+// stream at a level chunk boundary. Callers must not modify it; in a
+// snapshot-restored engine it aliases the mapped file.
+//
+//phast:readonly
 func (p *Packed) BlockStarts() []int { return p.blockStart }
 
 // ExplicitVertex reports whether each block carries a vertex word (true

@@ -324,13 +324,18 @@ func tagWidth(tag int) int {
 	}
 }
 
-// Stream exposes the compressed byte stream. Callers must not modify it.
+// Stream exposes the compressed byte stream. Callers must not modify
+// it; in a snapshot-restored engine it aliases the mapped file.
+//
+//phast:readonly
 func (z *PackedZ) Stream() []byte { return z.stream }
 
 // BlockStarts exposes the byte offset of every sweep position's block
 // (length n+1, ending at ByteLen). The chunk-scheduled parallel sweep
 // uses it to enter the stream at a chunk boundary. Callers must not
-// modify it.
+// modify it; in a snapshot-restored engine it aliases the mapped file.
+//
+//phast:readonly
 func (z *PackedZ) BlockStarts() []int { return z.blockStart }
 
 // ExplicitVertex reports whether each block carries a vertex word (true

@@ -1,0 +1,171 @@
+package graph
+
+import "fmt"
+
+// This file holds the raw-parts constructors the snapshot reader uses to
+// rebuild the sweep streams around memory it does not own — typically
+// slices aliasing an mmap'd file. FromRaw already plays this role for
+// Graph (it stores the given first/arcs without copying); PackedFromParts
+// and PackedZFromParts extend the same contract to the packed layouts.
+//
+// Unlike NewPacked/NewPackedZ, which derive a stream from a graph they
+// trust, these constructors receive bytes from disk and therefore walk
+// the full grammar before accepting it: a forged stream must fail here,
+// not as an out-of-range index inside a sweep kernel. The walk reads
+// every block once (O(n+m), allocation-light) — cheap next to the build
+// the snapshot replaces, and the price of handing the kernels unvalidated
+// file contents is memory unsafety shared by every process mapping it.
+
+// PackedFromParts reassembles a Packed stream from its stored parts
+// without copying either slice. The stream grammar is validated in full
+// (degrees against block starts, head ranges, the order permutation when
+// explicitV); the caller keeps ownership of the slices and must treat
+// them as immutable afterwards.
+func PackedFromParts(stream []uint32, blockStart []int, n, m int, explicitV bool) (*Packed, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: packed parts have negative dims %d/%d", n, m)
+	}
+	if len(blockStart) != n+1 {
+		return nil, fmt.Errorf("graph: packed parts block index has %d entries, want %d", len(blockStart), n+1)
+	}
+	words := n + 2*m
+	if explicitV {
+		words += n
+	}
+	if len(stream) != words {
+		return nil, fmt.Errorf("graph: packed parts stream has %d words, want %d", len(stream), words)
+	}
+	if n > 0 && blockStart[0] != 0 {
+		return nil, fmt.Errorf("graph: packed parts block index does not start at 0")
+	}
+	if len(blockStart) > 0 && blockStart[n] != len(stream) {
+		return nil, fmt.Errorf("graph: packed parts block index ends at %d, want %d", blockStart[n], len(stream))
+	}
+	var seen []bool
+	if explicitV {
+		seen = make([]bool, n)
+	}
+	arcs := 0
+	for p := 0; p < n; p++ {
+		i := blockStart[p]
+		if i < 0 || blockStart[p+1] < i || blockStart[p+1] > len(stream) {
+			return nil, fmt.Errorf("graph: packed parts block index not monotone at position %d", p)
+		}
+		if i >= len(stream) {
+			return nil, fmt.Errorf("graph: packed parts stream truncated at position %d", p)
+		}
+		d := int(stream[i])
+		i++
+		want := 1 + 2*d
+		if explicitV {
+			v := int32(stream[i])
+			i++
+			want++
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: packed parts vertex %d out of range at position %d", v, p)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("graph: packed parts vertex %d appears twice", v)
+			}
+			seen[v] = true
+		}
+		if blockStart[p+1]-blockStart[p] != want {
+			return nil, fmt.Errorf("graph: packed parts block %d spans %d words, header says %d", p, blockStart[p+1]-blockStart[p], want)
+		}
+		for a := 0; a < d; a++ {
+			if int(stream[i]) >= n {
+				return nil, fmt.Errorf("graph: packed parts head %d out of range at position %d", stream[i], p)
+			}
+			i += 2
+		}
+		arcs += d
+	}
+	if arcs != m {
+		return nil, fmt.Errorf("graph: packed parts degrees sum to %d arcs, want %d", arcs, m)
+	}
+	return &Packed{stream: stream, blockStart: blockStart, n: n, m: m, explicitV: explicitV}, nil
+}
+
+// PackedZFromParts reassembles a compressed sweep stream from its stored
+// parts without copying. The stream must include the streamPad trailer
+// past the last block (SaveSnapshot stores it so a loaded stream is
+// wide-load safe in place). The full grammar — headers, width tags,
+// delta ranges, the order permutation — is validated before the slices
+// are accepted.
+func PackedZFromParts(stream []byte, blockStart []int, n, m int, explicitV bool) (*PackedZ, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: packedz parts have negative dims %d/%d", n, m)
+	}
+	if len(blockStart) != n+1 {
+		return nil, fmt.Errorf("graph: packedz parts block index has %d entries, want %d", len(blockStart), n+1)
+	}
+	if len(blockStart) > 0 && (blockStart[n] < 0 || blockStart[n]+streamPad != len(stream)) {
+		return nil, fmt.Errorf("graph: packedz parts stream has %d bytes, block index ends at %d (+%d pad)", len(stream), blockStart[n], streamPad)
+	}
+	if n > 0 && blockStart[0] != 0 {
+		return nil, fmt.Errorf("graph: packedz parts block index does not start at 0")
+	}
+	var seen []bool
+	if explicitV {
+		seen = make([]bool, n)
+	}
+	arcs := 0
+	i := 0
+	for p := 0; p < n; p++ {
+		if i != blockStart[p] {
+			return nil, fmt.Errorf("graph: packedz parts block %d starts at %d, index says %d", p, i, blockStart[p])
+		}
+		header, j, ok := readUvarint(stream, i)
+		if !ok {
+			return nil, fmt.Errorf("graph: packedz parts stream truncated at position %d", p)
+		}
+		i = j
+		d := int(header >> 4)
+		dtag := int(header >> 2 & 3)
+		wtag := int(header & 3)
+		if wtag == 3 || dtag == 3 {
+			return nil, fmt.Errorf("graph: packedz parts block %d has reserved width tag", p)
+		}
+		if explicitV {
+			zz, j, ok := readUvarint(stream, i)
+			if !ok {
+				return nil, fmt.Errorf("graph: packedz parts stream truncated at position %d", p)
+			}
+			i = j
+			v := int32(p) + unzigzag(zz)
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: packedz parts vertex %d out of range at position %d", v, p)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("graph: packedz parts vertex %d appears twice", v)
+			}
+			seen[v] = true
+		}
+		span := d * (tagWidth(dtag) + tagWidth(wtag))
+		if i+span > blockStart[p+1] || blockStart[p+1] > blockStart[n] {
+			return nil, fmt.Errorf("graph: packedz parts block %d overruns its index entry", p)
+		}
+		for a := 0; a < d; a++ {
+			delta, ok := readFixed(stream, i, dtag)
+			if !ok {
+				return nil, fmt.Errorf("graph: packedz parts block %d overruns the stream", p)
+			}
+			i += tagWidth(dtag) + tagWidth(wtag)
+			if delta == 0 || int(delta) > p {
+				return nil, fmt.Errorf("graph: packedz parts head delta %d at position %d escapes [1,%d]", delta, p, p)
+			}
+		}
+		if i != blockStart[p+1] {
+			return nil, fmt.Errorf("graph: packedz parts block %d ends at %d, index says %d", p, i, blockStart[p+1])
+		}
+		arcs += d
+	}
+	if arcs != m {
+		return nil, fmt.Errorf("graph: packedz parts degrees sum to %d arcs, want %d", arcs, m)
+	}
+	return &PackedZ{stream: stream, blockStart: blockStart, n: n, m: m, explicitV: explicitV}, nil
+}
+
+// ValidChunkStarts re-exports the chunk boundary shape check for readers
+// that restore chunk geometry from storage instead of recomputing it.
+func ValidChunkStarts(starts []int32, n int) error { return validChunkStarts(starts, n) }

@@ -23,6 +23,11 @@ func TestAtomicMixGolden(t *testing.T)   { golden(t, AtomicMix, "atomicmix") }
 func TestEpochPubGolden(t *testing.T)    { golden(t, EpochPub, "epochpub") }
 func TestLockHoldGolden(t *testing.T)    { golden(t, LockHold, "lockhold") }
 
+// snapshotalias is module-scoped, so it goes through goldenSuite's Run
+// path like any analyzer; the marker collection sees just the testdata
+// package, which declares its own annotated accessors.
+func TestSnapshotAliasGolden(t *testing.T) { golden(t, SnapshotAlias, "snapshotalias") }
+
 // TestSuppressGolden runs the whole suite so suppression resolution has
 // real diagnostics to consume (and to miss, for the stale case).
 func TestSuppressGolden(t *testing.T) { goldenSuite(t, "suite", All(), "suppress") }

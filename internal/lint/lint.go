@@ -25,6 +25,10 @@
 //   - lockhold: a mutex held across a blocking channel operation or
 //     WaitGroup.Wait couples the lock's critical section to another
 //     goroutine's progress; TryLock results must be checked.
+//   - snapshotalias: slices returned by //phast:readonly accessors view
+//     shared snapshot memory — possibly PROT_READ-mapped file pages —
+//     so element stores, copies into them, and appends to them are
+//     cross-engine corruption or a SIGBUS waiting to happen.
 //
 // Everything is built on stdlib go/ast + go/parser + go/types; there are
 // no external dependencies. Diagnostics can be suppressed per line with
@@ -65,6 +69,13 @@ const PublishMarker = "//phast:publish"
 // //phast:hotpath itself; it is deliberately visible in the doc comment
 // so reviewers can audit it.
 const OffPathMarker = "//phast:offpath"
+
+// ReadonlyMarker annotates a function whose returned slice views
+// read-only shared memory (an mmap'd snapshot section, or an array many
+// engines alias). The snapshotalias analyzer flags writes through such
+// views. Like the other markers it must appear on its own line in the
+// function's doc comment.
+const ReadonlyMarker = "//phast:readonly"
 
 // ignorePrefix starts a per-line suppression comment.
 const ignorePrefix = "//phastlint:ignore"
@@ -125,7 +136,7 @@ type Analyzer struct {
 
 // All returns the full phastlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{RawAlias, HotAlloc, IndexWidth, EngineShare, AtomicMix, EpochPub, LockHold}
+	return []*Analyzer{RawAlias, HotAlloc, IndexWidth, EngineShare, AtomicMix, EpochPub, LockHold, SnapshotAlias}
 }
 
 // ByName resolves a comma-separated analyzer list ("" selects all).

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotAlias flags writes through slices returned by functions
+// annotated //phast:readonly — the accessors that hand out views of a
+// PROT_READ snapshot mapping (internal/snapshot) or of arrays many
+// engines share by aliasing (graph stream accessors). A write through
+// such a view is at best silent cross-engine corruption and at worst a
+// SIGBUS on the mapped pages; mutation requires an explicit copy. The
+// analyzer is module-scoped: annotations are collected across every
+// package of the run, so a write in internal/core through an accessor
+// declared in internal/graph is still caught.
+//
+// Flagged forms, on the call result directly or on any variable bound
+// to it (subslices included): element stores (x[i] = v, x[i] += v,
+// x[i]++), copy with the view as destination, and append to the view
+// (append writes into the mapped backing array whenever spare capacity
+// exists).
+var SnapshotAlias = &Analyzer{
+	Name:   "snapshotalias",
+	Doc:    "flags writes through slices returned by //phast:readonly accessors",
+	Module: true,
+	Run:    runSnapshotAlias,
+}
+
+func runSnapshotAlias(pass *Pass) {
+	// Pass 1: collect every function object carrying the marker.
+	readonly := make(map[types.Object]bool)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			funcBodies(f, func(decl *ast.FuncDecl, _ *ast.BlockStmt) {
+				if hasMarker(decl.Doc, ReadonlyMarker) {
+					if obj := pkg.Info.Defs[decl.Name]; obj != nil {
+						readonly[obj] = true
+					}
+				}
+			})
+		}
+	}
+	if len(readonly) == 0 {
+		return
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			funcBodies(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+				analyzeSnapshotAlias(pass, pkg, readonly, body)
+			})
+		}
+	}
+}
+
+// roBinding is one assignment to a variable: source records the
+// readonly accessor the value came from ("" when the assignment made
+// the variable ordinary again).
+type roBinding struct {
+	pos    token.Pos
+	source string
+}
+
+func analyzeSnapshotAlias(pass *Pass, pkg *Package, readonly map[types.Object]bool, body *ast.BlockStmt) {
+	info := pkg.Info
+
+	// roCall reports whether the expression is (a subslice of) a call
+	// to a readonly accessor, returning the accessor's printed form.
+	roCall := func(e ast.Expr) (string, bool) {
+		call, ok := sliceBase(e).(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return "", false
+		}
+		if obj := info.Uses[id]; obj != nil && readonly[obj] {
+			return exprString(call.Fun), true
+		}
+		return "", false
+	}
+
+	bindings := make(map[types.Object][]roBinding)
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := sliceBase(e).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return obj
+			}
+			return info.Defs[id]
+		}
+		return nil
+	}
+
+	// Collect bindings in source order first (the AST walk below visits
+	// statements in order, and bindings precede the uses they govern).
+	latest := func(obj types.Object, pos token.Pos) string {
+		src := ""
+		var at token.Pos
+		for _, b := range bindings[obj] {
+			if b.pos <= pos && b.pos >= at {
+				at, src = b.pos, b.source
+			}
+		}
+		return src
+	}
+	// roExpr resolves an arbitrary expression to the readonly accessor
+	// it aliases, either directly or through a tracked variable.
+	roExpr := func(e ast.Expr, pos token.Pos) (string, bool) {
+		if src, ok := roCall(e); ok {
+			return src, true
+		}
+		if obj := objOf(e); obj != nil {
+			if src := latest(obj, pos); src != "" {
+				return src, true
+			}
+		}
+		return "", false
+	}
+
+	report := func(pos token.Pos, src, how string) {
+		pass.Reportf(pos, "%s a read-only view from %s; the slice aliases shared (possibly PROT_READ-mapped) snapshot memory — copy it before mutating", how, src)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Track bindings: x := ro(), x = y (propagate), x = other
+			// (clear). Then check LHS writes through views.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					src, isRO := roExpr(n.Rhs[i], n.Rhs[i].Pos())
+					if !isRO {
+						src = ""
+					}
+					bindings[obj] = append(bindings[obj], roBinding{pos: n.Pos(), source: src})
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if src, ok := roExpr(idx.X, idx.Pos()); ok {
+						report(idx.Pos(), src, "element store through")
+					}
+				}
+			}
+
+		case *ast.IncDecStmt:
+			if idx, ok := n.X.(*ast.IndexExpr); ok {
+				if src, ok := roExpr(idx.X, idx.Pos()); ok {
+					report(idx.Pos(), src, "element store through")
+				}
+			}
+
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case id.Name == "copy" && len(n.Args) == 2:
+				if src, ok := roExpr(n.Args[0], n.Args[0].Pos()); ok {
+					report(n.Args[0].Pos(), src, "copy into")
+				}
+			case id.Name == "append" && len(n.Args) > 0:
+				if src, ok := roExpr(n.Args[0], n.Args[0].Pos()); ok {
+					report(n.Args[0].Pos(), src, "append to")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -29,9 +29,9 @@ func (s *S) plainWord() {
 }
 
 func (s *S) plainElems(i int) {
-	_ = s.done[i]  // want `an element is read or written plainly`
-	s.done[i] = 1  // want `an element is read or written plainly`
-	clear(s.done)  // want `elements are written plainly by clear`
+	_ = s.done[i]      // want `an element is read or written plainly`
+	s.done[i] = 1      // want `an element is read or written plainly`
+	clear(s.done)      // want `elements are written plainly by clear`
 	for range s.done { // want `elements are read plainly by range`
 	}
 	sink(s.done) // want `slice escapes or is read outside the atomic discipline`

@@ -1,0 +1,85 @@
+// Package snapshotalias exercises the snapshotalias analyzer. Snapshot
+// mirrors the accessor surface of internal/snapshot: Bytes and Stream
+// are annotated //phast:readonly because their results view a
+// PROT_READ shared mapping; Weights is an ordinary accessor whose
+// result is freely writable.
+package snapshotalias
+
+type Snapshot struct {
+	data    []byte
+	stream  []uint32
+	weights []uint32
+}
+
+// Bytes returns the mapped region.
+//
+//phast:readonly
+func (s *Snapshot) Bytes() []byte { return s.data }
+
+// Stream returns the sweep stream words.
+//
+//phast:readonly
+func (s *Snapshot) Stream() []uint32 { return s.stream }
+
+// Weights returns a private, writable copy holder (no marker).
+func (s *Snapshot) Weights() []uint32 { return s.weights }
+
+func writeDirect(s *Snapshot) {
+	s.Bytes()[0] = 1 // want `element store through a read-only view from s\.Bytes`
+}
+
+func writeThroughBinding(s *Snapshot) {
+	b := s.Bytes()
+	b[3] = 7 // want `element store through a read-only view from s\.Bytes`
+}
+
+func writeThroughSubslice(s *Snapshot) {
+	w := s.Stream()[4:8]
+	w[0] = 9 // want `element store through a read-only view from s\.Stream`
+}
+
+func opAssign(s *Snapshot) {
+	w := s.Stream()
+	w[1] += 2 // want `element store through a read-only view from s\.Stream`
+	w[2]++    // want `element store through a read-only view from s\.Stream`
+}
+
+func copyInto(s *Snapshot, src []byte) {
+	copy(s.Bytes(), src) // want `copy into a read-only view from s\.Bytes`
+	b := s.Bytes()[8:]
+	copy(b, src) // want `copy into a read-only view from s\.Bytes`
+}
+
+func appendTo(s *Snapshot) []uint32 {
+	w := s.Stream()
+	return append(w, 1) // want `append to a read-only view from s\.Stream`
+}
+
+// okWritable writes through the unannotated accessor: no findings.
+func okWritable(s *Snapshot) {
+	w := s.Weights()
+	w[0] = 1
+	copy(s.Weights(), w)
+}
+
+// okCopyFrom reads a view as a copy *source*, which is fine.
+func okCopyFrom(s *Snapshot, dst []byte) {
+	copy(dst, s.Bytes())
+}
+
+// okRebound writes through a variable that stopped being a view.
+func okRebound(s *Snapshot) {
+	b := s.Bytes()
+	_ = b
+	b = make([]byte, 8)
+	b[0] = 1
+}
+
+// okPrivateCopy is the prescribed pattern: snapshot the view, mutate
+// the copy.
+func okPrivateCopy(s *Snapshot) []uint32 {
+	w := make([]uint32, len(s.Stream()))
+	copy(w, s.Stream())
+	w[0] = 42
+	return w
+}

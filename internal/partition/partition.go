@@ -13,6 +13,51 @@ import (
 	"phast/internal/graph"
 )
 
+// Partition is a complete k-way cut of a graph: the cell of every
+// vertex, the member list of every cell, and the boundary-vertex tables
+// that the sharded serving layer and arc-flags preprocessing both key
+// on. It is immutable once built and safe to share across goroutines.
+type Partition struct {
+	// K is the number of cells.
+	K int
+	// Cell[v] is the cell index of vertex v.
+	Cell []int32
+	// Members[c] lists the vertices of cell c in ascending ID order —
+	// the target set of cell c's shard.
+	Members [][]int32
+	// Boundary[c] lists the vertices of cell c with an incoming arc
+	// from another cell: the only vertices through which a shortest
+	// path can enter the cell, and the vertices a cross-shard tree is
+	// stitched through.
+	Boundary [][]int32
+	// Seed is the sampling seed the cut was grown from, kept so a
+	// fleet can re-derive the identical partition from the same graph.
+	Seed int64
+}
+
+// New computes a k-way partition of g (k-center seeding + BFS Voronoi
+// growth, see Cells) together with its member and boundary tables.
+func New(g *graph.Graph, k int, seed int64) (*Partition, error) {
+	cells, err := Cells(g, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partition{
+		K:        k,
+		Cell:     cells,
+		Members:  make([][]int32, k),
+		Boundary: Boundary(g, cells, k),
+		Seed:     seed,
+	}
+	for v, c := range cells {
+		p.Members[c] = append(p.Members[c], int32(v))
+	}
+	return p, nil
+}
+
+// Stats summarizes the partition (see Summarize).
+func (p *Partition) Stats(g *graph.Graph) Stats { return Summarize(g, p.Cell, p.K) }
+
 // Cells computes a partition of g into k connected cells and returns the
 // cell index of each vertex. g should be connected (vertices unreachable
 // from every seed are assigned to cell of the nearest... they end up in

@@ -222,9 +222,9 @@ type Job struct {
 	NumChunks int32
 
 	open     atomic.Bool
-	active   atomic.Int32 // assist workers currently inside run
-	cursor   atomic.Int32 // next chunk to claim
-	frontier atomic.Int32 // chunks [0,frontier) are complete
+	active   atomic.Int32    // assist workers currently inside run
+	cursor   atomic.Int32    // next chunk to claim
+	frontier atomic.Int32    // chunks [0,frontier) are complete
 	done     []atomic.Uint32 // per-chunk completion flags (typed: every access is atomic)
 }
 

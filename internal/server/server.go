@@ -243,6 +243,17 @@ type Stats struct {
 	SchedChunks uint64
 	SchedStalls uint64
 	SchedIdle   uint64
+	// SnapshotBytes is the on-disk size of the snapshot the server's
+	// prototype engine was restored from (0 when the engine was built
+	// in-process) — the resident footprint all processes mapping the
+	// same file share.
+	SnapshotBytes int64
+	// ColdStartSeconds is how long restoring that snapshot took
+	// (mapping + validation + engine assembly), 0 when not applicable.
+	ColdStartSeconds float64
+	// ShardQueries counts queries routed to each shard, indexed by cell
+	// — populated by Sharded servers, nil on a monolithic TreeServer.
+	ShardQueries []int64
 }
 
 // TreeServer batches concurrent tree queries into multi-source PHAST
@@ -278,6 +289,10 @@ type TreeServer struct {
 	// layout (see Stats.StreamBytes), captured once at New.
 	streamBytes int64
 	compression float64
+	// snapBytes/coldStart carry the prototype engine's snapshot
+	// provenance into Stats (zero for in-process builds).
+	snapBytes int64
+	coldStart time.Duration
 
 	queries    atomic.Uint64
 	rejected   atomic.Uint64
@@ -306,6 +321,8 @@ func New(proto *core.Engine, opt Options) (*TreeServer, error) {
 		schedStats:  proto.SchedStats,
 		streamBytes: proto.StreamBytes(),
 		compression: proto.CompressionRatio(),
+		snapBytes:   proto.SnapshotBytes(),
+		coldStart:   proto.ColdStart(),
 	}
 	s.resultPool.New = func() any {
 		return &TreeResult{dist: make([]uint32, s.n)}
@@ -526,6 +543,8 @@ func (s *TreeServer) Stats() Stats {
 	}
 	st.StreamBytes = uint64(s.streamBytes)
 	st.StreamCompressionRatio = s.compression
+	st.SnapshotBytes = s.snapBytes
+	st.ColdStartSeconds = s.coldStart.Seconds()
 	sched := s.schedStats()
 	st.SchedSweeps = sched.Sweeps
 	st.SchedChunks = sched.Chunks

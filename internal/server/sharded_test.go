@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"phast/internal/ch"
+	"phast/internal/core"
+	"phast/internal/graph"
+	"phast/internal/roadnet"
+	"phast/internal/snapshot"
+)
+
+func shardedFixture(t testing.TB) (*graph.Graph, *core.Engine) {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Params{Width: 26, Height: 22, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ch.Build(net.Graph, ch.Options{Workers: 1})
+	eng, err := core.NewEngine(h, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Graph, eng
+}
+
+// TestShardedMatchesMonolithic is the differential gate of the sharded
+// layer: routed distances and scatter-gathered trees must be
+// byte-identical to the monolithic engine's sweeps, including through
+// boundary vertices where a shortest path crosses cells.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	g, eng := shardedFixture(t)
+	n := g.NumVertices()
+	srv, err := NewSharded(g, eng, ShardedOptions{Shards: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	want := make([]uint32, n)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		s := int32(rng.Intn(n))
+		eng.Tree(s)
+		eng.CopyDistances(want)
+
+		res, err := srv.Tree(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(u32bytes(res.Distances()), u32bytes(want)) {
+			for v := 0; v < n; v++ {
+				if res.Dist(int32(v)) != want[v] {
+					t.Fatalf("tree from %d differs at vertex %d (cell %d): %d vs %d",
+						s, v, srv.Partition().Cell[v], res.Dist(int32(v)), want[v])
+				}
+			}
+		}
+		res.Release()
+
+		// Routed single-target distances, deliberately including
+		// boundary vertices (paths into them cross cells by definition).
+		targets := make([]int32, 0, 8)
+		for i := 0; i < 4; i++ {
+			targets = append(targets, int32(rng.Intn(n)))
+		}
+		for _, b := range srv.Partition().Boundary {
+			if len(b) > 0 {
+				targets = append(targets, b[rng.Intn(len(b))])
+			}
+		}
+		for _, tgt := range targets {
+			d, err := srv.Distance(context.Background(), s, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != want[tgt] {
+				t.Fatalf("distance %d->%d: %d, want %d", s, tgt, d, want[tgt])
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if len(st.ShardQueries) != 5 {
+		t.Fatalf("ShardQueries has %d cells, want 5", len(st.ShardQueries))
+	}
+	var total int64
+	for _, q := range st.ShardQueries {
+		total += q
+	}
+	// 6 trees scatter to all 5 shards; each routed distance hits one.
+	if total < 6*5 {
+		t.Fatalf("shard sweep total %d, want at least %d", total, 6*5)
+	}
+	if st.Queries == 0 || st.SweepSeconds <= 0 {
+		t.Fatalf("counters not populated: %+v", st)
+	}
+}
+
+// TestShardedFromSnapshot runs the same differential over an engine
+// restored from a snapshot — the deployment shape the layer exists
+// for: every label must survive save, mmap-free heap restore, and
+// shard routing unchanged.
+func TestShardedFromSnapshot(t *testing.T) {
+	g, eng := shardedFixture(t)
+	n := g.NumVertices()
+	var buf bytes.Buffer
+	if _, err := snapshot.Write(&buf, eng.Parts(), g); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.NewEngineFromParts(snap.Parts, 1, core.SnapshotInfo{Bytes: snap.Size, Hold: snap.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewSharded(snap.Orig, restored, ShardedOptions{Shards: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	want := make([]uint32, n)
+	for _, s := range []int32{0, int32(n / 2), int32(n - 1)} {
+		eng.Tree(s)
+		eng.CopyDistances(want)
+		res, err := srv.Tree(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if res.Dist(int32(v)) != want[v] {
+				t.Fatalf("snapshot-sharded tree from %d differs at %d", s, v)
+			}
+		}
+		res.Release()
+	}
+	if st := srv.Stats(); st.SnapshotBytes != int64(buf.Len()) {
+		t.Fatalf("SnapshotBytes=%d, want %d", st.SnapshotBytes, buf.Len())
+	}
+}
+
+// TestShardedMetricSwap installs a second metric engine mid-traffic and
+// checks trees before/after carry the right epoch and labels.
+func TestShardedMetricSwap(t *testing.T) {
+	g, eng := shardedFixture(t)
+	n := g.NumVertices()
+	srv, err := NewSharded(g, eng, ShardedOptions{Shards: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	epoch0, _ := srv.ActiveEpoch()
+
+	res, err := srv.Tree(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch() != epoch0 {
+		t.Fatalf("tree epoch %d, want %d", res.Epoch(), epoch0)
+	}
+	res.Release()
+
+	// Doubled weights: same topology, every finite distance doubles.
+	b := graph.NewBuilder(n)
+	for v := int32(0); v < int32(n); v++ {
+		for _, a := range g.Arcs(v) {
+			b.MustAddArc(v, a.Head, a.Weight*2)
+		}
+	}
+	g2 := b.Build()
+	h2 := ch.Build(g2, ch.Options{Workers: 1})
+	eng2, err := core.NewEngine(h2, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch1, err := srv.InstallMetric("double", eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch1 <= epoch0 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0, epoch1)
+	}
+
+	eng.Tree(7)
+	want := make([]uint32, n)
+	eng.CopyDistances(want)
+	res2, err := srv.Tree(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Release()
+	if res2.Epoch() != epoch1 || res2.Metric() != "double" {
+		t.Fatalf("post-swap tree tagged %d/%q, want %d/double", res2.Epoch(), res2.Metric(), epoch1)
+	}
+	for v := 0; v < n; v++ {
+		w := want[v]
+		if w != graph.Inf {
+			w *= 2
+		}
+		if res2.Dist(int32(v)) != w {
+			t.Fatalf("doubled tree differs at %d: %d, want %d", v, res2.Dist(int32(v)), w)
+		}
+	}
+	if st := srv.Stats(); st.MetricSwaps != 2 {
+		t.Fatalf("MetricSwaps=%d, want 2", st.MetricSwaps)
+	}
+}
+
+// TestShardedCloseAndCancel covers the drain paths: queries after Close
+// fail with ErrClosed; a canceled context aborts a tree without
+// wedging the scatter accounting.
+func TestShardedCloseAndCancel(t *testing.T) {
+	g, eng := shardedFixture(t)
+	srv, err := NewSharded(g, eng, ShardedOptions{Shards: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Tree(ctx, 0); err == nil {
+		t.Fatal("canceled tree did not fail")
+	}
+	if _, err := srv.Distance(ctx, 0, 1); err == nil {
+		t.Fatal("canceled distance did not fail")
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Tree(context.Background(), 0); err != ErrClosed {
+		t.Fatalf("post-close Tree err=%v, want ErrClosed", err)
+	}
+	if _, err := srv.Distance(context.Background(), 0, 1); err != ErrClosed {
+		t.Fatalf("post-close Distance err=%v, want ErrClosed", err)
+	}
+}
+
+func u32bytes(v []uint32) []byte {
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		out[i*4] = byte(x)
+		out[i*4+1] = byte(x >> 8)
+		out[i*4+2] = byte(x >> 16)
+		out[i*4+3] = byte(x >> 24)
+	}
+	return out
+}

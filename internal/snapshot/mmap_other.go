@@ -1,0 +1,32 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mapping on platforms without a usable mmap holds a private aligned
+// heap copy of the file. Load degrades to Read semantics: correct, but
+// without cross-process page sharing.
+type mapping struct {
+	data []byte
+}
+
+// bytes returns the buffered file contents.
+//
+//phast:readonly
+func (m *mapping) bytes() []byte { return m.data }
+
+// openMapping reads path into an aligned buffer. The second result is
+// false: these bytes are private, not a shared mapping.
+func openMapping(path string) (*mapping, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	data, err := readAligned(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return &mapping{data: data}, false, nil
+}

@@ -1,0 +1,59 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mapping owns one PROT_READ, MAP_SHARED view of a snapshot file. The
+// kernel shares the backing pages across every process mapping the same
+// file, which is the whole point: N shard servers hold one physical
+// copy, and a cold start faults pages in instead of rebuilding arrays.
+//
+// The mapping is unmapped by its finalizer, never explicitly: the
+// engine's shared state holds a reference for as long as any engine,
+// clone, or sibling over the snapshot exists, so the aliased arrays can
+// never outlive their pages.
+type mapping struct {
+	data []byte
+}
+
+// bytes returns the mapped region.
+//
+//phast:readonly
+func (m *mapping) bytes() []byte { return m.data }
+
+// openMapping maps path read-only and shared. The second result reports
+// that the bytes are a true mmap (page-cache shared), not a heap copy.
+func openMapping(path string) (*mapping, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size <= 0 {
+		return nil, false, fmt.Errorf("snapshot: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("snapshot: %s is too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: mmap %s: %w", path, err)
+	}
+	m := &mapping{data: data}
+	runtime.SetFinalizer(m, func(m *mapping) {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	})
+	return m, true, nil
+}
