@@ -37,8 +37,9 @@
 //     compressed stream fails to shrink below the bytes tolerance
 //     (default 0.75x packed), the compressed single-tree sweep runs
 //     slower than the stream time tolerance (default 1.10x packed), or
-//     the k=16 multi-tree sweep exceeds its looser multi tolerance
-//     (default 1.25x packed).
+//     the k=16 multi-tree sweep exceeds its multi tolerance (default
+//     1.08x packed — the decode-once lane-major kernels hold the
+//     compressed multi sweep within a few percent of packed).
 //   - snapshot: preprocesses the europe-m fixture once, saves the
 //     engine snapshot, and times the mmap and heap restores against
 //     the rebuild, writing BENCH_8.json; exits non-zero if the mmap
@@ -715,14 +716,21 @@ type StreamReport struct {
 	BytesRatio float64 `json:"bytes_ratio"`
 	// RatioTree/RatioMulti are compressed ns/tree over packed ns/tree —
 	// the time half of the gate. The single tree must stay ≤ the stream
-	// tolerance; the k=16 multi ratio gets a looser gate (default 1.25)
-	// because at k=16 the k·n label streams dominate and the graph
-	// stream is a sliver, so the ratio is noisier — but a multi sweep
-	// that regresses past a quarter means the compressed kernel itself
-	// broke, not the bandwidth model.
-	RatioTree  float64        `json:"ratio_tree"`
-	RatioMulti float64        `json:"ratio_multi_k16"`
-	Results    []StreamResult `json:"results"`
+	// tolerance; the k=16 multi ratio gets its own slightly looser gate
+	// (default 1.08) because at k=16 the k·n label streams dominate and
+	// the graph stream is a sliver, so the ratio is noisier. The
+	// decode-once lane-major kernels hold the compressed multi sweep
+	// within a few percent of packed, so a breach past 8% means the
+	// kernel family regressed, not the noise floor.
+	RatioTree  float64 `json:"ratio_tree"`
+	RatioMulti float64 `json:"ratio_multi_k16"`
+	// ShapeHistogram counts compressed blocks per header shape
+	// ("d8w16" = 1-byte deltas, 2-byte weights). The decode-once
+	// kernels specialize the four narrow shapes with constant shifts;
+	// read a ratio regression against this mix — more generic-shape
+	// blocks means slower decode at the same byte count.
+	ShapeHistogram map[string]int `json:"shape_histogram"`
+	Results        []StreamResult `json:"results"`
 }
 
 // runStream gates the compressed sweep layout against its packed twin:
@@ -774,16 +782,23 @@ func runStream(out, preset string, timeTolerance, bytesTolerance, multiTolerance
 		}
 	}
 
+	// One more compressed engine purely for the shape histogram — the
+	// timed engines above were discarded as the rounds alternated.
+	ze, err := mk(true)
+	if err != nil {
+		return err
+	}
 	rep := StreamReport{
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
-		Instance:   preset + "/dfs",
-		N:          g.NumVertices(),
-		M:          g.NumArcs(),
-		BytesRatio: float64(z.StreamBytes) / float64(p.StreamBytes),
-		RatioTree:  z.NsPerTree / p.NsPerTree,
-		RatioMulti: zm.NsPerTree / pm.NsPerTree,
-		Results:    []StreamResult{z, p, zm, pm},
+		GoVersion:      runtime.Version(),
+		GOARCH:         runtime.GOARCH,
+		Instance:       preset + "/dfs",
+		N:              g.NumVertices(),
+		M:              g.NumArcs(),
+		BytesRatio:     float64(z.StreamBytes) / float64(p.StreamBytes),
+		RatioTree:      z.NsPerTree / p.NsPerTree,
+		RatioMulti:     zm.NsPerTree / pm.NsPerTree,
+		ShapeHistogram: ze.StreamShapeHistogram(),
+		Results:        []StreamResult{z, p, zm, pm},
 	}
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -1036,10 +1051,12 @@ func main() {
 		// 0.75: the compressed stream must actually compress — delta+varint
 		// heads and narrow weights run well under this on road networks.
 		streamBytesRatio = flag.Float64("stream-bytes-ratio", 0.75, "max allowed compressed/packed stream byte ratio before failing")
-		// 1.25: at k=16 the graph stream is a sliver of the traffic, so
-		// the ratio is noisier than the single-tree one — the gate only
-		// has to catch a broken compressed multi kernel, not jitter.
-		streamMultiTolerance = flag.Float64("stream-multi-tolerance", 1.25, "max allowed compressed/packed k=16 multi-tree time ratio before failing")
+		// 1.08: at k=16 the graph stream is a sliver of the traffic, so
+		// the ratio is noisier than the single-tree one — but the
+		// decode-once lane-major kernels measure ~1.05x on europe-m, so
+		// 8% covers the jitter while still catching any regression back
+		// toward the old vertex-major kernels' ~1.15x.
+		streamMultiTolerance = flag.Float64("stream-multi-tolerance", 1.08, "max allowed compressed/packed k=16 multi-tree time ratio before failing")
 		snapshotOut          = flag.String("snapshot-out", "BENCH_8.json", "snapshot report path")
 		// 50: restoring from a snapshot must be a different complexity
 		// class than rebuilding — page mapping plus validation versus a

@@ -47,6 +47,12 @@ type Options struct {
 	// ParallelGrain is 0; 0 detects the machine's L2 cache and budgets
 	// half of it (see internal/machine; PHAST_CHUNK_BYTES overrides).
 	ChunkBytes int
+	// VertexMajorMulti routes a compressed engine's multi-tree sweeps
+	// through the first-generation vertex-major (k labels per vertex,
+	// contiguous) kernels instead of the lane-major decode-once family
+	// that is now the default. Retained as a differential oracle and
+	// A/B baseline; requires CompressedSweep.
+	VertexMajorMulti bool
 }
 
 func (o *Options) packed() core.PackedSetting {
@@ -60,14 +66,18 @@ func (o *Options) coreOptions() (core.Options, error) {
 	if o.LegacySweep && o.CompressedSweep {
 		return core.Options{}, fmt.Errorf("phast: LegacySweep and CompressedSweep are mutually exclusive (the compressed stream is a packed layout)")
 	}
+	if o.VertexMajorMulti && !o.CompressedSweep {
+		return core.Options{}, fmt.Errorf("phast: VertexMajorMulti selects the compressed multi-kernel oracle and requires CompressedSweep")
+	}
 	return core.Options{
-		Mode:            o.SweepMode,
-		Workers:         o.SweepWorkers,
-		PackedSweep:     o.packed(),
-		CompressedSweep: o.CompressedSweep,
-		ForkJoinSweep:   o.ForkJoinSweep,
-		ParallelGrain:   o.ParallelGrain,
-		ChunkBytes:      o.ChunkBytes,
+		Mode:             o.SweepMode,
+		Workers:          o.SweepWorkers,
+		PackedSweep:      o.packed(),
+		CompressedSweep:  o.CompressedSweep,
+		ForkJoinSweep:    o.ForkJoinSweep,
+		ParallelGrain:    o.ParallelGrain,
+		ChunkBytes:       o.ChunkBytes,
+		VertexMajorMulti: o.VertexMajorMulti,
 	}, nil
 }
 

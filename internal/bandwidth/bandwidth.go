@@ -144,6 +144,15 @@ type SweepTraffic struct {
 	// this is under 0.01% of the label streams; it is modeled so the
 	// GB/s figures stay honest about what the scheduler itself touches.
 	SchedChunks int
+	// LabelRereads marks the vertex-major (AoS) multi-tree kernels,
+	// whose relax target lives in memory rather than a register: every
+	// arc re-reads (and conditionally rewrites) the scanned vertex's own
+	// k labels, adding k·4m bytes of label traffic on top of the k tail
+	// reads per arc. The lane-major decode-once kernels accumulate each
+	// lane's minimum in a register and pay exactly one read-modify-write
+	// per (lane, vertex), which the base k·(4m+4n) term already covers —
+	// as do all single-tree kernels, so the flag is inert at K <= 1.
+	LabelRereads bool
 }
 
 // Bytes returns the modeled bytes one sweep touches.
@@ -166,6 +175,9 @@ func (t SweepTraffic) Bytes() int64 {
 		}
 	}
 	b += k * (int64(t.M)*4 + int64(t.N)*4) // tail-label reads + label writes
+	if t.LabelRereads && k > 1 {
+		b += k * int64(t.M) * 4 // AoS relax-target re-read per arc per lane
+	}
 	if t.Parents {
 		b += int64(t.N) * 4
 	}

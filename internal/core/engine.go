@@ -124,6 +124,15 @@ type Options struct {
 	// [machine.MinChunkBytes, machine.MaxChunkBytes]); explicit values
 	// are used as given. Ignored when ParallelGrain pins a fixed grain.
 	ChunkBytes int
+	// VertexMajorMulti routes a compressed engine's multi-tree sweeps
+	// through the first-generation vertex-major (AoS, kdist[v*k+j])
+	// kernels instead of the lane-major decode-once family that is now
+	// the default. Kept as the differential oracle and A/B baseline,
+	// exactly as the packed kernels were for the compressed stream. The
+	// vertex-major lanes kernels keep their k%4 contract; the lane-major
+	// ones accept any k. No effect on engines without a compressed
+	// stream — their multi kernels are vertex-major regardless.
+	VertexMajorMulti bool
 }
 
 // shared is the immutable, source-independent state every Engine clone
@@ -149,6 +158,15 @@ type shared struct {
 	// pos maps an engine vertex ID to its sweep position (the inverse of
 	// order); nil when the order is the identity.
 	pos []int32
+	// laneMajor selects the multi-tree label layout: true (compressed
+	// engines by default) lays lane j out contiguously at kdist[j*n+v]
+	// and sweeps with the decode-once kernels of packedz_soa.go; false
+	// (packed/CSR engines, and compressed ones under the
+	// Options.VertexMajorMulti oracle) keeps the k labels of a vertex
+	// contiguous at kdist[v*k+j]. Everything that touches kdist — the
+	// upward lane searches, the sweep kernels, MultiDist,
+	// CopyLaneDistances — keys off this one bit.
+	laneMajor bool
 
 	// Persistent sweep scheduler state (internal/sched), shared by
 	// clones and — since metric customization — by sibling engines over
@@ -286,6 +304,7 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 			s.packed = p
 		}
 	}
+	s.laneMajor = s.packedz != nil && !opt.VertexMajorMulti
 	// Chunk boundaries: a positive ParallelGrain pins the historical
 	// fixed position grain; otherwise chunks are cut so each one's
 	// stream span fits the cache byte budget (Options.ChunkBytes, or
@@ -295,7 +314,11 @@ func NewEngine(h *ch.Hierarchy, opt Options) (*Engine, error) {
 	} else {
 		budget := opt.ChunkBytes
 		if budget == 0 {
-			budget = machine.SweepChunkBytes()
+			b, err := machine.SweepChunkBytes()
+			if err != nil {
+				return nil, fmt.Errorf("core: chunk byte budget: %w", err)
+			}
+			budget = b
 		}
 		switch {
 		case s.packedz != nil:
@@ -385,6 +408,7 @@ func NewEngineSharingPool(e *Engine, h *ch.Hierarchy) (*Engine, error) {
 		numChunks:   old.numChunks,
 		chunkDep:    old.chunkDep,
 		forkJoin:    old.forkJoin,
+		laneMajor:   old.laneMajor,
 	}
 	if old.mode == SweepReordered {
 		hp, err := h.Permute(old.toEngine)
@@ -487,6 +511,20 @@ func (e *Engine) StreamBytes() int64 {
 	}
 }
 
+// StreamShapeHistogram returns blocks per compressed header shape
+// (graph.PackedZ.ShapeHistogram), or nil when the engine runs no
+// compressed stream. benchsmoke records it next to the stream gate so
+// a ratio regression can be read against the shape mix that produced
+// it — the decode-once kernels specialize the four narrow shapes, so a
+// stream that drifts toward the generic ones decodes slower at the
+// same byte count.
+func (e *Engine) StreamShapeHistogram() map[string]int {
+	if e.s.packedz == nil {
+		return nil
+	}
+	return e.s.packedz.ShapeHistogram()
+}
+
 // CompressionRatio returns the fraction of the equivalent uncompressed
 // packed stream the engine's sweep actually reads: < 1 for compressed
 // engines, exactly 1 otherwise.
@@ -503,6 +541,10 @@ func (e *Engine) CompressionRatio() float64 {
 // Section VIII-B lower bounds; k <= 0 is treated as a single tree.
 func (e *Engine) SweepBytes(k int) int64 {
 	t := bandwidth.SweepTraffic{N: e.s.n, M: e.s.downIn.NumArcs(), K: k}
+	// Multi-tree sweeps over the vertex-major layout re-read the relax
+	// target per arc per lane; the lane-major decode-once kernels hold
+	// it in a register (bandwidth.SweepTraffic.LabelRereads).
+	t.LabelRereads = !e.s.laneMajor
 	switch {
 	case e.s.packedz != nil:
 		t.StreamBytes = int64(e.s.packedz.ByteLen())

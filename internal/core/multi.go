@@ -3,14 +3,19 @@ package core
 import "phast/internal/graph"
 
 // MultiTree grows one tree per source in a single sweep (Section IV-B):
-// each vertex keeps k = len(sources) labels contiguous in memory; the k
-// upward CH searches run sequentially, then one pass over the downward
-// arcs relaxes all k trees. Larger k improves the locality of the
-// tail-label reads at the cost of k·n label memory.
+// each vertex keeps k = len(sources) labels; the k upward CH searches
+// run sequentially, then one pass over the downward arcs relaxes all k
+// trees. Larger k improves the locality of the tail-label reads at the
+// cost of k·n label memory.
 //
-// If useLanes is true and k is a multiple of 4, labels are relaxed in
-// 4-wide unrolled lanes — the stand-in for the paper's SSE 4.1 packed
-// add/min (this build has no SIMD intrinsics; see DESIGN.md).
+// The label layout is the engine's (MultiLaneMajor): compressed engines
+// default to lane-major labels swept by the decode-once kernels of
+// packedz_soa.go, everything else keeps the k labels of a vertex
+// contiguous. If useLanes is true labels are relaxed in unrolled lane
+// groups — the stand-in for the paper's SSE 4.1 packed add/min (this
+// build has no SIMD intrinsics; see DESIGN.md). The vertex-major lanes
+// kernels require k to be a multiple of 4; the lane-major ones accept
+// any k (the last group re-spans the final lanes).
 //
 // Labels are read back with MultiDist. Sources are original vertex IDs.
 func (e *Engine) MultiTree(sources []int32, useLanes bool) {
@@ -19,7 +24,7 @@ func (e *Engine) MultiTree(sources []int32, useLanes bool) {
 		e.k = 0
 		return
 	}
-	if useLanes && k%4 != 0 {
+	if useLanes && k%4 != 0 && !e.s.laneMajor {
 		panic("core: lane-based MultiTree requires k to be a multiple of 4")
 	}
 	if cap(e.kdist) < k*e.s.n {
@@ -30,7 +35,16 @@ func (e *Engine) MultiTree(sources []int32, useLanes bool) {
 	e.lastMulti = true
 	e.touched = e.touched[:0]
 	for i, src := range sources {
-		e.chSearchLane(src, i, k)
+		if e.s.laneMajor {
+			e.chSearchLaneSoA(src, i, k)
+		} else {
+			e.chSearchLane(src, i, k)
+		}
+	}
+	if e.s.laneMajor {
+		e.buildSeeds()
+		e.sweepPackedZSoA(k, useLanes)
+		return
 	}
 	if e.s.packedz != nil {
 		e.buildSeeds()
@@ -60,14 +74,27 @@ func (e *Engine) MultiTree(sources []int32, useLanes bool) {
 // K returns the tree count of the last MultiTree call.
 func (e *Engine) K() int { return e.k }
 
+// MultiLaneMajor reports the engine's multi-tree label layout: true
+// when lane i's labels are contiguous at kdist[i*n : (i+1)*n] (the
+// lane-major default of compressed engines), false when the k labels of
+// engine vertex v are contiguous at kdist[v*k : v*k+k]. The accessors
+// below absorb the difference; only consumers of RawMultiDistances need
+// to ask.
+func (e *Engine) MultiLaneMajor() bool { return e.s.laneMajor }
+
 // MultiDist returns the label of original-ID vertex v in tree i of the
 // last MultiTree call.
 func (e *Engine) MultiDist(i int, v int32) uint32 {
+	if e.s.laneMajor {
+		return e.kdist[i*e.s.n+int(e.s.toEngine[v])]
+	}
 	return e.kdist[int(e.s.toEngine[v])*e.k+i]
 }
 
 // RawMultiDistances exposes the engine-ID-indexed label array of the
-// last MultiTree: the k labels of engine vertex v start at index v*k.
+// last MultiTree, in the engine's layout (MultiLaneMajor): lane-major
+// engines store lane i at [i*n : (i+1)*n], vertex-major engines store
+// the k labels of engine vertex v at [v*k : v*k+k].
 //
 // Aliasing contract: like RawDistances, this is the engine's working
 // buffer. The next MultiTree/MultiTreeParallel call overwrites it (and a
@@ -80,7 +107,9 @@ func (e *Engine) RawMultiDistances() []uint32 { return e.kdist }
 // ID (graph.Inf marks unreached vertices). len(buf) must be n. buf is a
 // private snapshot that stays valid across later sweeps on this engine —
 // the safe read-back for results that cross a goroutine or batch
-// boundary.
+// boundary, and the one place a lane leaves the engine's layout: the
+// copy is the SoA-to-per-tree transpose, so callers never see (or
+// depend on) which layout the sweep ran over.
 func (e *Engine) CopyLaneDistances(i int, buf []uint32) {
 	if !e.lastMulti {
 		panic("core: last computation was not MultiTree; read labels with CopyDistances")
@@ -91,7 +120,15 @@ func (e *Engine) CopyLaneDistances(i int, buf []uint32) {
 	if len(buf) != e.s.n {
 		panic("core: CopyLaneDistances buffer has wrong length")
 	}
-	k, kd, toEngine := e.k, e.kdist, e.s.toEngine
+	kd, toEngine := e.kdist, e.s.toEngine
+	if e.s.laneMajor {
+		lane := kd[i*e.s.n : (i+1)*e.s.n]
+		for orig := range buf {
+			buf[orig] = lane[toEngine[orig]]
+		}
+		return
+	}
+	k := e.k
 	for orig := range buf {
 		buf[orig] = kd[int(toEngine[orig])*k+i]
 	}

@@ -377,7 +377,10 @@ func (e *Engine) sweepPackedZParents() {
 }
 
 // sweepPackedZMulti relaxes all k trees in one pass over the compressed
-// stream with a scalar inner loop.
+// stream with a scalar inner loop over the vertex-major (kdist[v*k+j])
+// label layout. Since the lane-major decode-once kernels of
+// packedz_soa.go became the production multi family, this runs only
+// under the Options.VertexMajorMulti differential oracle.
 //
 //phast:hotpath
 func (e *Engine) sweepPackedZMulti(k int) {
@@ -446,6 +449,7 @@ func (e *Engine) sweepPackedZMulti(k int) {
 
 // sweepPackedZMultiLanes is sweepPackedZMulti with the inner loop
 // unrolled into the 4-wide relax4 lanes (Section IV-B SSE analogue).
+// Vertex-major; oracle-only, like sweepPackedZMulti.
 //
 //phast:hotpath
 func (e *Engine) sweepPackedZMultiLanes(k int) {

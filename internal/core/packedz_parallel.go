@@ -140,7 +140,9 @@ func (e *Engine) scanPackedZParentsChunk(lo, hi int32) {
 }
 
 // scanPackedZMultiChunk relaxes positions [lo,hi) for all k trees with
-// a scalar inner loop.
+// a scalar inner loop over the vertex-major label layout
+// (Options.VertexMajorMulti oracle only; packedz_soa.go holds the
+// production family).
 //
 //phast:hotpath
 func (e *Engine) scanPackedZMultiChunk(lo, hi int32, k int) {

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"phast/internal/graph"
+)
+
+// Lane-major decode-once multi-tree kernels over the compressed stream.
+//
+// The first-generation compressed multi kernels (packedz.go
+// sweepPackedZMulti/...MultiLanes and their chunk twins, retained
+// behind Options.VertexMajorMulti as the differential oracle) keep the
+// k labels of one vertex contiguous (vertex-major, kdist[v*k+j]) and
+// relax them in place per arc. That structure pays two taxes the
+// single-tree kernels never see: the generic variable-shift decode
+// geometry (sweepPackedZIdent's four constant-shift shapes were never
+// ported to the multi family), and — worse — a memory-resident relax
+// target. Because the scanned vertex's labels and the tail labels live
+// in the same array, the compiler must assume every tail-label load may
+// alias the dv slice, so each of the k lanes re-loads, compares, and
+// conditionally stores its label for every arc.
+//
+// These kernels restructure the sweep around decode-once / relax-k over
+// a lane-major (SoA) layout, kdist[j*n+v]:
+//
+//  1. Per block, the header is hoisted into the same four constant-
+//     shift specialized shapes as sweepPackedZIdent, and each arc's
+//     (head, weight) is decoded exactly once into a small stack staging
+//     buffer (decodeZTile) — never re-derived per lane.
+//  2. Lanes then consume the staged tile in unrolled groups of eight
+//     (falling to four, then scalar, as k allows), each lane
+//     accumulating its running minimum in a register: per (lane, block)
+//     there is exactly one label store, and for non-seed blocks not
+//     even an initializing Inf write — the register starts at Inf and
+//     the final store is the initialization. Tail-label loads hit the
+//     lane's own contiguous array, whose window near the scan position
+//     stays cache-resident under the scheduler's chunk byte budget.
+//  3. A lane count that is not a multiple of the group width is handled
+//     by a branchless-in-spirit overlap tail: the last group re-spans
+//     the final 8 (or 4) lanes, overlapping lanes already relaxed this
+//     tile. Re-relaxing a lane from the same initial label over the
+//     same staged arcs reproduces the same minimum (relaxation is
+//     idempotent), so the overlap trades a handful of redundant relaxes
+//     for a remainder loop and its mispredicted exit.
+//
+// Blocks deeper than the staging buffer are decoded in zTile-arc
+// tiles; tiles after the first read the lane label back from its
+// slot (seeded=true), making the tile loop a running minimum.
+//
+// The layout choice is owned by the engine (shared.laneMajor, set at
+// construction): the upward searches write lane-major labels
+// (chSearchLaneSoA), the sweep relaxes them here, and the per-tree
+// views (MultiDist, CopyLaneDistances) read kdist[i*n+v]. Nothing ever
+// transposes the array — see DESIGN.md, "lane-major label layout".
+
+// zTile is the arc capacity of the staging buffer: one uvarint-free
+// header (deg <= 7) always fits, and the rare deeper block is decoded
+// in zTile-arc tiles. The +1 slot absorbs the unconditional tail-arc
+// write of the branchless odd-arc decode (the entry is never read when
+// the tile's arc count is even).
+const zTile = 64
+
+// zStage is the per-block staging buffer: heads (sweep positions until
+// the caller remaps them to engine IDs under an explicit-vertex order)
+// and weights of up to zTile arcs, decoded once and re-read k times.
+// It lives on the kernel's stack; relax helpers only borrow it.
+type zStage struct {
+	heads [zTile + 1]int32
+	ws    [zTile + 1]uint32
+}
+
+// decodeZTile decodes the next tn arcs of the block at sweep position p
+// into st, starting at stream offset i, and returns the offset past
+// them. tn must be min(remaining arcs, zTile). The four narrow header
+// shapes get constant-shift pair decode (two arcs per wide load,
+// exactly sweepPackedZIdent's specialization, writing to the staging
+// buffer instead of relaxing); everything else falls to the generic
+// geometry loop. An odd tn decodes its last arc branchlessly: the wide
+// load is unconditional (licensed mid-stream by the following block's
+// bytes and at the end by the stream pad), and only the offset advance
+// is masked; with an even tn the write lands in the never-read spare
+// slot.
+//
+//phast:hotpath
+func decodeZTile(st *zStage, stream []byte, i int, p int32, hdr uint32, tn int) int {
+	switch hdr & 0xF {
+	case graph.WTag16<<2 | graph.WTag16: // 2-byte delta, 2-byte weight
+		a := 0
+		for ; a+2 <= tn; a += 2 {
+			x := binary.LittleEndian.Uint64(stream[i:])
+			i += 8
+			st.heads[a] = p - int32(x&0xFFFF)
+			st.ws[a] = uint32(x>>16) & 0xFFFF
+			st.heads[a+1] = p - int32(x>>32&0xFFFF)
+			st.ws[a+1] = uint32(x >> 48)
+		}
+		m := uint32(int32(a-tn) >> 31) // all-ones iff a tail arc exists
+		x := binary.LittleEndian.Uint32(stream[i:])
+		i += int(m & 4)
+		st.heads[a] = p - int32(x&0xFFFF)
+		st.ws[a] = x >> 16
+	case graph.WTag16<<2 | graph.WTag8: // 2-byte delta, 1-byte weight
+		a := 0
+		for ; a+2 <= tn; a += 2 {
+			x := binary.LittleEndian.Uint64(stream[i:])
+			i += 6
+			st.heads[a] = p - int32(x&0xFFFF)
+			st.ws[a] = uint32(x>>16) & 0xFF
+			st.heads[a+1] = p - int32(x>>24&0xFFFF)
+			st.ws[a+1] = uint32(x>>40) & 0xFF
+		}
+		m := uint32(int32(a-tn) >> 31)
+		x := binary.LittleEndian.Uint32(stream[i:])
+		i += int(m & 3)
+		st.heads[a] = p - int32(x&0xFFFF)
+		st.ws[a] = x >> 16 & 0xFF
+	case graph.WTag8<<2 | graph.WTag16: // 1-byte delta, 2-byte weight
+		a := 0
+		for ; a+2 <= tn; a += 2 {
+			x := binary.LittleEndian.Uint64(stream[i:])
+			i += 6
+			st.heads[a] = p - int32(x&0xFF)
+			st.ws[a] = uint32(x>>8) & 0xFFFF
+			st.heads[a+1] = p - int32(x>>24&0xFF)
+			st.ws[a+1] = uint32(x>>32) & 0xFFFF
+		}
+		m := uint32(int32(a-tn) >> 31)
+		x := binary.LittleEndian.Uint32(stream[i:])
+		i += int(m & 3)
+		st.heads[a] = p - int32(x&0xFF)
+		st.ws[a] = x >> 8 & 0xFFFF
+	case graph.WTag8<<2 | graph.WTag8: // 1-byte delta, 1-byte weight
+		a := 0
+		for ; a+2 <= tn; a += 2 {
+			x := binary.LittleEndian.Uint32(stream[i:])
+			i += 4
+			st.heads[a] = p - int32(x&0xFF)
+			st.ws[a] = x >> 8 & 0xFF
+			st.heads[a+1] = p - int32(x>>16&0xFF)
+			st.ws[a+1] = x >> 24
+		}
+		m := uint32(int32(a-tn) >> 31)
+		x := uint32(binary.LittleEndian.Uint16(stream[i:]))
+		i += int(m & 2)
+		st.heads[a] = p - int32(x&0xFF)
+		st.ws[a] = x >> 8
+	default:
+		stride, dshift, dmask, wmask := zGeom(hdr)
+		for a := 0; a < tn; a++ {
+			x := binary.LittleEndian.Uint64(stream[i:])
+			i += stride
+			st.heads[a] = p - int32(uint32(x)&dmask)
+			st.ws[a] = uint32(x>>dshift) & wmask
+		}
+	}
+	return i
+}
+
+// relaxLane1 relaxes the staged tile for the single lane whose labels
+// start at kd[jn], accumulating the minimum for vertex vi in a
+// register. seeded selects the initial value: the lane's current label
+// (seed blocks and tiles after the first) or Inf.
+//
+//phast:hotpath
+func relaxLane1(kd []uint32, jn, vi int, st *zStage, tn int, seeded bool) {
+	b := graph.Inf
+	if seeded {
+		b = kd[jn+vi]
+	}
+	for t := 0; t < tn; t++ {
+		if nd := graph.AddSat(kd[jn+int(st.heads[t])], st.ws[t]); nd < b {
+			b = nd
+		}
+	}
+	kd[jn+vi] = b
+}
+
+// relaxLanes4 relaxes the staged tile for the four consecutive lanes
+// whose labels start at kd[jn], kd[jn+n], ... — four register
+// accumulators, one store each.
+//
+//phast:hotpath
+func relaxLanes4(kd []uint32, n, jn, vi int, st *zStage, tn int, seeded bool) {
+	jn1, jn2, jn3 := jn+n, jn+2*n, jn+3*n
+	b0, b1, b2, b3 := graph.Inf, graph.Inf, graph.Inf, graph.Inf
+	if seeded {
+		b0 = kd[jn+vi]
+		b1 = kd[jn1+vi]
+		b2 = kd[jn2+vi]
+		b3 = kd[jn3+vi]
+	}
+	for t := 0; t < tn; t++ {
+		h := int(st.heads[t])
+		w := st.ws[t]
+		if nd := graph.AddSat(kd[jn+h], w); nd < b0 {
+			b0 = nd
+		}
+		if nd := graph.AddSat(kd[jn1+h], w); nd < b1 {
+			b1 = nd
+		}
+		if nd := graph.AddSat(kd[jn2+h], w); nd < b2 {
+			b2 = nd
+		}
+		if nd := graph.AddSat(kd[jn3+h], w); nd < b3 {
+			b3 = nd
+		}
+	}
+	kd[jn+vi] = b0
+	kd[jn1+vi] = b1
+	kd[jn2+vi] = b2
+	kd[jn3+vi] = b3
+}
+
+// relaxLanes8 is relaxLanes4 widened to eight lanes — the wide step the
+// k>=8 production batches (server k=16) spend their time in.
+//
+//phast:hotpath
+func relaxLanes8(kd []uint32, n, jn, vi int, st *zStage, tn int, seeded bool) {
+	jn1, jn2, jn3 := jn+n, jn+2*n, jn+3*n
+	jn4, jn5, jn6, jn7 := jn+4*n, jn+5*n, jn+6*n, jn+7*n
+	b0, b1, b2, b3 := graph.Inf, graph.Inf, graph.Inf, graph.Inf
+	b4, b5, b6, b7 := graph.Inf, graph.Inf, graph.Inf, graph.Inf
+	if seeded {
+		b0 = kd[jn+vi]
+		b1 = kd[jn1+vi]
+		b2 = kd[jn2+vi]
+		b3 = kd[jn3+vi]
+		b4 = kd[jn4+vi]
+		b5 = kd[jn5+vi]
+		b6 = kd[jn6+vi]
+		b7 = kd[jn7+vi]
+	}
+	for t := 0; t < tn; t++ {
+		h := int(st.heads[t])
+		w := st.ws[t]
+		if nd := graph.AddSat(kd[jn+h], w); nd < b0 {
+			b0 = nd
+		}
+		if nd := graph.AddSat(kd[jn1+h], w); nd < b1 {
+			b1 = nd
+		}
+		if nd := graph.AddSat(kd[jn2+h], w); nd < b2 {
+			b2 = nd
+		}
+		if nd := graph.AddSat(kd[jn3+h], w); nd < b3 {
+			b3 = nd
+		}
+		if nd := graph.AddSat(kd[jn4+h], w); nd < b4 {
+			b4 = nd
+		}
+		if nd := graph.AddSat(kd[jn5+h], w); nd < b5 {
+			b5 = nd
+		}
+		if nd := graph.AddSat(kd[jn6+h], w); nd < b6 {
+			b6 = nd
+		}
+		if nd := graph.AddSat(kd[jn7+h], w); nd < b7 {
+			b7 = nd
+		}
+	}
+	kd[jn+vi] = b0
+	kd[jn1+vi] = b1
+	kd[jn2+vi] = b2
+	kd[jn3+vi] = b3
+	kd[jn4+vi] = b4
+	kd[jn5+vi] = b5
+	kd[jn6+vi] = b6
+	kd[jn7+vi] = b7
+}
+
+// scanPackedZSoAChunk relaxes sweep positions [lo,hi) for all k trees
+// over the lane-major label layout: decode each block's arcs once into
+// the staging buffer, then relax every lane from it. wide selects the
+// unrolled 8/4-lane groups (the lanes kernel family); without it every
+// lane runs the scalar accumulator — same staging, one lane per pass.
+// A lane count off the group width is covered by re-spanning the last
+// group over the final 8 (or 4) lanes: the overlapped lanes relax the
+// same staged arcs from the same initial labels and reproduce their
+// minima, so no scalar remainder loop is needed (and any k is legal,
+// unlike the vertex-major lanes kernels' k%4 contract).
+//
+//phast:hotpath
+func (e *Engine) scanPackedZSoAChunk(lo, hi int32, k int, wide bool) {
+	zk := e.s.packedz
+	stream := zk.Stream()
+	hasV := zk.ExplicitVertex()
+	order := e.s.order
+	kd := e.kdist
+	n := e.s.n
+	seeds := e.seedPos
+	si := seedLowerBound(seeds, lo)
+	next := int32(-1)
+	if si < len(seeds) {
+		next = seeds[si]
+	}
+	var st zStage
+	i := zk.BlockStarts()[lo]
+	for p := lo; p < hi; p++ {
+		hdr := uint32(stream[i])
+		i++
+		if hdr >= 0x80 {
+			hdr, i = uvarintSlow(hdr, stream, i)
+		}
+		deg := int(hdr >> 4)
+		v := p
+		if hasV {
+			zz := uint32(stream[i])
+			i++
+			if zz >= 0x80 {
+				zz, i = uvarintSlow(zz, stream, i)
+			}
+			v = p + unzig(zz)
+		}
+		vi := int(v)
+		seeded := false
+		if p == next {
+			seeded = true
+			si++
+			next = -1
+			if si < len(seeds) {
+				next = seeds[si]
+			}
+		}
+		// Tile loop. deg == 0 still runs one empty tile: every lane's
+		// final store doubles as the block's label initialization, so
+		// skipping it would leave stale labels from the previous sweep.
+		rem := deg
+		for {
+			tn := rem
+			if tn > zTile {
+				tn = zTile
+			}
+			i = decodeZTile(&st, stream, i, p, hdr, tn)
+			if hasV {
+				for t := 0; t < tn; t++ {
+					st.heads[t] = order[st.heads[t]]
+				}
+			}
+			switch {
+			case !wide || k < 4:
+				for j := 0; j < k; j++ {
+					relaxLane1(kd, j*n, vi, &st, tn, seeded)
+				}
+			case k < 8:
+				relaxLanes4(kd, n, 0, vi, &st, tn, seeded)
+				if k > 4 {
+					relaxLanes4(kd, n, (k-4)*n, vi, &st, tn, seeded)
+				}
+			default:
+				j := 0
+				for ; j+8 <= k; j += 8 {
+					relaxLanes8(kd, n, j*n, vi, &st, tn, seeded)
+				}
+				if j < k {
+					relaxLanes8(kd, n, (k-8)*n, vi, &st, tn, seeded)
+				}
+			}
+			rem -= tn
+			if rem <= 0 {
+				break
+			}
+			seeded = true // later tiles continue from the stored minima
+		}
+	}
+}
+
+// sweepPackedZSoA is the sequential lane-major multi-tree kernel: the
+// chunk scan over the whole stream (BlockStarts[0] is offset 0 and the
+// seed cursor starts at the first seed, so the chunk entry is free).
+//
+//phast:hotpath
+func (e *Engine) sweepPackedZSoA(k int, wide bool) {
+	e.scanPackedZSoAChunk(0, int32(e.s.packedz.NumVertices()), k, wide)
+}
+
+// chSearchLaneSoA is chSearchLane over the lane-major label layout:
+// lane i's labels live at kdist[i*n : (i+1)*n], and the first touch of
+// a vertex initializes its slot in every lane (a strided write — the
+// upward search space is a few hundred vertices, so the stride is
+// irrelevant next to the sweep it licenses).
+//
+//phast:hotpath
+func (e *Engine) chSearchLaneSoA(source int32, lane, k int) {
+	src := e.s.toEngine[source]
+	e.src = src
+	q := e.queue
+	q.reset()
+	up := e.s.up
+	kd := e.kdist
+	n := e.s.n
+	ln := lane * n
+	touch := func(v int32) {
+		if !e.mark[v] {
+			e.mark[v] = true
+			e.touched = append(e.touched, v)
+			for j := 0; j < k; j++ {
+				kd[j*n+int(v)] = graph.Inf
+			}
+		}
+	}
+	touch(src)
+	kd[ln+int(src)] = 0
+	q.update(src, 0)
+	for !q.empty() {
+		v, dv := q.pop()
+		for _, a := range up.Arcs(v) {
+			nd := graph.AddSat(dv, a.Weight)
+			touch(a.Head)
+			if nd < kd[ln+int(a.Head)] {
+				kd[ln+int(a.Head)] = nd
+				q.update(a.Head, nd)
+			}
+		}
+	}
+}

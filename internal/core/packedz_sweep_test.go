@@ -139,9 +139,15 @@ func TestCompressedTreeWithParentsMatchesDijkstra(t *testing.T) {
 	}
 }
 
-// TestCompressedMultiTreeMatchesAll checks the k-lane compressed
-// kernels (scalar and 4-wide) against the packed twins and Dijkstra for
-// k ∈ {1, 4, 16}, sequentially and on the pooled scheduler.
+// TestCompressedMultiTreeMatchesAll checks the lane-major compressed
+// kernels (scalar and lane-group, decode-once — packedz_soa.go) against
+// the vertex-major compressed oracle (Options.VertexMajorMulti), the
+// packed twins, and Dijkstra for k ∈ {1, 3, 5, 8, 16}, sequentially and
+// on the pooled scheduler, over identity and reordered sweep orders.
+// The lane-major engine runs the lane-group path for every k (odd k
+// exercises the idempotent overlap tail); the vertex-major engines keep
+// the k%4 lane contract, so they take the unrolled path only when k
+// allows it.
 func TestCompressedMultiTreeMatchesAll(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	for _, mode := range allModes {
@@ -151,25 +157,37 @@ func TestCompressedMultiTreeMatchesAll(t *testing.T) {
 			d := sssp.NewDijkstra(g, pq.KindBinaryHeap)
 			for _, workers := range []int{1, 4} {
 				z, pk, _ := engineTriple(t, g, mode, workers)
-				for _, k := range []int{1, 4, 16} {
-					useLanes := k%4 == 0
+				if !z.MultiLaneMajor() {
+					t.Fatal("compressed engine did not default to the lane-major kernels")
+				}
+				oracle := vertexMajorOracle(t, g, mode, workers)
+				for _, k := range []int{1, 3, 5, 8, 16} {
 					sources := make([]int32, k)
 					for i := range sources {
 						sources[i] = int32(rng.Intn(n))
 					}
+					// Lane-major kernels accept any k on the lane-group
+					// path; the vertex-major engines require k%4 == 0.
+					aosLanes := k%4 == 0
 					if workers > 1 {
-						z.MultiTreeParallel(sources, useLanes)
-						pk.MultiTreeParallel(sources, useLanes)
+						z.MultiTreeParallel(sources, true)
+						pk.MultiTreeParallel(sources, aosLanes)
+						oracle.MultiTreeParallel(sources, aosLanes)
 					} else {
-						z.MultiTree(sources, useLanes)
-						pk.MultiTree(sources, useLanes)
+						z.MultiTree(sources, true)
+						pk.MultiTree(sources, aosLanes)
+						oracle.MultiTree(sources, aosLanes)
 					}
 					for i, s := range sources {
 						d.Run(s)
 						for v := int32(0); v < int32(n); v++ {
 							want := d.Dist(v)
 							if got := z.MultiDist(i, v); got != want {
-								t.Fatalf("%s workers %d k=%d lane %d src %d: compressed dist(%d)=%d, want %d",
+								t.Fatalf("%s workers %d k=%d lane %d src %d: lane-major dist(%d)=%d, want %d",
+									mode, workers, k, i, s, v, got, want)
+							}
+							if got := oracle.MultiDist(i, v); got != want {
+								t.Fatalf("%s workers %d k=%d lane %d src %d: vertex-major oracle dist(%d)=%d, want %d",
 									mode, workers, k, i, s, v, got, want)
 							}
 							if got := pk.MultiDist(i, v); got != want {
@@ -178,10 +196,45 @@ func TestCompressedMultiTreeMatchesAll(t *testing.T) {
 							}
 						}
 					}
+					// CopyLaneDistances must agree across layouts: it is
+					// the SoA transpose point for lane-major engines and
+					// a strided gather for vertex-major ones.
+					zbuf := make([]uint32, n)
+					obuf := make([]uint32, n)
+					for i := range sources {
+						z.CopyLaneDistances(i, zbuf)
+						oracle.CopyLaneDistances(i, obuf)
+						for v := 0; v < n; v++ {
+							if zbuf[v] != obuf[v] {
+								t.Fatalf("%s workers %d k=%d lane %d: CopyLaneDistances disagrees at %d: %d vs %d",
+									mode, workers, k, i, v, zbuf[v], obuf[v])
+							}
+						}
+					}
 				}
 			}
 		})
 	}
+}
+
+// vertexMajorOracle builds a compressed engine with the vertex-major
+// multi kernels mounted (Options.VertexMajorMulti) over a fresh but
+// bit-identical hierarchy (ch.Build is deterministic).
+func vertexMajorOracle(t *testing.T, g *graph.Graph, mode SweepMode, workers int) *Engine {
+	t.Helper()
+	h := ch.Build(g, ch.Options{Workers: 1})
+	opt := Options{Mode: mode, Workers: workers, CompressedSweep: true, VertexMajorMulti: true}
+	if workers > 1 {
+		opt.ParallelGrain = 16
+	}
+	e, err := NewEngine(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MultiLaneMajor() {
+		t.Fatal("VertexMajorMulti engine reports lane-major layout")
+	}
+	return e
 }
 
 // TestCompressedByteBudgetChunks runs the compressed pooled sweep under
@@ -233,10 +286,28 @@ func TestCompressedSweepBytesAccounting(t *testing.T) {
 	if zb, pb := z.SweepBytes(1), pk.SweepBytes(1); zb >= pb {
 		t.Fatalf("compressed SweepBytes(1)=%d not below packed %d", zb, pb)
 	}
-	// The label streams dominate at large k, but the graph-stream term
-	// must still shrink by exactly the stream difference.
+	// At k=16 the engines differ in two modeled terms: the graph stream
+	// shrinks by exactly the compressed/packed byte difference, and the
+	// packed engine's vertex-major kernels additionally re-read the
+	// relax target once per arc per lane (k·4m; the compressed engine's
+	// lane-major kernels hold it in a register — see
+	// bandwidth.SweepTraffic.LabelRereads).
 	diff := pk.StreamBytes() - z.StreamBytes()
-	if zb, pb := z.SweepBytes(16), pk.SweepBytes(16); pb-zb != diff {
-		t.Fatalf("SweepBytes(16) gap %d, stream gap %d", pb-zb, diff)
+	rereads := int64(16) * int64(z.s.downIn.NumArcs()) * 4
+	if zb, pb := z.SweepBytes(16), pk.SweepBytes(16); pb-zb != diff+rereads {
+		t.Fatalf("SweepBytes(16) gap %d, want stream gap %d + re-read term %d", pb-zb, diff, rereads)
+	}
+	// The vertex-major oracle pays the re-read term too: byte model
+	// follows the kernels actually mounted, not the stream type.
+	h := ch.Build(g, ch.Options{Workers: 1})
+	zAoS, err := NewEngine(h, Options{Workers: 1, CompressedSweep: true, VertexMajorMulti: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zAoS.MultiLaneMajor() || !z.MultiLaneMajor() {
+		t.Fatal("MultiLaneMajor does not reflect VertexMajorMulti")
+	}
+	if got, want := zAoS.SweepBytes(16)-z.SweepBytes(16), rereads; got != want {
+		t.Fatalf("oracle re-read term %d, want %d", got, want)
 	}
 }

@@ -82,17 +82,18 @@ func (e *Engine) TreeWithParentsParallel(source int32) {
 // MultiTreeParallel combines the k-sources-per-sweep batching of
 // Section IV-B with the scheduled parallel sweep: the k upward searches
 // run sequentially (they are microseconds), then the workers relax all
-// k lanes of every chunk they claim. useLanes selects the 4-wide
-// unrolled relaxation (k must then be a multiple of 4), mirroring
-// MultiTree. Falls back to the sequential multi-sweep when a single
-// worker is configured or the graph is smaller than one chunk.
+// k lanes of every chunk they claim. useLanes selects the unrolled
+// lane-group relaxation (vertex-major engines then require k to be a
+// multiple of 4; lane-major engines accept any k), mirroring MultiTree.
+// Falls back to the sequential multi-sweep when a single worker is
+// configured or the graph is smaller than one chunk.
 func (e *Engine) MultiTreeParallel(sources []int32, useLanes bool) {
 	k := len(sources)
 	if k == 0 {
 		e.k = 0
 		return
 	}
-	if useLanes && k%4 != 0 {
+	if useLanes && k%4 != 0 && !e.s.laneMajor {
 		panic("core: lane-based MultiTreeParallel requires k to be a multiple of 4")
 	}
 	if cap(e.kdist) < k*e.s.n {
@@ -103,7 +104,22 @@ func (e *Engine) MultiTreeParallel(sources []int32, useLanes bool) {
 	e.lastMulti = true
 	e.touched = e.touched[:0]
 	for i, src := range sources {
-		e.chSearchLane(src, i, k)
+		if e.s.laneMajor {
+			e.chSearchLaneSoA(src, i, k)
+		} else {
+			e.chSearchLane(src, i, k)
+		}
+	}
+	if e.s.laneMajor {
+		e.buildSeeds()
+		kind := packedZMultiSoA
+		if useLanes {
+			kind = packedZLanesSoA
+		}
+		if !e.parallelSweep(kind, k) {
+			e.sweepPackedZSoA(k, useLanes)
+		}
+		return
 	}
 	if e.s.packedz != nil {
 		e.buildSeeds()

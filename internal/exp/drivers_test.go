@@ -140,4 +140,20 @@ func TestStreamCompressedRowReadsFewerBytes(t *testing.T) {
 	if rows[0][5] != "1.000" {
 		t.Fatalf("packed ratio %q, want 1.000", rows[0][5])
 	}
+	if len(tables) != 2 || tables[1].ID != "stream-ksweep" {
+		t.Fatalf("missing k-sweep table, got %d tables", len(tables))
+	}
+	krows := tables[1].Rows
+	wantK := []string{"1", "2", "4", "8", "16"}
+	if len(krows) != len(wantK) {
+		t.Fatalf("k-sweep has %d rows, want %d", len(krows), len(wantK))
+	}
+	for i, r := range krows {
+		if r[0] != wantK[i] {
+			t.Fatalf("k-sweep row %d is k=%q, want %q", i, r[0], wantK[i])
+		}
+		if ratio, err := strconv.ParseFloat(r[3], 64); err != nil || ratio <= 0 {
+			t.Fatalf("k=%s: non-positive ratio %q", r[0], r[3])
+		}
+	}
 }

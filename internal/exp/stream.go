@@ -45,6 +45,7 @@ func Stream(e *Env) ([]*Table, error) {
 		name       string
 		compressed bool
 	}
+	engines := make(map[bool]*core.Engine, 2)
 	for _, r := range []row{{"packed", false}, {"compressed", true}} {
 		eng, err := core.NewEngine(h, core.Options{
 			Mode: core.SweepReordered, Workers: 1, CompressedSweep: r.compressed,
@@ -52,6 +53,7 @@ func Stream(e *Env) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		engines[r.compressed] = eng
 		eng.Tree(perm[e.Sources[0]]) // warm the buffers outside the timer
 		tree := e.perTree(func(s int32) { eng.Tree(perm[s]) })
 		multi := e.perTree(func(s int32) {
@@ -75,5 +77,45 @@ func Stream(e *Env) ([]*Table, error) {
 	t.AddNote("both rows run the same upward search; only the sweep's arc stream differs")
 	t.AddNote("ratio = compressed bytes / packed bytes for the identical downward graph")
 	t.AddNote("CI gates the compressed-vs-packed ratios via cmd/benchsmoke -mode stream (BENCH_7.json)")
-	return []*Table{t}, nil
+
+	// The k-sweep: per-tree time against batch width, packed and
+	// compressed (the Table II shape of the paper's multi-tree
+	// amortization). Larger k amortizes the graph stream over more
+	// trees, so per-tree time falls for both layouts; the last column
+	// tracks how close the compressed decode-once lane-major kernels
+	// stay to the packed vertex-major ones as the k·n label traffic
+	// comes to dominate. The lane flag mirrors each engine's production
+	// default: lane-major engines take the lane-group path at any k,
+	// vertex-major ones only at multiples of 4.
+	ks := &Table{
+		ID:    "stream-ksweep",
+		Title: fmt.Sprintf("multi-tree per-tree time vs batch width on %s", e.Cfg.Preset),
+		Headers: []string{"k", "packed [ms/tree]", "compressed [ms/tree]",
+			"compressed/packed"},
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		srcs := e.randSources(k)
+		for i, s := range srcs {
+			srcs[i] = perm[s]
+		}
+		times := make(map[bool]time.Duration, 2)
+		for _, compressed := range []bool{false, true} {
+			eng := engines[compressed]
+			useLanes := eng.MultiLaneMajor() || k%4 == 0
+			times[compressed] = e.perTree(func(s int32) {
+				srcs[0] = perm[s]
+				eng.MultiTree(srcs, useLanes)
+			}) / time.Duration(k)
+		}
+		ks.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.2f", float64(times[false].Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(times[true].Microseconds())/1000),
+			fmt.Sprintf("%.3f", times[true].Seconds()/times[false].Seconds()),
+		)
+		e.logf("stream k=%d: packed %v/tree, compressed %v/tree", k, times[false], times[true])
+	}
+	ks.AddNote("per-tree time = batch sweep time / k; the graph stream amortizes as k grows")
+	ks.AddNote("compressed engines run the decode-once lane-major kernels; packed engines the vertex-major lane kernels (scalar relax at k not divisible by 4)")
+	return []*Table{t, ks}, nil
 }

@@ -382,6 +382,36 @@ func (z *PackedZ) MemoryBytes() int64 {
 	return int64(len(z.stream)) + int64(len(z.blockStart))*8
 }
 
+// ShapeHistogram counts blocks per header shape, keyed "d<bits>w<bits>"
+// (e.g. "d8w16" = 1-byte deltas, 2-byte weights). The four narrow
+// shapes are the ones the decode-once multi kernels specialize with
+// constant shifts; the histogram shows how much of a stream they cover
+// — on reordered road networks the narrow pairs should dominate, which
+// is both why the constant-shift cases pay off and why the per-arc
+// stream stays under two bytes per field. Zero-degree blocks carry no
+// arc fields but still encode a shape; they are counted where their
+// header puts them.
+func (z *PackedZ) ShapeHistogram() map[string]int {
+	bits := [3]int{8, 16, 32}
+	hist := make(map[string]int)
+	for p := 0; p < z.n; p++ {
+		hdr, _, ok := readUvarint(z.stream, z.blockStart[p])
+		if !ok {
+			// A malformed header cannot occur in a stream built by this
+			// package; surface it as its own bucket rather than panic.
+			hist["malformed"]++
+			continue
+		}
+		dtag, wtag := int(hdr>>2&3), int(hdr&3)
+		if dtag > WTag32 || wtag > WTag32 {
+			hist["malformed"]++
+			continue
+		}
+		hist[fmt.Sprintf("d%dw%d", bits[dtag], bits[wtag])]++
+	}
+	return hist
+}
+
 // Unpack decodes the stream back into a CSR graph and the sweep order
 // it was built with (nil for the identity). It validates the grammar as
 // it goes — the round-trip half of the phastdebug PackedZStream

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -132,15 +133,23 @@ const (
 // half the private L2 when detected, clamped to
 // [MinChunkBytes, MaxChunkBytes]. The PHAST_CHUNK_BYTES environment
 // variable, when set to a positive integer, overrides detection (but
-// not the clamp).
-func SweepChunkBytes() int {
+// not the clamp). A set-but-malformed override — unparseable, zero, or
+// negative — is an error, not a silent fallback: the variable exists to
+// pin sweep behavior, and an operator who typo'd it should find out at
+// engine construction, not from a mysteriously detected budget.
+func SweepChunkBytes() (int, error) {
 	if s := os.Getenv("PHAST_CHUNK_BYTES"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			return clampChunkBytes(v)
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("machine: PHAST_CHUNK_BYTES=%q is not an integer: %v", s, err)
 		}
+		if v <= 0 {
+			return 0, fmt.Errorf("machine: PHAST_CHUNK_BYTES=%q must be a positive byte count", s)
+		}
+		return clampChunkBytes(v), nil
 	}
 	c := LocalCache()
-	return clampChunkBytes(int(c.L2Bytes / 2))
+	return clampChunkBytes(int(c.L2Bytes / 2)), nil
 }
 
 func clampChunkBytes(b int) int {

@@ -71,20 +71,35 @@ func TestParseCacheSize(t *testing.T) {
 
 func TestSweepChunkBytesClampAndOverride(t *testing.T) {
 	t.Setenv("PHAST_CHUNK_BYTES", "1000000")
-	if got := SweepChunkBytes(); got != 1000000 {
-		t.Fatalf("override: got %d, want 1000000", got)
+	if got, err := SweepChunkBytes(); err != nil || got != 1000000 {
+		t.Fatalf("override: got %d, %v; want 1000000", got, err)
 	}
 	t.Setenv("PHAST_CHUNK_BYTES", "1")
-	if got := SweepChunkBytes(); got != MinChunkBytes {
-		t.Fatalf("floor: got %d, want %d", got, MinChunkBytes)
+	if got, err := SweepChunkBytes(); err != nil || got != MinChunkBytes {
+		t.Fatalf("floor: got %d, %v; want %d", got, err, MinChunkBytes)
 	}
 	t.Setenv("PHAST_CHUNK_BYTES", "999999999")
-	if got := SweepChunkBytes(); got != MaxChunkBytes {
-		t.Fatalf("cap: got %d, want %d", got, MaxChunkBytes)
+	if got, err := SweepChunkBytes(); err != nil || got != MaxChunkBytes {
+		t.Fatalf("cap: got %d, %v; want %d", got, err, MaxChunkBytes)
 	}
 	t.Setenv("PHAST_CHUNK_BYTES", "")
-	got := SweepChunkBytes()
+	got, err := SweepChunkBytes()
+	if err != nil {
+		t.Fatalf("unset override: %v", err)
+	}
 	if got < MinChunkBytes || got > MaxChunkBytes {
 		t.Fatalf("detected budget %d escapes [%d,%d]", got, MinChunkBytes, MaxChunkBytes)
+	}
+}
+
+// TestSweepChunkBytesRejectsMalformed pins the failure mode of a bad
+// PHAST_CHUNK_BYTES: a set-but-broken override is an error, never a
+// silent fall back to detection.
+func TestSweepChunkBytesRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"abc", "64K", "1.5", "0", "-4096", " 65536"} {
+		t.Setenv("PHAST_CHUNK_BYTES", bad)
+		if got, err := SweepChunkBytes(); err == nil {
+			t.Fatalf("PHAST_CHUNK_BYTES=%q accepted as %d; want error", bad, got)
+		}
 	}
 }
